@@ -1,0 +1,214 @@
+// Benchmarks regenerating every figure and table of the paper's evaluation
+// (one benchmark per figure; see DESIGN.md §4 for the index). Each
+// iteration executes the figure's full parameter sweep on the engine; the
+// reported custom metrics are the paper-scale virtual results, so the
+// benchmark output doubles as the reproduction record:
+//
+//	go test -bench=. -benchmem
+//
+// Wall-clock ns/op measures the simulator itself; the paper-comparable
+// numbers are the *_s and *_usd metrics.
+package pushdowndb_test
+
+import (
+	"sync"
+	"testing"
+
+	"pushdowndb/internal/harness"
+)
+
+var (
+	envOnce sync.Once
+	envInst *harness.Env
+)
+
+func benchEnv(b *testing.B) *harness.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envInst = harness.NewEnv(harness.DefaultScale())
+	})
+	return envInst
+}
+
+// benchFigure runs one figure per iteration and reports headline metrics
+// extracted by pick.
+func benchFigure(b *testing.B, run func(*harness.Env) (*harness.Result, error),
+	pick func(*harness.Result) map[string]float64) {
+	env := benchEnv(b)
+	// Warm the dataset caches outside the timer.
+	if _, err := run(env); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *harness.Result
+	for i := 0; i < b.N; i++ {
+		r, err := run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.StopTimer()
+	if pick != nil {
+		for k, v := range pick(last) {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func mustPoint(b *testing.B, r *harness.Result, series, x string) harness.Point {
+	b.Helper()
+	p, ok := r.Get(series, x)
+	if !ok {
+		b.Fatalf("missing point (%s, %s) in %s", series, x, r.ID)
+	}
+	return p
+}
+
+func BenchmarkFig1Filter(b *testing.B) {
+	benchFigure(b, harness.RunFig1, func(r *harness.Result) map[string]float64 {
+		var server, s3side harness.Point
+		for _, x := range []string{"1e-04"} {
+			server = mustPoint(b, r, "Server-Side Filter", x)
+			s3side = mustPoint(b, r, "S3-Side Filter", x)
+		}
+		return map[string]float64{
+			"server_s":  server.RuntimeSec,
+			"s3side_s":  s3side.RuntimeSec,
+			"speedup_x": server.RuntimeSec / s3side.RuntimeSec,
+		}
+	})
+}
+
+func BenchmarkFig2JoinCustomerSel(b *testing.B) {
+	benchFigure(b, harness.RunFig2, func(r *harness.Result) map[string]float64 {
+		base := mustPoint(b, r, "Baseline Join", "-950")
+		bloom := mustPoint(b, r, "Bloom Join", "-950")
+		return map[string]float64{
+			"baseline_s": base.RuntimeSec,
+			"bloom_s":    bloom.RuntimeSec,
+			"speedup_x":  base.RuntimeSec / bloom.RuntimeSec,
+		}
+	})
+}
+
+func BenchmarkFig3JoinOrdersSel(b *testing.B) {
+	benchFigure(b, harness.RunFig3, func(r *harness.Result) map[string]float64 {
+		filt := mustPoint(b, r, "Filtered Join", "1992-03-01")
+		bloom := mustPoint(b, r, "Bloom Join", "None")
+		return map[string]float64{"filtered_tight_s": filt.RuntimeSec, "bloom_none_s": bloom.RuntimeSec}
+	})
+}
+
+func BenchmarkFig4BloomFPR(b *testing.B) {
+	benchFigure(b, harness.RunFig4, func(r *harness.Result) map[string]float64 {
+		return map[string]float64{
+			"fpr1e-4_s": mustPoint(b, r, "Bloom Join", "0.0001").RuntimeSec,
+			"fpr0.01_s": mustPoint(b, r, "Bloom Join", "0.01").RuntimeSec,
+			"fpr0.5_s":  mustPoint(b, r, "Bloom Join", "0.5").RuntimeSec,
+		}
+	})
+}
+
+func BenchmarkFig5GroupByGroups(b *testing.B) {
+	benchFigure(b, harness.RunFig5, func(r *harness.Result) map[string]float64 {
+		return map[string]float64{
+			"s3side_2g_s":    mustPoint(b, r, "S3-Side Group-By", "2").RuntimeSec,
+			"s3side_32g_s":   mustPoint(b, r, "S3-Side Group-By", "32").RuntimeSec,
+			"filtered_32g_s": mustPoint(b, r, "Filtered Group-By", "32").RuntimeSec,
+		}
+	})
+}
+
+func BenchmarkFig6HybridSplit(b *testing.B) {
+	benchFigure(b, harness.RunFig6, func(r *harness.Result) map[string]float64 {
+		p8 := mustPoint(b, r, "Hybrid Group-By", "8")
+		return map[string]float64{
+			"s3_sec_at8":     p8.Extra["s3SideSec"],
+			"server_sec_at8": p8.Extra["serverSideSec"],
+		}
+	})
+}
+
+func BenchmarkFig7GroupBySkew(b *testing.B) {
+	benchFigure(b, harness.RunFig7, func(r *harness.Result) map[string]float64 {
+		hy := mustPoint(b, r, "Hybrid Group-By", "1.3")
+		fi := mustPoint(b, r, "Filtered Group-By", "1.3")
+		return map[string]float64{
+			"hybrid_th1.3_s":   hy.RuntimeSec,
+			"filtered_th1.3_s": fi.RuntimeSec,
+			"improvement_pct":  100 * (fi.RuntimeSec - hy.RuntimeSec) / fi.RuntimeSec,
+		}
+	})
+}
+
+func BenchmarkFig8TopKSampleSize(b *testing.B) {
+	benchFigure(b, harness.RunFig8, func(r *harness.Result) map[string]float64 {
+		return map[string]float64{
+			"traffic_at_Sstar_gb": mustPoint(b, r, "Sampling Top-K", "S*").Extra["returnedGB"],
+			"traffic_small_S_gb":  mustPoint(b, r, "Sampling Top-K", "S*/16").Extra["returnedGB"],
+		}
+	})
+}
+
+func BenchmarkFig9TopKSweepK(b *testing.B) {
+	benchFigure(b, harness.RunFig9, func(r *harness.Result) map[string]float64 {
+		server := mustPoint(b, r, "Server-Side Top-K", "100")
+		sampling := mustPoint(b, r, "Sampling Top-K", "100")
+		return map[string]float64{
+			"server_k100_s":   server.RuntimeSec,
+			"sampling_k100_s": sampling.RuntimeSec,
+		}
+	})
+}
+
+func BenchmarkFig10TPCH(b *testing.B) {
+	benchFigure(b, harness.RunFig10, func(r *harness.Result) map[string]float64 {
+		bg := mustPoint(b, r, "PushdownDB (Baseline)", "Geo-Mean")
+		og := mustPoint(b, r, "PushdownDB (Optimized)", "Geo-Mean")
+		return map[string]float64{
+			"geomean_speedup_x": bg.RuntimeSec / og.RuntimeSec,
+			"geomean_cost_rel":  og.Cost.Total() / bg.Cost.Total(),
+		}
+	})
+}
+
+func BenchmarkFig11Formats(b *testing.B) {
+	benchFigure(b, harness.RunFig11, func(r *harness.Result) map[string]float64 {
+		csv := mustPoint(b, r, "CSV 20-col", "0.01")
+		col := mustPoint(b, r, "Parquet 20-col", "0.01")
+		return map[string]float64{
+			"csv20_sel0.01_s":     csv.RuntimeSec,
+			"parquet20_sel0.01_s": col.RuntimeSec,
+		}
+	})
+}
+
+// Ablations of the paper's Section-X suggestions.
+
+func BenchmarkAblationMultiRangeGET(b *testing.B) {
+	benchFigure(b, harness.RunFig1MultiRange, func(r *harness.Result) map[string]float64 {
+		per := mustPoint(b, r, "Per-Row GETs", "1e-02")
+		multi := mustPoint(b, r, "Multi-Range GET", "1e-02")
+		return map[string]float64{
+			"per_row_s":    per.RuntimeSec,
+			"multirange_s": multi.RuntimeSec,
+		}
+	})
+}
+
+func BenchmarkAblationBitwiseBloom(b *testing.B) {
+	benchFigure(b, harness.RunFig4Bitwise, func(r *harness.Result) map[string]float64 {
+		s := mustPoint(b, r, "String Bloom", "0.0001")
+		bw := mustPoint(b, r, "Bitwise Bloom", "0.0001")
+		return map[string]float64{"string_s": s.RuntimeSec, "bitwise_s": bw.RuntimeSec}
+	})
+}
+
+func BenchmarkAblationPartialGroupBy(b *testing.B) {
+	benchFigure(b, harness.RunFig6PartialGroupBy, func(r *harness.Result) map[string]float64 {
+		c := mustPoint(b, r, "CASE Encoding", "8")
+		p := mustPoint(b, r, "Partial Group-By", "8")
+		return map[string]float64{"case_s": c.RuntimeSec, "partial_s": p.RuntimeSec}
+	})
+}

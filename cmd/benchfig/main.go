@@ -1,0 +1,72 @@
+// Command benchfig regenerates the paper's figures and prints them as
+// tables.
+//
+//	benchfig                 # all main figures at the default scale
+//	benchfig -fig Fig5       # one figure
+//	benchfig -ablations      # the Section-X extension ablations
+//	benchfig -scale small    # faster, smaller datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pushdowndb/internal/harness"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "dataset scale: small or default")
+		fig       = flag.String("fig", "", "single figure to run (Fig1..Fig11); empty = all")
+		ablations = flag.Bool("ablations", false, "run the Section-X extension ablations instead")
+	)
+	flag.Parse()
+
+	scale := harness.DefaultScale()
+	if *scaleName == "small" {
+		scale = harness.SmallScale()
+	}
+	env := harness.NewEnv(scale)
+
+	runs := map[string]func(*harness.Env) (*harness.Result, error){
+		"Fig1": harness.RunFig1, "Fig2": harness.RunFig2, "Fig3": harness.RunFig3,
+		"Fig4": harness.RunFig4, "Fig5": harness.RunFig5, "Fig6": harness.RunFig6,
+		"Fig7": harness.RunFig7, "Fig8": harness.RunFig8, "Fig9": harness.RunFig9,
+		"Fig10": harness.RunFig10, "Fig11": harness.RunFig11,
+	}
+
+	switch {
+	case *ablations:
+		results, err := harness.AblationFigures(env)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+	case *fig != "":
+		run, ok := runs[*fig]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11)", *fig))
+		}
+		r, err := run(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	default:
+		results, err := harness.AllFigures(env)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfig:", err)
+	os.Exit(1)
+}

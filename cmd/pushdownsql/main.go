@@ -1,0 +1,80 @@
+// Command pushdownsql loads CSV files into the simulated S3 store and runs
+// SQL against them through PushdownDB, printing the result plus the
+// virtual runtime and the dollar cost the query would have had on AWS.
+//
+//	pushdownsql -table customer=./customer.csv \
+//	            -q "SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment ORDER BY n DESC"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/store"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	var (
+		tables  tableFlags
+		query   = flag.String("q", "", "SQL query (single table)")
+		explain = flag.Bool("explain", false, "print the plan instead of executing")
+		parts   = flag.Int("parts", 4, "partitions per table")
+	)
+	flag.Var(&tables, "table", "name=path.csv (repeatable)")
+	flag.Parse()
+	if *query == "" || len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pushdownsql -table name=path.csv [-table ...] -q SQL")
+		os.Exit(2)
+	}
+
+	st := store.New()
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -table %q, want name=path", spec))
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		header, rows, err := csvx.Decode(data, true)
+		if err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", path, err))
+		}
+		if err := engine.PartitionTable(st, "local", name, header, rows, *parts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %d rows, %d partitions\n", name, len(rows), *parts)
+	}
+
+	db := engine.Open(s3api.NewInProc(st), "local")
+	if *explain {
+		plan, err := db.Explain(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	rel, e, err := db.Query(*query)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rel)
+	fmt.Printf("\nvirtual runtime: %.3fs   cost: %s\n", e.RuntimeSeconds(), e.Cost())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pushdownsql:", err)
+	os.Exit(1)
+}

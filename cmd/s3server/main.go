@@ -1,0 +1,86 @@
+// Command s3server serves the simulated S3 service (ranged GETs, the
+// multi-range extension, and S3 Select) over HTTP. CSV files in -dir are
+// loaded as single-partition tables named after the file.
+//
+//	s3server -addr :9000 -bucket tpch -dir ./data
+//
+// Then, for example:
+//
+//	curl -s -X POST 'http://localhost:9000/tpch/customer/part0000.csv?select' \
+//	  -d '{"sql":"SELECT c_name FROM S3Object WHERE c_acctbal <= -950","has_header":true}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3http"
+	"pushdowndb/internal/store"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":9000", "listen address")
+		bucket = flag.String("bucket", "data", "bucket name for loaded files")
+		dir    = flag.String("dir", "", "directory of CSV files to load as tables")
+		state  = flag.String("state", "", "store state directory: loaded at startup if present, saved after -dir ingestion")
+		parts  = flag.Int("parts", 4, "partitions per loaded table")
+	)
+	flag.Parse()
+
+	st := store.New()
+	if *state != "" {
+		if loaded, err := store.LoadDir(*state); err == nil {
+			st = loaded
+			fmt.Printf("restored store state from %s\n", *state)
+		}
+	}
+	if *dir != "" {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ent := range entries {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".csv") {
+				continue
+			}
+			path := filepath.Join(*dir, ent.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			header, rows, err := csvx.Decode(data, true)
+			if err != nil {
+				fatal(fmt.Errorf("parsing %s: %w", path, err))
+			}
+			table := strings.TrimSuffix(ent.Name(), ".csv")
+			if err := engine.PartitionTable(st, *bucket, table, header, rows, *parts); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded %s/%s (%d rows, %d partitions)\n", *bucket, table, len(rows), *parts)
+		}
+	}
+
+	if *state != "" {
+		if err := st.SaveDir(*state); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved store state to %s\n", *state)
+	}
+
+	fmt.Printf("simulated S3 listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, s3http.NewServer(st)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s3server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command tpchgen generates TPC-H tables as CSV files (a dbgen stand-in).
+//
+//	tpchgen -sf 0.01 -dir ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/tpch"
+)
+
+func main() {
+	var (
+		sf   = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed = flag.Int64("seed", 42, "generator seed")
+		dir  = flag.String("dir", ".", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	orders := tpch.GenOrders(*sf, *seed)
+	tables := []struct {
+		name   string
+		header []string
+		rows   [][]string
+	}{
+		{"customer", tpch.CustomerHeader, tpch.GenCustomers(*sf, *seed)},
+		{"orders", tpch.OrdersHeader, orders},
+		{"lineitem", tpch.LineitemHeader, tpch.GenLineitems(*sf, *seed, orders)},
+		{"part", tpch.PartHeader, tpch.GenParts(*sf, *seed)},
+		{"supplier", tpch.SupplierHeader, tpch.GenSuppliers(*sf, *seed)},
+		{"nation", tpch.NationHeader, tpch.GenNations()},
+		{"region", tpch.RegionHeader, tpch.GenRegions()},
+	}
+	for _, t := range tables {
+		path := filepath.Join(*dir, t.name+".csv")
+		data := csvx.Encode(t.header, t.rows)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s %8d rows  %10d bytes  -> %s\n", t.name, len(t.rows), len(data), path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Quickstart: stand up a simulated S3 store, load a small CSV table, and
+// run queries through PushdownDB — first with everything pulled to the
+// server (the baseline), then with the filter pushed into S3 Select —
+// and compare what each approach moved over the network and what it would
+// have cost on AWS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/store"
+)
+
+func main() {
+	// 1. A simulated S3 store with one partitioned table.
+	st := store.New()
+	header := []string{"id", "city", "temp_c"}
+	rows := [][]string{
+		{"1", "madison", "-8.5"},
+		{"2", "boston", "-2.0"},
+		{"3", "doha", "31.5"},
+		{"4", "amherst", "-4.25"},
+		{"5", "cambridge", "-1.75"},
+		{"6", "san-francisco", "14.0"},
+	}
+	if err := engine.PartitionTable(st, "weather", "readings", header, rows, 2); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Open PushdownDB against the store.
+	db := engine.Open(s3api.NewInProc(st), "weather")
+
+	// 3a. Baseline: load the entire table, filter on the server.
+	e1 := db.NewExec()
+	cold, err := e1.ServerSideFilter("readings", "temp_c < 0", "city, temp_c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("server-side filter (baseline):")
+	fmt.Print(cold)
+	_, _, _, loaded := e1.Metrics.Totals()
+	fmt.Printf("bytes pulled from storage: %d\n\n", loaded)
+
+	// 3b. Pushdown: S3 Select evaluates the predicate at the storage side.
+	e2 := db.NewExec()
+	cold2, err := e2.S3SideFilter("readings", "temp_c < 0", "city, temp_c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("s3-side filter (pushdown):")
+	fmt.Print(cold2)
+	_, scanned, returned, _ := e2.Metrics.Totals()
+	fmt.Printf("bytes scanned in storage: %d, returned to server: %d\n\n", scanned, returned)
+
+	// 4. Or just use SQL — selection and projection are pushed
+	// automatically, grouping runs on the server.
+	rel, e3, err := db.Query(
+		"SELECT city, temp_c FROM readings WHERE temp_c < 0 ORDER BY temp_c LIMIT 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SQL front end:")
+	fmt.Print(rel)
+	fmt.Printf("virtual runtime %.4fs, AWS-equivalent cost %s\n", e3.RuntimeSeconds(), e3.Cost())
+}

@@ -1,0 +1,238 @@
+package cloudsim
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultPricingMatchesPaper(t *testing.T) {
+	p := DefaultPricing()
+	if p.ScanPerGB != 0.002 || p.ReturnPerGB != 0.0007 || p.RequestPer1000 != 0.0004 || p.ComputePerHour != 2.128 {
+		t.Errorf("pricing drifted from Section II-B: %+v", p)
+	}
+	if p.TransferPerGB != 0 {
+		t.Error("same-region transfer must be free")
+	}
+}
+
+func TestPhaseBottleneckModel(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMetrics(cfg)
+	p := m.Phase("scan", 0)
+	// One select request scanning 300 MB, returning 1 MB: storage-bound.
+	p.AddSelectRequest(SelectReq{ScanBytes: 300e6, ReturnedBytes: 1e6, Rows: 1e6,
+		ExprNodes: 5, Cells: 16e6, DecompressBytes: 1e6})
+	sec := m.RuntimeSeconds()
+	wantScan := cfg.RequestRTTSec + 300e6/cfg.S3ScanBytesPerSec +
+		16e6*cfg.S3CellSecPerCell + 1e6/cfg.S3DecompressBytesPerSec +
+		1e6*5*cfg.S3NodeSecPerRow
+	if math.Abs(sec-wantScan) > 1e-9 {
+		t.Errorf("runtime = %v, want scan-bound %v", sec, wantScan)
+	}
+}
+
+func TestServerBoundPhase(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMetrics(cfg)
+	p := m.Phase("load", 0)
+	// A GET returning 1 GB: server parse should dominate the transfer.
+	p.AddGetRequest(1e9)
+	sec := m.RuntimeSeconds()
+	parse := 1e9 / cfg.BulkParseBytesPerSec
+	if math.Abs(sec-(parse+cfg.RequestCPUSec)) > 1e-6 {
+		t.Errorf("runtime = %v, want parse-bound ~%v", sec, parse)
+	}
+}
+
+func TestStagesSumPhasesOverlap(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMetrics(cfg)
+	// Two phases in stage 0 overlap: total is the max.
+	a := m.Phase("a", 0)
+	b := m.Phase("b", 0)
+	a.AddServerSeconds(2)
+	b.AddServerSeconds(5)
+	c := m.Phase("c", 1)
+	c.AddServerSeconds(3)
+	if got := m.RuntimeSeconds(); math.Abs(got-8) > 1e-9 {
+		t.Errorf("runtime = %v, want max(2,5)+3 = 8", got)
+	}
+}
+
+func TestPhaseReuseByName(t *testing.T) {
+	m := NewMetrics(DefaultConfig())
+	p1 := m.Phase("x", 0)
+	p2 := m.Phase("x", 0)
+	if p1 != p2 {
+		t.Error("same name+stage must return the same phase")
+	}
+	if p3 := m.Phase("x", 1); p3 == p1 {
+		t.Error("different stage must be a different phase")
+	}
+}
+
+func TestCostComponents(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMetrics(cfg)
+	p := m.Phase("scan", 0)
+	p.AddSelectRequest(SelectReq{ScanBytes: 1 << 30, ReturnedBytes: 1 << 29, Rows: 0, ExprNodes: 0}) // scan 1 GB, return 0.5 GB
+	for i := 0; i < 999; i++ {
+		p.AddGetRequest(0)
+	}
+	c := m.Cost(DefaultPricing())
+	if math.Abs(c.ScanUSD-0.002) > 1e-12 {
+		t.Errorf("scan cost = %v, want 0.002", c.ScanUSD)
+	}
+	if math.Abs(c.TransferUSD-0.00035) > 1e-12 {
+		t.Errorf("transfer cost = %v, want 0.00035", c.TransferUSD)
+	}
+	if math.Abs(c.RequestUSD-0.0004) > 1e-12 { // 1000 requests total
+		t.Errorf("request cost = %v, want 0.0004", c.RequestUSD)
+	}
+	if c.ComputeUSD <= 0 {
+		t.Error("compute cost must be positive")
+	}
+	if math.Abs(c.Total()-(c.ComputeUSD+c.RequestUSD+c.ScanUSD+c.TransferUSD)) > 1e-15 {
+		t.Error("Total() mismatch")
+	}
+	if !strings.Contains(c.String(), "compute") {
+		t.Error("String() should mention components")
+	}
+}
+
+func TestPlainGetTransferIsFree(t *testing.T) {
+	m := NewMetrics(DefaultConfig())
+	m.Phase("load", 0).AddGetRequest(10 << 30)
+	c := m.Cost(DefaultPricing())
+	if c.TransferUSD != 0 || c.ScanUSD != 0 {
+		t.Errorf("plain GET should cost no scan/transfer: %+v", c)
+	}
+}
+
+func TestComputationAwarePricing(t *testing.T) {
+	m := NewMetrics(DefaultConfig())
+	m.Phase("scan", 0).AddSelectRequest(SelectReq{ScanBytes: 1 << 30, ReturnedBytes: 0, Rows: 0, ExprNodes: 0})
+	cap := DefaultComputationAwarePricing()
+	light := m.CostComputationAware(cap, 0)
+	heavy := m.CostComputationAware(cap, 1000)
+	flat := m.Cost(cap.Pricing)
+	if light.ScanUSD >= heavy.ScanUSD {
+		t.Error("light scans must be cheaper than heavy scans")
+	}
+	if math.Abs(light.ScanUSD-flat.ScanUSD*cap.BaseFraction) > 1e-12 {
+		t.Errorf("light scan = %v, want base fraction of %v", light.ScanUSD, flat.ScanUSD)
+	}
+	if math.Abs(heavy.ScanUSD-flat.ScanUSD) > 1e-12 {
+		t.Error("saturated scan should pay full price")
+	}
+}
+
+func TestPaperScaleAnchors(t *testing.T) {
+	// Sanity anchors from Fig. 1a at 10 GB TPC-H scale: the model should
+	// land in the right decade, and S3-side filter should be ~10x faster
+	// than server-side filter.
+	cfg := DefaultConfig()
+	lineitem := int64(7.25 * 1e9)
+	parts := int64(32)
+
+	server := NewMetrics(cfg)
+	p := server.Phase("load", 0)
+	for i := int64(0); i < parts; i++ {
+		p.AddGetRequest(lineitem / parts)
+	}
+	serverSec := server.RuntimeSeconds()
+
+	s3side := NewMetrics(cfg)
+	q := s3side.Phase("scan", 0)
+	rowsPerPart := int64(60e6) / parts
+	for i := int64(0); i < parts; i++ {
+		// 16 columns per lineitem row: the CSV scan decodes them all.
+		q.AddSelectRequest(SelectReq{ScanBytes: lineitem / parts, ReturnedBytes: 1000,
+			Rows: rowsPerPart, ExprNodes: 8, Cells: rowsPerPart * 16})
+	}
+	s3Sec := s3side.RuntimeSeconds()
+
+	if serverSec < 50 || serverSec > 110 {
+		t.Errorf("server-side filter = %.1fs, expected ~72s (Fig 1a)", serverSec)
+	}
+	if s3Sec < 4 || s3Sec > 12 {
+		t.Errorf("s3-side filter = %.1fs, expected ~8s (Fig 1a)", s3Sec)
+	}
+	ratio := serverSec / s3Sec
+	if ratio < 6 || ratio > 16 {
+		t.Errorf("speedup = %.1fx, paper reports ~10x", ratio)
+	}
+}
+
+func TestConcurrentPhaseUpdates(t *testing.T) {
+	m := NewMetrics(DefaultConfig())
+	p := m.Phase("par", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.AddSelectRequest(SelectReq{ScanBytes: 10, ReturnedBytes: 1, Rows: 1, ExprNodes: 1})
+				p.AddGetRequest(5)
+				p.AddServerRows(3)
+			}
+		}()
+	}
+	wg.Wait()
+	requests, scan, selRet, get := m.Totals()
+	if requests != 6400 || scan != 32000 || selRet != 3200 || get != 16000 {
+		t.Errorf("totals = %d %d %d %d", requests, scan, selRet, get)
+	}
+}
+
+func TestReport(t *testing.T) {
+	m := NewMetrics(DefaultConfig())
+	m.Phase("alpha", 1).AddGetRequest(100)
+	m.Phase("beta", 0).AddSelectRequest(SelectReq{ScanBytes: 100, ReturnedBytes: 10, Rows: 1, ExprNodes: 1})
+	r := m.Report()
+	if !strings.Contains(r, "alpha") || !strings.Contains(r, "beta") {
+		t.Errorf("report missing phases:\n%s", r)
+	}
+	// beta (stage 0) should be listed before alpha (stage 1)
+	if strings.Index(r, "beta") > strings.Index(r, "alpha") {
+		t.Error("report should sort by stage")
+	}
+}
+
+// Property: runtime is monotonic in added work.
+func TestQuickRuntimeMonotonic(t *testing.T) {
+	f := func(scans []uint32) bool {
+		m := NewMetrics(DefaultConfig())
+		p := m.Phase("s", 0)
+		prev := 0.0
+		for _, s := range scans {
+			p.AddSelectRequest(SelectReq{ScanBytes: int64(s % 1e6), ReturnedBytes: int64(s % 1e3), Rows: int64(s % 1e4), ExprNodes: 3})
+			now := m.RuntimeSeconds()
+			if now+1e-12 < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost components are non-negative and scale with bytes.
+func TestQuickCostNonNegative(t *testing.T) {
+	f := func(scan, ret uint32) bool {
+		m := NewMetrics(DefaultConfig())
+		m.Phase("s", 0).AddSelectRequest(SelectReq{ScanBytes: int64(scan), ReturnedBytes: int64(ret)})
+		c := m.Cost(DefaultPricing())
+		return c.ComputeUSD >= 0 && c.ScanUSD >= 0 && c.TransferUSD >= 0 && c.RequestUSD >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

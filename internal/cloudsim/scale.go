@@ -1,0 +1,72 @@
+package cloudsim
+
+import "strings"
+
+// Scale maps a laptop-sized run onto the paper's testbed dimensions so the
+// virtual clock and the cost model report paper-scale numbers.
+//
+//   - DataRatio is paperBytes/actualBytes (e.g. TPC-H SF 10 generated at
+//     SF 0.01 gives 1000). Every data-proportional term — transfer, parse,
+//     scan volume, row work, per-row requests — is multiplied by it.
+//   - PartRatio is paperPartitions/actualPartitions (the paper partitions
+//     tables 32 ways; tests may use 4, giving 8). Per-partition streams
+//     (storage-side scan time, storage-side expression evaluation) divide
+//     the data ratio by it, and per-partition bulk requests multiply by it.
+//
+// The composition keeps the bottleneck structure intact: selectivities,
+// row mixes, and per-row request counts all scale linearly with data,
+// while per-partition stream times land exactly where a 32-way-partitioned
+// full-size table would put them.
+type Scale struct {
+	DataRatio float64
+	PartRatio float64
+}
+
+// Unit is the identity scale (measure what actually ran).
+func Unit() Scale { return Scale{DataRatio: 1, PartRatio: 1} }
+
+func (s Scale) normalized() Scale {
+	if s.DataRatio <= 0 {
+		s.DataRatio = 1
+	}
+	if s.PartRatio <= 0 {
+		s.PartRatio = 1
+	}
+	return s
+}
+
+// perPartition is the factor converting actual per-partition quantities to
+// paper-scale per-partition quantities.
+func (s Scale) perPartition() float64 { return s.DataRatio / s.PartRatio }
+
+// PhaseSeconds sums the virtual durations of the phases whose name starts
+// with prefix (phases in different stages are sequential, so summation is
+// the right composition). Used by experiments that report per-phase
+// breakdowns, e.g. Fig. 6 (server- vs S3-side time) and Fig. 8 (sampling
+// vs scanning phase).
+func (m *Metrics) PhaseSeconds(prefix string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total float64
+	for _, p := range m.phases {
+		if strings.HasPrefix(p.Name, prefix) {
+			total += p.snapshot().seconds(m.cfg, m.scale)
+		}
+	}
+	return total
+}
+
+// PhaseReturnedBytes sums the paper-scale bytes returned to the server
+// (select returns plus GETs) by phases whose name starts with prefix.
+func (m *Metrics) PhaseReturnedBytes(prefix string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, p := range m.phases {
+		if strings.HasPrefix(p.Name, prefix) {
+			t := p.snapshot()
+			total += t.selectReturnBytes + t.getBytes
+		}
+	}
+	return int64(float64(total) * m.scale.DataRatio)
+}

@@ -1,0 +1,209 @@
+// Package csvx implements CSV encoding and decoding with exact byte-offset
+// tracking. PushdownDB's index tables (Section IV-A of the paper) store the
+// first and last byte offset of every data row so that individual rows can
+// be fetched with ranged GET requests; the standard library csv package
+// does not expose offsets, hence this implementation.
+//
+// The dialect is RFC-4180-ish: comma separator, \n row terminator, fields
+// containing comma, quote or newline are double-quoted with "" escaping.
+package csvx
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Writer encodes rows and tracks the byte offset of each.
+type Writer struct {
+	w   io.Writer
+	off int64
+	buf []byte
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Offset returns the byte offset the next row will start at.
+func (w *Writer) Offset() int64 { return w.off }
+
+// WriteRow writes one row and returns the inclusive byte range [first, last]
+// of the row's bytes excluding the trailing newline, matching the paper's
+// |value|first_byte_offset|last_byte_offset| index-table convention.
+func (w *Writer) WriteRow(fields []string) (first, last int64, err error) {
+	w.buf = w.buf[:0]
+	for i, f := range fields {
+		if i > 0 {
+			w.buf = append(w.buf, ',')
+		}
+		w.buf = appendField(w.buf, f)
+	}
+	rowLen := int64(len(w.buf))
+	w.buf = append(w.buf, '\n')
+	if _, err := w.w.Write(w.buf); err != nil {
+		return 0, 0, err
+	}
+	first = w.off
+	last = w.off + rowLen - 1
+	w.off += rowLen + 1
+	return first, last, nil
+}
+
+func appendField(buf []byte, f string) []byte {
+	if !strings.ContainsAny(f, ",\"\n\r") {
+		return append(buf, f...)
+	}
+	buf = append(buf, '"')
+	for i := 0; i < len(f); i++ {
+		if f[i] == '"' {
+			buf = append(buf, '"', '"')
+		} else {
+			buf = append(buf, f[i])
+		}
+	}
+	return append(buf, '"')
+}
+
+// Encode renders rows (with optional header) to a byte slice.
+func Encode(header []string, rows [][]string) []byte {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if header != nil {
+		_, _, _ = w.WriteRow(header)
+	}
+	for _, r := range rows {
+		_, _, _ = w.WriteRow(r)
+	}
+	return []byte(sb.String())
+}
+
+// Scanner iterates rows of CSV data, reporting each row's byte range.
+type Scanner struct {
+	data   []byte
+	pos    int64
+	fields []string
+	first  int64
+	last   int64
+	err    error
+}
+
+// NewScanner returns a scanner over data.
+func NewScanner(data []byte) *Scanner { return &Scanner{data: data} }
+
+// Scan advances to the next row, returning false at end of input or error.
+func (s *Scanner) Scan() bool {
+	if s.err != nil || s.pos >= int64(len(s.data)) {
+		return false
+	}
+	s.fields = s.fields[:0]
+	s.first = s.pos
+	var field strings.Builder
+	inQuotes := false
+	startedQuoted := false
+	fieldHasData := false
+	flush := func() {
+		s.fields = append(s.fields, field.String())
+		field.Reset()
+		fieldHasData = false
+		startedQuoted = false
+	}
+	for s.pos < int64(len(s.data)) {
+		c := s.data[s.pos]
+		if inQuotes {
+			if c == '"' {
+				if s.pos+1 < int64(len(s.data)) && s.data[s.pos+1] == '"' {
+					field.WriteByte('"')
+					s.pos += 2
+					continue
+				}
+				inQuotes = false
+				s.pos++
+				continue
+			}
+			field.WriteByte(c)
+			s.pos++
+			continue
+		}
+		switch c {
+		case '"':
+			if !fieldHasData {
+				inQuotes = true
+				startedQuoted = true
+				fieldHasData = true
+			} else {
+				field.WriteByte(c)
+			}
+			s.pos++
+		case ',':
+			flush()
+			s.pos++
+		case '\r':
+			s.pos++
+		case '\n':
+			s.last = s.pos - 1
+			if s.last >= 1 && s.data[s.last] == '\r' {
+				s.last--
+			}
+			s.pos++
+			flush()
+			return true
+		default:
+			field.WriteByte(c)
+			fieldHasData = true
+			s.pos++
+		}
+	}
+	if inQuotes {
+		s.err = fmt.Errorf("csvx: unterminated quoted field at offset %d", s.first)
+		return false
+	}
+	_ = startedQuoted
+	// Final row without trailing newline.
+	s.last = int64(len(s.data)) - 1
+	flush()
+	return true
+}
+
+// Fields returns the current row's fields; valid until the next Scan.
+func (s *Scanner) Fields() []string { return s.fields }
+
+// Range returns the inclusive byte range of the current row (newline
+// excluded).
+func (s *Scanner) Range() (first, last int64) { return s.first, s.last }
+
+// Err reports a scan error, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Decode parses all rows. If hasHeader, the first row is returned
+// separately.
+func Decode(data []byte, hasHeader bool) (header []string, rows [][]string, err error) {
+	sc := NewScanner(data)
+	for sc.Scan() {
+		row := make([]string, len(sc.Fields()))
+		copy(row, sc.Fields())
+		if hasHeader && header == nil {
+			header = row
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return header, rows, sc.Err()
+}
+
+// RowRanges parses data and returns the byte range of every data row
+// (skipping the header when hasHeader). Index-table construction uses this.
+func RowRanges(data []byte, hasHeader bool) ([][2]int64, error) {
+	sc := NewScanner(data)
+	var out [][2]int64
+	first := true
+	for sc.Scan() {
+		if hasHeader && first {
+			first = false
+			continue
+		}
+		first = false
+		a, b := sc.Range()
+		out = append(out, [2]int64{a, b})
+	}
+	return out, sc.Err()
+}

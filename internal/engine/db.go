@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/expr"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+)
+
+// DB is a PushdownDB instance bound to one bucket of the storage service.
+type DB struct {
+	Client  s3api.Client
+	Bucket  string
+	Cfg     cloudsim.Config
+	Pricing cloudsim.Pricing
+	// Sim maps this run onto the paper's testbed dimensions for the
+	// virtual clock and pricing (unit scale by default).
+	Sim cloudsim.Scale
+	// Caps are the S3 Select capabilities the storage service advertises;
+	// the Section-X extensions are off by default, matching 2020 AWS.
+	Caps selectengine.Capabilities
+	// MaxScanParallel bounds concurrent partition requests (compute node
+	// connection limit). Zero means one goroutine per partition.
+	MaxScanParallel int
+}
+
+// Open returns a DB with the paper's default cost model and pricing.
+func Open(client s3api.Client, bucket string) *DB {
+	return &DB{
+		Client:  client,
+		Bucket:  bucket,
+		Cfg:     cloudsim.DefaultConfig(),
+		Pricing: cloudsim.DefaultPricing(),
+		Sim:     cloudsim.Unit(),
+	}
+}
+
+// Exec is the context of a single query execution: a virtual clock plus a
+// stage counter. Operators allocate stages in order; phases within one
+// stage overlap on the clock.
+type Exec struct {
+	db *DB
+	// Metrics is the query's virtual clock and cost accumulator.
+	Metrics *cloudsim.Metrics
+
+	mu    sync.Mutex
+	stage int
+}
+
+// NewExec starts a query execution context.
+func (db *DB) NewExec() *Exec {
+	return &Exec{db: db, Metrics: cloudsim.NewMetricsScaled(db.Cfg, db.Sim)}
+}
+
+// DB returns the owning database.
+func (e *Exec) DB() *DB { return e.db }
+
+// NextStage allocates the next sequential stage index.
+func (e *Exec) NextStage() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stage
+	e.stage++
+	return s
+}
+
+// RuntimeSeconds returns the query's virtual runtime so far.
+func (e *Exec) RuntimeSeconds() float64 { return e.Metrics.RuntimeSeconds() }
+
+// Cost returns the query's cost so far under the DB's pricing.
+func (e *Exec) Cost() cloudsim.CostBreakdown { return e.Metrics.Cost(e.db.Pricing) }
+
+// parts lists the partition objects of a table.
+func (e *Exec) parts(table string) ([]string, error) {
+	keys, err := e.db.Client.List(e.db.Bucket, table+"/part")
+	if err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("engine: table %q has no partitions in bucket %q", table, e.db.Bucket)
+	}
+	return keys, nil
+}
+
+// forEachPart runs fn over every partition with bounded parallelism,
+// collecting the first error.
+func (e *Exec) forEachPart(keys []string, fn func(i int, key string) error) error {
+	limit := e.db.MaxScanParallel
+	if limit <= 0 || limit > len(keys) {
+		limit = len(keys)
+	}
+	sem := make(chan struct{}, limit)
+	errCh := make(chan error, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i, k); err != nil {
+				errCh <- err
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// LoadTable fetches every partition with plain GETs and parses the CSV on
+// the server — the paper's "server-side" baseline path.
+func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, error) {
+	keys, err := e.parts(table)
+	if err != nil {
+		return nil, err
+	}
+	phase := e.Metrics.Phase(phaseName, stage)
+	rels := make([]*Relation, len(keys))
+	err = e.forEachPart(keys, func(i int, key string) error {
+		data, err := e.db.Client.Get(e.db.Bucket, key)
+		if err != nil {
+			return err
+		}
+		phase.AddGetRequest(int64(len(data)))
+		header, rows, err := csvx.Decode(data, true)
+		if err != nil {
+			return err
+		}
+		rels[i] = FromStrings(header, rows)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{}
+	for _, r := range rels {
+		if err := out.Concat(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// selectOnParts runs the same S3 Select SQL against every partition and
+// returns the per-partition results, recording request metrics.
+func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate func(i int, req *selectengine.Request)) ([]*selectengine.Result, error) {
+	keys, err := e.parts(table)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*selectengine.Result, len(keys))
+	err = e.forEachPart(keys, func(i int, key string) error {
+		req := selectengine.Request{SQL: sql, HasHeader: true, Capabilities: e.db.Caps}
+		if mutate != nil {
+			mutate(i, &req)
+		}
+		res, err := e.db.Client.Select(e.db.Bucket, key, req)
+		if err != nil {
+			return fmt.Errorf("engine: select on %s: %w", key, err)
+		}
+		phase.AddSelectRequest(selectReqStats(res.Stats))
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SelectRows runs sql on every partition of table and concatenates the
+// returned rows into a typed relation.
+func (e *Exec) SelectRows(phaseName string, stage int, table, sql string) (*Relation, error) {
+	phase := e.Metrics.Phase(phaseName, stage)
+	results, err := e.selectOnParts(phase, table, sql, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{}
+	for _, res := range results {
+		if err := out.Concat(FromStrings(res.Columns, res.Rows)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SelectRowsLimit runs sql with a per-partition LIMIT so that the combined
+// row count approaches total (used by sampling operators).
+func (e *Exec) SelectRowsLimit(phaseName string, stage int, table, sql string, total int64) (*Relation, error) {
+	keys, err := e.parts(table)
+	if err != nil {
+		return nil, err
+	}
+	per := total / int64(len(keys))
+	if per < 1 {
+		per = 1
+	}
+	limited := fmt.Sprintf("%s LIMIT %d", sql, per)
+	phase := e.Metrics.Phase(phaseName, stage)
+	results, err := e.selectOnParts(phase, table, limited, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{}
+	for _, res := range results {
+		if err := out.Concat(FromStrings(res.Columns, res.Rows)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SelectAgg runs an aggregate-only sql on every partition and merges the
+// single-row results column-wise using the given aggregate functions
+// (SUM and COUNT merge by addition, MIN/MAX by comparison).
+func (e *Exec) SelectAgg(phaseName string, stage int, table, sql string, merge []sqlparse.AggFunc) (Row, error) {
+	phase := e.Metrics.Phase(phaseName, stage)
+	results, err := e.selectOnParts(phase, table, sql, nil)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*expr.AggState, len(merge))
+	for i, fn := range merge {
+		// COUNT partial results merge by summation.
+		if fn == sqlparse.AggCount {
+			fn = sqlparse.AggSum
+		}
+		states[i] = expr.NewAggState(fn)
+	}
+	for _, res := range results {
+		if len(res.Rows) != 1 {
+			return nil, fmt.Errorf("engine: aggregate select returned %d rows", len(res.Rows))
+		}
+		if len(res.Rows[0]) != len(merge) {
+			return nil, fmt.Errorf("engine: aggregate select returned %d columns, expected %d",
+				len(res.Rows[0]), len(merge))
+		}
+		for j, f := range res.Rows[0] {
+			if err := states[j].Add(value.FromCSV(f)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make(Row, len(merge))
+	for j, st := range states {
+		out[j] = st.Final()
+	}
+	return out, nil
+}
+
+// TableHeader reads a table's column names with a small ranged GET against
+// the first partition (the partitions all share a header row).
+func (e *Exec) TableHeader(phaseName string, stage int, table string) ([]string, error) {
+	keys, err := e.parts(table)
+	if err != nil {
+		return nil, err
+	}
+	const headerProbe = 4096
+	data, err := e.db.Client.GetRange(e.db.Bucket, keys[0], 0, headerProbe-1)
+	if err != nil {
+		return nil, err
+	}
+	phase := e.Metrics.Phase(phaseName, stage)
+	phase.AddGetRequest(int64(len(data)))
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("engine: no header row within first %d bytes of %s", headerProbe, keys[0])
+	}
+	header, _, err := csvx.Decode(data[:nl+1], true)
+	return header, err
+}
+
+// selectReqStats converts select-engine stats into the cost model's
+// request record.
+func selectReqStats(s selectengine.Stats) cloudsim.SelectReq {
+	return cloudsim.SelectReq{
+		ScanBytes:       s.BytesScanned,
+		ReturnedBytes:   s.BytesReturned,
+		Rows:            s.RowsScanned,
+		ExprNodes:       s.ExprNodes,
+		Cells:           s.CellsDecoded,
+		DecompressBytes: s.DecompressBytes,
+	}
+}
+
+// sqlQuote renders a string as a SQL literal.
+func sqlQuote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// sqlLiteral renders a group value for embedding in a CASE/NOT IN clause:
+// bare when numeric, quoted otherwise.
+func sqlLiteral(s string) string {
+	if _, err := value.CastFloat(value.Str(s)); err == nil && s != "" {
+		return s
+	}
+	return sqlQuote(s)
+}

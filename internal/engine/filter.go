@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"pushdowndb/internal/csvx"
+)
+
+// Section IV: filter strategies.
+
+// ServerSideFilter loads the whole table with plain GETs and filters
+// locally — the baseline of Fig. 1.
+func (e *Exec) ServerSideFilter(table, predicate, projection string) (*Relation, error) {
+	stage := e.NextStage()
+	rel, err := e.LoadTable("load "+table, stage, table)
+	if err != nil {
+		return nil, err
+	}
+	e.Metrics.Phase("load "+table, stage).AddServerRows(int64(len(rel.Rows)))
+	filtered, err := FilterLocal(rel, predicate)
+	if err != nil {
+		return nil, err
+	}
+	if projection == "" || projection == "*" {
+		return filtered, nil
+	}
+	return ProjectLocal(filtered, projection)
+}
+
+// S3SideFilter pushes both the predicate and the projection into S3
+// Select — the "S3-side filter" of Fig. 1.
+func (e *Exec) S3SideFilter(table, predicate, projection string) (*Relation, error) {
+	if projection == "" {
+		projection = "*"
+	}
+	sql := "SELECT " + projection + " FROM S3Object"
+	if predicate != "" {
+		sql += " WHERE " + predicate
+	}
+	stage := e.NextStage()
+	return e.SelectRows("s3 filter "+table, stage, table, sql)
+}
+
+// IndexFilterOptions tunes the Section IV-A index strategy.
+type IndexFilterOptions struct {
+	// MultiRange batches all byte ranges of one partition into a single
+	// multi-range GET (the paper's Suggestion 1) instead of one request
+	// per selected row.
+	MultiRange bool
+}
+
+// IndexFilter resolves a predicate over the indexed column against the
+// index table (phase 1), then fetches the matching data rows with ranged
+// GETs (phase 2) — Section IV-A. indexedPredicate is expressed over the
+// index table's "value" column, e.g. "value <= 100".
+func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFilterOptions) (*Relation, error) {
+	idxTable := IndexTableName(table, column)
+	dataKeys, err := e.parts(table)
+	if err != nil {
+		return nil, err
+	}
+	idxKeys, err := e.parts(idxTable)
+	if err != nil {
+		return nil, err
+	}
+	if len(idxKeys) != len(dataKeys) {
+		return nil, fmt.Errorf("engine: index table %s has %d partitions, data table %s has %d",
+			idxTable, len(idxKeys), table, len(dataKeys))
+	}
+
+	// Phase 1: push the predicate to the index table via S3 Select.
+	stage1 := e.NextStage()
+	idxPhase := e.Metrics.Phase("index lookup", stage1)
+	sql := "SELECT first_byte_offset, last_byte_offset FROM S3Object WHERE " + indexedPredicate
+	idxResults, err := e.selectOnParts(idxPhase, idxTable, sql, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// The header comes from a tiny ranged GET (we never load whole
+	// partitions in this strategy).
+	header, err := e.TableHeader("index lookup", stage1, table)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: fetch each matching row by byte range.
+	stage2 := e.NextStage()
+	fetch := e.Metrics.Phase("row fetch", stage2)
+	out := &Relation{Cols: header}
+	partRows := make([][][]string, len(dataKeys))
+	err = e.forEachPart(dataKeys, func(i int, key string) error {
+		res := idxResults[i]
+		ranges := make([][2]int64, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			first, err1 := strconv.ParseInt(r[0], 10, 64)
+			last, err2 := strconv.ParseInt(r[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("engine: bad index entry %v", r)
+			}
+			ranges = append(ranges, [2]int64{first, last})
+		}
+		if len(ranges) == 0 {
+			return nil
+		}
+		var frags [][]byte
+		if opts.MultiRange {
+			var err error
+			frags, err = e.db.Client.GetRanges(e.db.Bucket, key, ranges)
+			if err != nil {
+				return err
+			}
+			var total int64
+			for _, f := range frags {
+				total += int64(len(f))
+			}
+			fetch.AddGetRequest(total)
+		} else {
+			frags = make([][]byte, len(ranges))
+			for j, rg := range ranges {
+				frag, err := e.db.Client.GetRange(e.db.Bucket, key, rg[0], rg[1])
+				if err != nil {
+					return err
+				}
+				fetch.AddRowFetchRequest(int64(len(frag)))
+				frags[j] = frag
+			}
+		}
+		var rows [][]string
+		for _, frag := range frags {
+			_, rs, err := csvx.Decode(frag, false)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, rs...)
+		}
+		partRows[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range partRows {
+		if err := out.Concat(FromStrings(header, rows)); err != nil {
+			return nil, err
+		}
+	}
+	out.Cols = header
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"pushdowndb/internal/colformat"
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/store"
+	"pushdowndb/internal/value"
+)
+
+func mustClient(st *store.Store) s3api.Client { return s3api.NewInProc(st) }
+
+func TestPartitionTableSplitsEvenly(t *testing.T) {
+	st := store.New()
+	var rows [][]string
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []string{fmt.Sprint(i)})
+	}
+	if err := PartitionTable(st, "b", "t", []string{"x"}, rows, 4); err != nil {
+		t.Fatal(err)
+	}
+	parts := st.TableParts("b", "t")
+	if len(parts) != 4 {
+		t.Fatalf("parts = %v", parts)
+	}
+	// Every partition carries the header; rows are disjoint and complete.
+	seen := map[string]bool{}
+	for _, key := range parts {
+		data, _ := st.Get("b", key)
+		header, rs, err := csvx.Decode(data, true)
+		if err != nil || header[0] != "x" {
+			t.Fatalf("partition %s: %v %v", key, header, err)
+		}
+		for _, r := range rs {
+			if seen[r[0]] {
+				t.Fatalf("duplicate row %v", r)
+			}
+			seen[r[0]] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("rows across partitions = %d", len(seen))
+	}
+}
+
+func TestPartitionTableMorePartsThanRows(t *testing.T) {
+	st := store.New()
+	if err := PartitionTable(st, "b", "t", []string{"x"}, [][]string{{"1"}}, 8); err != nil {
+		t.Fatal(err)
+	}
+	// All partitions exist (some empty but with headers).
+	parts := st.TableParts("b", "t")
+	if len(parts) != 8 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	db := Open(mustClient(st), "b")
+	rel, err := db.NewExec().SelectRows("s", 0, "t", "SELECT * FROM S3Object")
+	if err != nil || len(rel.Rows) != 1 {
+		t.Fatalf("scan over sparse partitions: %v %v", rel, err)
+	}
+}
+
+func TestBuildIndexTableOffsets(t *testing.T) {
+	st := store.New()
+	rows := [][]string{{"10", "a"}, {"20", "b,with,commas"}, {"30", "c"}}
+	if err := PartitionTable(st, "b", "t", []string{"k", "s"}, rows, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildIndexTable(st, "b", "t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	idxData, err := st.Get("b", store.PartitionKey(IndexTableName("t", "k"), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, idxRows, err := csvx.Decode(idxData, true)
+	if err != nil || len(idxRows) != 3 {
+		t.Fatalf("index rows = %v, %v", idxRows, err)
+	}
+	// Each offset range must slice the data partition back to its row.
+	data, _ := st.Get("b", store.PartitionKey("t", 0))
+	for i, ir := range idxRows {
+		first, _ := strconv.ParseInt(ir[1], 10, 64)
+		last, _ := strconv.ParseInt(ir[2], 10, 64)
+		frag := data[first : last+1]
+		_, fr, err := csvx.Decode(frag, false)
+		if err != nil || len(fr) != 1 {
+			t.Fatalf("row %d fragment %q: %v", i, frag, err)
+		}
+		if fr[0][0] != rows[i][0] || fr[0][1] != rows[i][1] {
+			t.Fatalf("row %d: fragment %v != %v", i, fr[0], rows[i])
+		}
+		if ir[0] != rows[i][0] {
+			t.Fatalf("index value %q != %q", ir[0], rows[i][0])
+		}
+	}
+}
+
+func TestBuildIndexTableErrors(t *testing.T) {
+	st := store.New()
+	if err := BuildIndexTable(st, "b", "missing", "k"); err == nil {
+		t.Error("missing table should error")
+	}
+	_ = PartitionTable(st, "b", "t", []string{"a"}, [][]string{{"1"}}, 1)
+	if err := BuildIndexTable(st, "b", "t", "nosuch"); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestPartitionTableColumnar(t *testing.T) {
+	st := store.New()
+	schema := colformat.Schema{{Name: "x", Kind: value.KindInt}}
+	var rows [][]value.Value
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []value.Value{value.Int(int64(i))})
+	}
+	if err := PartitionTableColumnar(st, "b", "t", schema, rows, 3, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	db := Open(mustClient(st), "b")
+	rel, err := db.NewExec().SelectRows("s", 0, "t", "SELECT x FROM S3Object WHERE x >= 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) != 5 {
+		t.Fatalf("rows = %v", rel.Rows)
+	}
+}
+
+func TestIndexTableName(t *testing.T) {
+	if IndexTableName("lineitem", "l_orderkey") != "lineitem_index_l_orderkey" {
+		t.Error("index table naming changed — Fig. 1 setup depends on it")
+	}
+}

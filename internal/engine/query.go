@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"pushdowndb/internal/sqlparse"
+)
+
+// Query is PushdownDB's minimal SQL front end (the paper's Section III
+// "minimal optimizer"): single-table SELECTs with WHERE, GROUP BY,
+// ORDER BY and LIMIT. Selection and projection are always pushed into
+// S3 Select; grouping, ordering and limiting run on the server. Join
+// queries use the explicit operator APIs (BaselineJoin/BloomJoin/...).
+func (db *DB) Query(sql string) (*Relation, *Exec, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := db.NewExec()
+	rel, err := e.runSelect(sel)
+	return rel, e, err
+}
+
+func (e *Exec) runSelect(sel *sqlparse.Select) (*Relation, error) {
+	table := sel.Table
+	simple := len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 && !sel.HasAggregates()
+	if simple {
+		// Fully pushable: selection, projection and LIMIT all go to S3.
+		pushed := &sqlparse.Select{
+			Items: sel.Items, Table: "S3Object",
+			Where: sel.Where, Limit: sel.Limit,
+		}
+		rel, err := e.SelectRows("scan "+table, e.NextStage(), table, pushed.String())
+		if err != nil {
+			return nil, err
+		}
+		if sel.Limit >= 0 {
+			rel = LimitLocal(rel, int(sel.Limit))
+		}
+		return rel, nil
+	}
+
+	// Push selection plus the projection of every referenced column; the
+	// rest of the query runs locally.
+	cols := queryColumns(sel)
+	proj := "*"
+	if len(cols) > 0 {
+		proj = strings.Join(cols, ", ")
+	}
+	pushedSQL := "SELECT " + proj + " FROM S3Object"
+	if sel.Where != nil {
+		pushedSQL += " WHERE " + sel.Where.String()
+	}
+	rel, err := e.SelectRows("scan "+table, e.NextStage(), table, pushedSQL)
+	if err != nil {
+		return nil, err
+	}
+	phase := e.Metrics.Phase("local", e.NextStage())
+	phase.AddServerRows(int64(len(rel.Rows)))
+
+	items := renderItems(sel.Items)
+	switch {
+	case len(sel.GroupBy) > 0:
+		groupBy := renderExprs(sel.GroupBy)
+		rel, err = GroupByLocal(rel, groupBy, items)
+	case sel.HasAggregates():
+		rel, err = AggregateLocal(rel, items)
+	default:
+		rel, err = ProjectLocal(rel, items)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(sel.OrderBy) > 0 {
+		var parts []string
+		for _, o := range sel.OrderBy {
+			parts = append(parts, o.String())
+		}
+		rel, err = SortLocal(rel, strings.Join(parts, ", "))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sel.Limit >= 0 {
+		rel = LimitLocal(rel, int(sel.Limit))
+	}
+	return rel, nil
+}
+
+// queryColumns collects every column the query references, for projection
+// pushdown; returns nil when a * appears anywhere.
+func queryColumns(sel *sqlparse.Select) []string {
+	var cols []string
+	seen := map[string]bool{}
+	add := func(names []string) {
+		for _, n := range names {
+			key := strings.ToLower(n)
+			if !seen[key] {
+				seen[key] = true
+				cols = append(cols, n)
+			}
+		}
+	}
+	for _, it := range sel.Items {
+		if _, isStar := it.Expr.(*sqlparse.Star); isStar {
+			return nil
+		}
+		add(sqlparse.Columns(it.Expr))
+	}
+	if sel.Where != nil {
+		add(sqlparse.Columns(sel.Where))
+	}
+	for _, g := range sel.GroupBy {
+		add(sqlparse.Columns(g))
+	}
+	for _, o := range sel.OrderBy {
+		// ORDER BY may reference output aliases, which are not table
+		// columns; only push genuine table columns that parse as such.
+		for _, c := range sqlparse.Columns(o.Expr) {
+			if isAlias(sel, c) {
+				continue
+			}
+			add([]string{c})
+		}
+	}
+	return cols
+}
+
+func isAlias(sel *sqlparse.Select, name string) bool {
+	for _, it := range sel.Items {
+		if strings.EqualFold(it.Alias, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func renderItems(items []sqlparse.SelectItem) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func renderExprs(exprs []sqlparse.Expr) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Explain returns a short description of how Query would execute sql.
+func (db *DB) Explain(sql string) (string, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	simple := len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 && !sel.HasAggregates()
+	if simple {
+		fmt.Fprintf(&b, "S3 Select (full pushdown): %s\n", sel.String())
+		return b.String(), nil
+	}
+	cols := queryColumns(sel)
+	proj := "*"
+	if len(cols) > 0 {
+		proj = strings.Join(cols, ", ")
+	}
+	fmt.Fprintf(&b, "S3 Select (selection+projection pushdown): SELECT %s FROM S3Object", proj)
+	if sel.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", sel.Where.String())
+	}
+	b.WriteByte('\n')
+	if len(sel.GroupBy) > 0 {
+		fmt.Fprintf(&b, "server: GROUP BY %s\n", renderExprs(sel.GroupBy))
+	} else if sel.HasAggregates() {
+		fmt.Fprintf(&b, "server: aggregate\n")
+	}
+	if len(sel.OrderBy) > 0 {
+		fmt.Fprintf(&b, "server: ORDER BY\n")
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&b, "server: LIMIT %d\n", sel.Limit)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,345 @@
+// Package engine implements PushdownDB: a row-based analytical query
+// engine (Section III of the paper) whose operators are decomposed to push
+// work into the storage service via S3 Select. The package provides
+//
+//   - local relational operators (filter, project, hash join, group-by,
+//     sort, top-K) over in-memory relations;
+//   - metered scan primitives (whole-table GET loads, parallel S3 Select
+//     scans, ranged GETs) that record their activity in a cloudsim.Metrics
+//     virtual clock;
+//   - the paper's operator decompositions: S3-side filtering and indexing
+//     (Section IV), baseline/filtered/Bloom joins (Section V), server-side/
+//     filtered/S3-side/hybrid group-by (Section VI) and server-side/
+//     sampling top-K (Section VII).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushdowndb/internal/expr"
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+)
+
+// Row is one tuple.
+type Row []value.Value
+
+// Relation is a materialized set of rows with named columns.
+type Relation struct {
+	Cols []string
+	Rows []Row
+}
+
+// ColIndex resolves a column name case-insensitively, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Env returns an expr.Env view of row i.
+func (r *Relation) Env(i int) expr.Env {
+	return &rowEnv{rel: r, row: r.Rows[i]}
+}
+
+type rowEnv struct {
+	rel *Relation
+	row Row
+}
+
+func (e *rowEnv) Lookup(_, name string) (value.Value, bool) {
+	i := e.rel.ColIndex(name)
+	if i < 0 || i >= len(e.row) {
+		return value.Null(), false
+	}
+	return e.row[i], true
+}
+
+// FromStrings builds a typed relation from select-engine results.
+func FromStrings(cols []string, rows [][]string) *Relation {
+	rel := &Relation{Cols: cols}
+	rel.Rows = make([]Row, len(rows))
+	for i, sr := range rows {
+		row := make(Row, len(sr))
+		for j, f := range sr {
+			row[j] = value.FromCSV(f)
+		}
+		rel.Rows[i] = row
+	}
+	return rel
+}
+
+// FilterLocal keeps the rows matching the SQL predicate.
+func FilterLocal(rel *Relation, predicate string) (*Relation, error) {
+	if predicate == "" {
+		return rel, nil
+	}
+	pred, err := sqlparse.ParseExpr(predicate)
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad predicate %q: %w", predicate, err)
+	}
+	ev := expr.New()
+	out := &Relation{Cols: rel.Cols}
+	for i := range rel.Rows {
+		ok, err := ev.EvalBool(pred, rel.Env(i))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, rel.Rows[i])
+		}
+	}
+	return out, nil
+}
+
+// ProjectLocal evaluates the comma-separated select items over each row.
+func ProjectLocal(rel *Relation, items string) (*Relation, error) {
+	sel, err := sqlparse.Parse("SELECT " + items + " FROM t")
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad projection %q: %w", items, err)
+	}
+	ev := expr.New()
+	out := &Relation{}
+	for _, it := range sel.Items {
+		if _, isStar := it.Expr.(*sqlparse.Star); isStar {
+			out.Cols = append(out.Cols, rel.Cols...)
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*sqlparse.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		out.Cols = append(out.Cols, name)
+	}
+	for i := range rel.Rows {
+		env := rel.Env(i)
+		var row Row
+		for _, it := range sel.Items {
+			if _, isStar := it.Expr.(*sqlparse.Star); isStar {
+				row = append(row, rel.Rows[i]...)
+				continue
+			}
+			v, err := ev.Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// SortLocal orders rows by the given keys.
+func SortLocal(rel *Relation, orderBy string) (*Relation, error) {
+	sel, err := sqlparse.Parse("SELECT * FROM t ORDER BY " + orderBy)
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad order by %q: %w", orderBy, err)
+	}
+	ev := expr.New()
+	type keyed struct {
+		keys Row
+		row  Row
+	}
+	ks := make([]keyed, len(rel.Rows))
+	for i := range rel.Rows {
+		env := rel.Env(i)
+		keys := make(Row, len(sel.OrderBy))
+		for j, o := range sel.OrderBy {
+			v, err := ev.Eval(o.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			keys[j] = v
+		}
+		ks[i] = keyed{keys: keys, row: rel.Rows[i]}
+	}
+	sort.SliceStable(ks, func(a, b int) bool {
+		for j, o := range sel.OrderBy {
+			c := value.Compare(ks[a].keys[j], ks[b].keys[j])
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	out := &Relation{Cols: rel.Cols, Rows: make([]Row, len(ks))}
+	for i, k := range ks {
+		out.Rows[i] = k.row
+	}
+	return out, nil
+}
+
+// LimitLocal truncates to n rows.
+func LimitLocal(rel *Relation, n int) *Relation {
+	if n < 0 || n >= len(rel.Rows) {
+		return rel
+	}
+	return &Relation{Cols: rel.Cols, Rows: rel.Rows[:n]}
+}
+
+// HashJoinLocal joins left and right on equality of leftKey/rightKey. The
+// output concatenates both sides' columns.
+func HashJoinLocal(left, right *Relation, leftKey, rightKey string) (*Relation, error) {
+	li, ri := left.ColIndex(leftKey), right.ColIndex(rightKey)
+	if li < 0 {
+		return nil, fmt.Errorf("engine: join key %q not in left relation %v", leftKey, left.Cols)
+	}
+	if ri < 0 {
+		return nil, fmt.Errorf("engine: join key %q not in right relation %v", rightKey, right.Cols)
+	}
+	build := map[uint64][]int{}
+	for i, row := range left.Rows {
+		if row[li].IsNull() {
+			continue
+		}
+		h := row[li].Hash()
+		build[h] = append(build[h], i)
+	}
+	out := &Relation{Cols: append(append([]string{}, left.Cols...), right.Cols...)}
+	for _, rrow := range right.Rows {
+		if rrow[ri].IsNull() {
+			continue
+		}
+		for _, i := range build[rrow[ri].Hash()] {
+			lrow := left.Rows[i]
+			if !value.Equal(lrow[li], rrow[ri]) {
+				continue
+			}
+			joined := make(Row, 0, len(lrow)+len(rrow))
+			joined = append(joined, lrow...)
+			joined = append(joined, rrow...)
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	return out, nil
+}
+
+// GroupByLocal groups rel by the groupBy expressions and evaluates the
+// aggregate select items, e.g. GroupByLocal(rel, "c_nationkey",
+// "c_nationkey, SUM(c_acctbal) AS total").
+func GroupByLocal(rel *Relation, groupBy, items string) (*Relation, error) {
+	sel, err := sqlparse.Parse("SELECT " + items + " FROM t GROUP BY " + groupBy)
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad group-by: %w", err)
+	}
+	ev := expr.New()
+	itemExprs := make([]sqlparse.Expr, len(sel.Items))
+	for i, it := range sel.Items {
+		itemExprs[i] = it.Expr
+	}
+	type group struct {
+		keyVals Row
+		agg     *expr.AggRunner
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i := range rel.Rows {
+		env := rel.Env(i)
+		var kb strings.Builder
+		keyVals := make(Row, len(sel.GroupBy))
+		for j, g := range sel.GroupBy {
+			v, err := ev.Eval(g, env)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[j] = v
+			kb.WriteString(v.String())
+			kb.WriteByte('\x00')
+		}
+		k := kb.String()
+		gs, ok := groups[k]
+		if !ok {
+			gs = &group{keyVals: keyVals, agg: expr.NewAggRunner(ev, itemExprs)}
+			groups[k] = gs
+			order = append(order, k)
+		}
+		if err := gs.agg.Add(env); err != nil {
+			return nil, err
+		}
+	}
+	out := &Relation{}
+	for _, it := range sel.Items {
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*sqlparse.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		out.Cols = append(out.Cols, name)
+	}
+	for _, k := range order {
+		gs := groups[k]
+		genv := &groupKeyEnv{exprs: sel.GroupBy, vals: gs.keyVals}
+		var row Row
+		for _, it := range sel.Items {
+			v, err := gs.agg.Final(it.Expr, genv)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+type groupKeyEnv struct {
+	exprs []sqlparse.Expr
+	vals  Row
+}
+
+func (g *groupKeyEnv) Lookup(_, name string) (value.Value, bool) {
+	for i, e := range g.exprs {
+		if c, ok := e.(*sqlparse.Column); ok && strings.EqualFold(c.Name, name) {
+			return g.vals[i], true
+		}
+	}
+	return value.Null(), false
+}
+
+// Concat appends other's rows (columns must match in count).
+func (r *Relation) Concat(other *Relation) error {
+	if len(r.Cols) == 0 {
+		r.Cols = other.Cols
+	}
+	if len(other.Cols) != len(r.Cols) {
+		return fmt.Errorf("engine: concat arity mismatch: %v vs %v", r.Cols, other.Cols)
+	}
+	r.Rows = append(r.Rows, other.Rows...)
+	return nil
+}
+
+// String renders a small relation for debugging and examples.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Cols, " | "))
+	b.WriteByte('\n')
+	for i, row := range r.Rows {
+		if i >= 20 {
+			fmt.Fprintf(&b, "... (%d rows total)\n", len(r.Rows))
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		b.WriteString(strings.Join(parts, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

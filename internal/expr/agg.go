@@ -1,0 +1,272 @@
+package expr
+
+import (
+	"fmt"
+
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+)
+
+// AggState accumulates one aggregate function over a stream of rows.
+type AggState struct {
+	fn      sqlparse.AggFunc
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	minV    value.Value
+	maxV    value.Value
+	seen    bool
+}
+
+// NewAggState returns an accumulator for fn.
+func NewAggState(fn sqlparse.AggFunc) *AggState { return &AggState{fn: fn} }
+
+// Add folds one input value into the accumulator. NULLs are ignored, per
+// SQL semantics (COUNT(*) callers pass a non-NULL marker).
+func (a *AggState) Add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.count++
+	switch a.fn {
+	case sqlparse.AggCount:
+		return nil
+	case sqlparse.AggSum, sqlparse.AggAvg:
+		switch v.Kind() {
+		case value.KindInt:
+			if a.isFloat {
+				a.sumF += float64(v.AsInt())
+			} else {
+				a.sumI += v.AsInt()
+			}
+		case value.KindFloat:
+			if !a.isFloat {
+				a.isFloat = true
+				a.sumF = float64(a.sumI)
+			}
+			a.sumF += v.AsFloat()
+		case value.KindString:
+			f, err := value.CastFloat(v)
+			if err != nil {
+				return fmt.Errorf("expr: SUM over non-numeric %q", v.AsString())
+			}
+			if !a.isFloat {
+				a.isFloat = true
+				a.sumF = float64(a.sumI)
+			}
+			a.sumF += f.AsFloat()
+		default:
+			return fmt.Errorf("expr: SUM over %s", v.Kind())
+		}
+	case sqlparse.AggMin:
+		if !a.seen || value.Compare(v, a.minV) < 0 {
+			a.minV = v
+		}
+	case sqlparse.AggMax:
+		if !a.seen || value.Compare(v, a.maxV) > 0 {
+			a.maxV = v
+		}
+	}
+	a.seen = true
+	return nil
+}
+
+// Merge combines another accumulator of the same function (used when
+// partition-parallel scans each keep a local state).
+func (a *AggState) Merge(b *AggState) error {
+	if a.fn != b.fn {
+		return fmt.Errorf("expr: merging mismatched aggregates")
+	}
+	a.count += b.count
+	switch a.fn {
+	case sqlparse.AggSum, sqlparse.AggAvg:
+		if b.isFloat && !a.isFloat {
+			a.isFloat = true
+			a.sumF = float64(a.sumI)
+		}
+		if a.isFloat {
+			if b.isFloat {
+				a.sumF += b.sumF
+			} else {
+				a.sumF += float64(b.sumI)
+			}
+		} else {
+			a.sumI += b.sumI
+		}
+	case sqlparse.AggMin:
+		if b.seen && (!a.seen || value.Compare(b.minV, a.minV) < 0) {
+			a.minV = b.minV
+		}
+	case sqlparse.AggMax:
+		if b.seen && (!a.seen || value.Compare(b.maxV, a.maxV) > 0) {
+			a.maxV = b.maxV
+		}
+	}
+	if b.seen {
+		a.seen = true
+	}
+	return nil
+}
+
+// Final returns the aggregate result. Empty input yields NULL for all
+// functions except COUNT, which yields 0.
+func (a *AggState) Final() value.Value {
+	switch a.fn {
+	case sqlparse.AggCount:
+		return value.Int(a.count)
+	case sqlparse.AggSum:
+		if a.count == 0 {
+			return value.Null()
+		}
+		if a.isFloat {
+			return value.Float(a.sumF)
+		}
+		return value.Int(a.sumI)
+	case sqlparse.AggAvg:
+		if a.count == 0 {
+			return value.Null()
+		}
+		s := a.sumF
+		if !a.isFloat {
+			s = float64(a.sumI)
+		}
+		return value.Float(s / float64(a.count))
+	case sqlparse.AggMin:
+		if !a.seen {
+			return value.Null()
+		}
+		return a.minV
+	case sqlparse.AggMax:
+		if !a.seen {
+			return value.Null()
+		}
+		return a.maxV
+	}
+	return value.Null()
+}
+
+// CollectAggregates extracts every Aggregate node under the given
+// expressions, in evaluation order. The same node appearing twice (shared
+// subtree) is returned once.
+func CollectAggregates(exprs []sqlparse.Expr) []*sqlparse.Aggregate {
+	var out []*sqlparse.Aggregate
+	seen := map[*sqlparse.Aggregate]bool{}
+	var walk func(sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch t := e.(type) {
+		case *sqlparse.Aggregate:
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		case *sqlparse.Binary:
+			walk(t.L)
+			walk(t.R)
+		case *sqlparse.Unary:
+			walk(t.X)
+		case *sqlparse.Case:
+			for _, w := range t.Whens {
+				walk(w.Cond)
+				walk(w.Result)
+			}
+			if t.Else != nil {
+				walk(t.Else)
+			}
+		case *sqlparse.Cast:
+			walk(t.X)
+		case *sqlparse.Call:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *sqlparse.Between:
+			walk(t.X)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *sqlparse.In:
+			walk(t.X)
+			for _, a := range t.List {
+				walk(a)
+			}
+		case *sqlparse.Like:
+			walk(t.X)
+			walk(t.Pattern)
+		case *sqlparse.IsNull:
+			walk(t.X)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return out
+}
+
+// AggRunner evaluates a set of aggregate expressions over a row stream:
+// the arguments of each aggregate are evaluated per row, and Final
+// substitutes aggregate results back into the wrapping expressions.
+type AggRunner struct {
+	ev     *Evaluator
+	aggs   []*sqlparse.Aggregate
+	states []*AggState
+}
+
+// NewAggRunner builds a runner for the aggregates found in items.
+func NewAggRunner(ev *Evaluator, items []sqlparse.Expr) *AggRunner {
+	aggs := CollectAggregates(items)
+	states := make([]*AggState, len(aggs))
+	for i, a := range aggs {
+		states[i] = NewAggState(a.Func)
+	}
+	return &AggRunner{ev: ev, aggs: aggs, states: states}
+}
+
+// Aggregates exposes the aggregate nodes (for pushdown rewriting).
+func (r *AggRunner) Aggregates() []*sqlparse.Aggregate { return r.aggs }
+
+// States exposes the accumulators (for merging partition-local runners).
+func (r *AggRunner) States() []*AggState { return r.states }
+
+// Add folds one row into every aggregate.
+func (r *AggRunner) Add(env Env) error {
+	for i, a := range r.aggs {
+		if _, isStar := a.X.(*sqlparse.Star); isStar {
+			if err := r.states[i].Add(value.Int(1)); err != nil {
+				return err
+			}
+			continue
+		}
+		v, err := r.ev.Eval(a.X, env)
+		if err != nil {
+			return err
+		}
+		if err := r.states[i].Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge combines another runner built over the same expressions.
+func (r *AggRunner) Merge(o *AggRunner) error {
+	if len(o.states) != len(r.states) {
+		return fmt.Errorf("expr: merging mismatched agg runners")
+	}
+	for i := range r.states {
+		if err := r.states[i].Merge(o.states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Final evaluates item with every aggregate replaced by its result.
+func (r *AggRunner) Final(item sqlparse.Expr, env Env) (value.Value, error) {
+	vals := make(map[*sqlparse.Aggregate]value.Value, len(r.aggs))
+	for i, a := range r.aggs {
+		vals[a] = r.states[i].Final()
+	}
+	saved := r.ev.AggValues
+	r.ev.AggValues = vals
+	defer func() { r.ev.AggValues = saved }()
+	return r.ev.Eval(item, env)
+}

@@ -1,0 +1,83 @@
+package expr
+
+import (
+	"testing"
+
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+)
+
+func TestExtract(t *testing.T) {
+	env := MapEnv{"d": value.DateFromYMD(1995, 3, 17), "s": value.Str("1997-12-05")}
+	cases := map[string]int64{
+		"EXTRACT(YEAR FROM d)":  1995,
+		"EXTRACT(MONTH FROM d)": 3,
+		"EXTRACT(DAY FROM d)":   17,
+		"EXTRACT(YEAR FROM s)":  1997, // CSV string form accepted
+		"EXTRACT(MONTH FROM s)": 12,
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, env); got.AsInt() != want {
+			t.Errorf("%s = %v, want %d", src, got, want)
+		}
+	}
+	if v := evalStr(t, "EXTRACT(YEAR FROM NULL)", env); !v.IsNull() {
+		t.Error("EXTRACT over NULL should be NULL")
+	}
+	if evalErr(t, "EXTRACT(YEAR FROM 'junk')", env) == nil {
+		t.Error("EXTRACT over non-date should error")
+	}
+}
+
+func TestExtractParseAndRender(t *testing.T) {
+	e, err := sqlparse.ParseExpr("EXTRACT(YEAR FROM o_orderdate) = 1997")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := e.String()
+	if rendered != "(EXTRACT(YEAR FROM o_orderdate) = 1997)" {
+		t.Errorf("render = %q", rendered)
+	}
+	// Render/reparse fixed point.
+	again, err := sqlparse.ParseExpr(rendered)
+	if err != nil || again.String() != rendered {
+		t.Errorf("reparse: %v, %q", err, again)
+	}
+	// Bad parts rejected at parse time.
+	if _, err := sqlparse.ParseExpr("EXTRACT(HOUR FROM d)"); err == nil {
+		t.Error("unsupported EXTRACT part should fail to parse")
+	}
+	if _, err := sqlparse.ParseExpr("EXTRACT(YEAR d)"); err == nil {
+		t.Error("EXTRACT without FROM should fail to parse")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	env := MapEnv{"n": value.Null(), "x": value.Int(7)}
+	if v := evalStr(t, "COALESCE(n, n, x, 9)", env); v.AsInt() != 7 {
+		t.Errorf("COALESCE = %v", v)
+	}
+	if v := evalStr(t, "COALESCE(n, n)", env); !v.IsNull() {
+		t.Errorf("all-NULL COALESCE = %v", v)
+	}
+	if v := evalStr(t, "COALESCE(1, x)", env); v.AsInt() != 1 {
+		t.Errorf("COALESCE short-circuit = %v", v)
+	}
+}
+
+func TestNullIf(t *testing.T) {
+	env := MapEnv{"x": value.Int(5)}
+	if v := evalStr(t, "NULLIF(x, 5)", env); !v.IsNull() {
+		t.Errorf("NULLIF equal = %v", v)
+	}
+	if v := evalStr(t, "NULLIF(x, 6)", env); v.AsInt() != 5 {
+		t.Errorf("NULLIF unequal = %v", v)
+	}
+	if evalErr(t, "NULLIF(x)", env) == nil {
+		t.Error("NULLIF arity should error")
+	}
+	// Division-by-zero guard idiom.
+	if v := evalStr(t, "COALESCE(10 / NULLIF(0, 0), -1)", env); v.AsInt() != -1 {
+		t.Errorf("guarded division = %v", v)
+	}
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/tpch"
+)
+
+// Fig1Selectivities is the paper's x-axis: 1e-7 .. 1e-2.
+var Fig1Selectivities = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+
+// RunFig1 reproduces Fig. 1: runtime and cost of the three filter
+// strategies (server-side, S3-side, indexing) as selectivity grows. The
+// filter is a range predicate over lineitem's order key, whose dense
+// uniform values make "l_orderkey <= X" select exactly the target
+// fraction of rows.
+func RunFig1(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	maxOrder := tpch.SizesFor(env.Scale.TPCHSF).Orders
+	res := &Result{
+		ID:     "Fig1",
+		Title:  "Filter algorithms vs selectivity",
+		XLabel: "selectivity",
+	}
+	for _, sel := range Fig1Selectivities {
+		x := fmt.Sprintf("%.0e", sel)
+		threshold := int(math.Ceil(sel * float64(maxOrder)))
+		if threshold < 1 {
+			threshold = 1
+		}
+		pred := fmt.Sprintf("l_orderkey <= %d", threshold)
+
+		e1 := db.NewExec()
+		serverRel, err := e1.ServerSideFilter("lineitem", pred, "")
+		if err != nil {
+			return nil, err
+		}
+		res.add("Server-Side Filter", x, e1, nil)
+
+		e2 := db.NewExec()
+		s3Rel, err := e2.S3SideFilter("lineitem", pred, "*")
+		if err != nil {
+			return nil, err
+		}
+		res.add("S3-Side Filter", x, e2, nil)
+
+		e3 := db.NewExec()
+		idxRel, err := e3.IndexFilter("lineitem", "l_orderkey",
+			fmt.Sprintf("value <= %d", threshold), engine.IndexFilterOptions{})
+		if err != nil {
+			return nil, err
+		}
+		res.add("Indexing", x, e3, map[string]float64{"rows": float64(len(idxRel.Rows))})
+
+		if len(serverRel.Rows) != len(s3Rel.Rows) || len(serverRel.Rows) != len(idxRel.Rows) {
+			return nil, fmt.Errorf("harness: Fig1 row mismatch at %s: %d/%d/%d",
+				x, len(serverRel.Rows), len(s3Rel.Rows), len(idxRel.Rows))
+		}
+	}
+	res.Notes = append(res.Notes,
+		"predicate: l_orderkey <= selectivity * |orders| (dense keys make selectivity exact)")
+	return res, nil
+}
+
+// RunFig1MultiRange is the Suggestion-1 ablation: indexing with one GET
+// per row (the 2020 S3 API) vs one multi-range GET per partition.
+func RunFig1MultiRange(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	maxOrder := tpch.SizesFor(env.Scale.TPCHSF).Orders
+	res := &Result{
+		ID:     "Fig1-S1",
+		Title:  "Indexing: per-row GETs vs multi-range GET (Suggestion 1)",
+		XLabel: "selectivity",
+	}
+	for _, sel := range Fig1Selectivities {
+		x := fmt.Sprintf("%.0e", sel)
+		threshold := int(math.Ceil(sel * float64(maxOrder)))
+		if threshold < 1 {
+			threshold = 1
+		}
+		pred := fmt.Sprintf("value <= %d", threshold)
+
+		e1 := db.NewExec()
+		if _, err := e1.IndexFilter("lineitem", "l_orderkey", pred, engine.IndexFilterOptions{}); err != nil {
+			return nil, err
+		}
+		res.add("Per-Row GETs", x, e1, nil)
+
+		e2 := db.NewExec()
+		if _, err := e2.IndexFilter("lineitem", "l_orderkey", pred, engine.IndexFilterOptions{MultiRange: true}); err != nil {
+			return nil, err
+		}
+		res.add("Multi-Range GET", x, e2, nil)
+	}
+	return res, nil
+}

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/sqlparse"
+)
+
+// fig5Aggs are the four aggregated value columns of Section VI-C1.
+func fig5Aggs() []engine.GroupAgg {
+	return []engine.GroupAgg{
+		{Func: sqlparse.AggSum, Expr: "v1", As: "s1"},
+		{Func: sqlparse.AggSum, Expr: "v2", As: "s2"},
+		{Func: sqlparse.AggSum, Expr: "v3", As: "s3"},
+		{Func: sqlparse.AggSum, Expr: "v4", As: "s4"},
+	}
+}
+
+// Fig5GroupCounts is the paper's x-axis: 2..32 groups. Group column gI has
+// 2^I distinct groups in the uniform synthetic table.
+var Fig5GroupCounts = []int{2, 4, 8, 16, 32}
+
+// RunFig5 reproduces Fig. 5: server-side, filtered and S3-side group-by as
+// the number of groups grows (uniform group sizes).
+func RunFig5(env *Env) (*Result, error) {
+	db, err := env.GroupTable(-1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "Fig5",
+		Title:  "Group-by algorithms vs number of groups (uniform sizes)",
+		XLabel: "groups",
+	}
+	for i, g := range Fig5GroupCounts {
+		x := fmt.Sprint(g)
+		groupCol := fmt.Sprintf("g%d", i+1) // g1 has 2 groups, g5 has 32
+
+		e1 := db.NewExec()
+		server, err := e1.ServerSideGroupBy("groups", groupCol, fig5Aggs(), "")
+		if err != nil {
+			return nil, err
+		}
+		res.add("Server-Side Group-By", x, e1, nil)
+
+		e2 := db.NewExec()
+		filtered, err := e2.FilteredGroupBy("groups", groupCol, fig5Aggs(), "")
+		if err != nil {
+			return nil, err
+		}
+		res.add("Filtered Group-By", x, e2, nil)
+
+		e3 := db.NewExec()
+		s3side, err := e3.S3SideGroupBy("groups", groupCol, fig5Aggs(), "")
+		if err != nil {
+			return nil, err
+		}
+		res.add("S3-Side Group-By", x, e3, nil)
+
+		if len(server.Rows) != len(filtered.Rows) || len(server.Rows) != len(s3side.Rows) {
+			return nil, fmt.Errorf("harness: Fig5 group counts disagree at %s: %d/%d/%d",
+				x, len(server.Rows), len(filtered.Rows), len(s3side.Rows))
+		}
+	}
+	return res, nil
+}
+
+// Fig6S3Groups is the paper's sweep of how many groups hybrid group-by
+// aggregates in S3.
+var Fig6S3Groups = []int{1, 4, 6, 8, 10, 12}
+
+// RunFig6 reproduces Fig. 6: within hybrid group-by (skew θ=1.1), the
+// server-side time, the S3-side time and the bytes returned as more groups
+// are aggregated in S3. The query's runtime is the max of the two bars.
+func RunFig6(env *Env) (*Result, error) {
+	db, err := env.GroupTable(1.1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "Fig6",
+		Title:  "Hybrid group-by: server- vs S3-side aggregation split (θ=1.1)",
+		XLabel: "groups in S3",
+	}
+	for _, k := range Fig6S3Groups {
+		x := fmt.Sprint(k)
+		e := db.NewExec()
+		if _, err := e.HybridGroupBy("groups", "g1", fig5Aggs(),
+			engine.HybridGroupByOptions{S3Groups: k, SampleFraction: 0.01}); err != nil {
+			return nil, err
+		}
+		extra := map[string]float64{
+			"s3SideSec":     e.Metrics.PhaseSeconds("s3 big groups"),
+			"serverSideSec": e.Metrics.PhaseSeconds("tail scan"),
+			"returnedGB":    float64(e.Metrics.PhaseReturnedBytes("")) / 1e9,
+		}
+		res.add("Hybrid Group-By", x, e, extra)
+	}
+	res.Notes = append(res.Notes,
+		"s3SideSec/serverSideSec are the two phase-2 bars of the paper's Fig. 6; returnedGB is the line")
+	return res, nil
+}
+
+// Fig7Thetas is the paper's skew sweep.
+var Fig7Thetas = []float64{0, 0.6, 0.9, 1.1, 1.3}
+
+// RunFig7 reproduces Fig. 7: server-side, filtered and hybrid group-by as
+// group-size skew grows (100 groups, Zipfian θ).
+func RunFig7(env *Env) (*Result, error) {
+	res := &Result{
+		ID:     "Fig7",
+		Title:  "Group-by algorithms vs skew (Zipf θ)",
+		XLabel: "θ",
+	}
+	for _, theta := range Fig7Thetas {
+		db, err := env.GroupTable(theta)
+		if err != nil {
+			return nil, err
+		}
+		x := fmt.Sprintf("%g", theta)
+
+		e1 := db.NewExec()
+		server, err := e1.ServerSideGroupBy("groups", "g1", fig5Aggs(), "")
+		if err != nil {
+			return nil, err
+		}
+		res.add("Server-Side Group-By", x, e1, nil)
+
+		e2 := db.NewExec()
+		filtered, err := e2.FilteredGroupBy("groups", "g1", fig5Aggs(), "")
+		if err != nil {
+			return nil, err
+		}
+		res.add("Filtered Group-By", x, e2, nil)
+
+		e3 := db.NewExec()
+		hybrid, err := e3.HybridGroupBy("groups", "g1", fig5Aggs(),
+			engine.HybridGroupByOptions{S3Groups: 8, SampleFraction: 0.01})
+		if err != nil {
+			return nil, err
+		}
+		res.add("Hybrid Group-By", x, e3, nil)
+
+		if err := sameGroupTotals(server, filtered, hybrid); err != nil {
+			return nil, fmt.Errorf("harness: Fig7 at θ=%s: %w", x, err)
+		}
+	}
+	return res, nil
+}
+
+// sameGroupTotals cross-checks that the algorithms agree on the grand
+// total of the first aggregate (group order may differ).
+func sameGroupTotals(rels ...*engine.Relation) error {
+	var totals []float64
+	for _, rel := range rels {
+		var t float64
+		for _, r := range rel.Rows {
+			v, _ := r[1].Num()
+			t += v
+		}
+		totals = append(totals, t)
+	}
+	for i := 1; i < len(totals); i++ {
+		if math.Abs(totals[i]-totals[0]) > math.Abs(totals[0])*1e-6+1e-6 {
+			return fmt.Errorf("aggregate totals disagree: %v", totals)
+		}
+	}
+	return nil
+}
+
+// RunFig6PartialGroupBy is the Suggestion-4 ablation: hybrid group-by with
+// the CASE encoding vs a real partial GROUP BY pushed to the storage side.
+func RunFig6PartialGroupBy(env *Env) (*Result, error) {
+	db, err := env.GroupTable(1.1)
+	if err != nil {
+		return nil, err
+	}
+	db.Caps.AllowGroupBy = true
+	res := &Result{
+		ID:     "Fig6-S4",
+		Title:  "Hybrid group-by: CASE encoding vs partial GROUP BY (Suggestion 4)",
+		XLabel: "groups in S3",
+	}
+	for _, k := range []int{4, 8, 12} {
+		x := fmt.Sprint(k)
+		e1 := db.NewExec()
+		if _, err := e1.HybridGroupBy("groups", "g1", fig5Aggs(),
+			engine.HybridGroupByOptions{S3Groups: k}); err != nil {
+			return nil, err
+		}
+		res.add("CASE Encoding", x, e1, nil)
+
+		e2 := db.NewExec()
+		if _, err := e2.HybridGroupBy("groups", "g1", fig5Aggs(),
+			engine.HybridGroupByOptions{S3Groups: k, UsePartialGroupBy: true}); err != nil {
+			return nil, err
+		}
+		res.add("Partial Group-By", x, e2, nil)
+	}
+	return res, nil
+}

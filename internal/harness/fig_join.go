@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"fmt"
+
+	"pushdowndb/internal/engine"
+)
+
+// The paper's Listing-2 evaluation query:
+//
+//	SELECT SUM(o_totalprice) FROM customer, orders
+//	WHERE o_custkey = c_custkey
+//	  AND c_acctbal <= upper_c_acctbal
+//	  AND o_orderdate < upper_o_orderdate
+const joinAggItems = "SUM(o_totalprice) AS total"
+
+func listing2Spec(upperAcctbal string, upperOrderdate string, fpr float64) engine.JoinSpec {
+	js := engine.JoinSpec{
+		LeftTable: "customer", RightTable: "orders",
+		LeftKey: "c_custkey", RightKey: "o_custkey",
+		LeftFilter:  "c_acctbal <= " + upperAcctbal,
+		LeftProject: []string{"c_custkey"},
+		TargetFPR:   fpr,
+		Seed:        2,
+	}
+	if upperOrderdate != "" {
+		js.RightFilter = "o_orderdate < '" + upperOrderdate + "'"
+	}
+	return js
+}
+
+func runJoinPoint(res *Result, db *engine.DB, x string, js engine.JoinSpec, algorithms []string) error {
+	var counts []int
+	for _, algo := range algorithms {
+		e := db.NewExec()
+		rel, err := e.JoinAggregate(js, algo, joinAggItems+", COUNT(*) AS n")
+		if err != nil {
+			return fmt.Errorf("harness: %s join at %s: %w", algo, x, err)
+		}
+		n, _ := rel.Rows[0][1].IntNum()
+		counts = append(counts, int(n))
+		series := map[string]string{
+			"baseline": "Baseline Join", "filtered": "Filtered Join", "bloom": "Bloom Join",
+		}[algo]
+		res.add(series, x, e, nil)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			return fmt.Errorf("harness: join algorithms disagree at %s: %v", x, counts)
+		}
+	}
+	return nil
+}
+
+// Fig2Acctbals is the paper's customer-selectivity sweep.
+var Fig2Acctbals = []string{"-950", "-850", "-750", "-650", "-550", "-450"}
+
+// RunFig2 reproduces Fig. 2: the three join algorithms as the customer
+// filter (c_acctbal <= X) loosens. The orders side is unfiltered.
+func RunFig2(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "Fig2",
+		Title:  "Join algorithms vs customer selectivity (c_acctbal <= ?)",
+		XLabel: "c_acctbal <=",
+	}
+	for _, ub := range Fig2Acctbals {
+		js := listing2Spec(ub, "", 0.01)
+		if err := runJoinPoint(res, db, ub, js, []string{"baseline", "filtered", "bloom"}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Fig3Orderdates is the paper's orders-selectivity sweep ("None" = no
+// orders filter).
+var Fig3Orderdates = []string{"1992-03-01", "1992-06-01", "1993-01-01", "1994-01-01", "1995-01-01", "None"}
+
+// RunFig3 reproduces Fig. 3: the join algorithms as the orders filter
+// (o_orderdate < D) loosens, with the customer filter fixed at -950.
+func RunFig3(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "Fig3",
+		Title:  "Join algorithms vs orders selectivity (o_orderdate < ?)",
+		XLabel: "o_orderdate <",
+	}
+	for _, d := range Fig3Orderdates {
+		date := d
+		if d == "None" {
+			date = ""
+		}
+		js := listing2Spec("-950", date, 0.01)
+		if err := runJoinPoint(res, db, d, js, []string{"baseline", "filtered", "bloom"}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Fig4FPRs is the paper's Bloom-filter false-positive-rate sweep.
+var Fig4FPRs = []float64{0.0001, 0.001, 0.01, 0.1, 0.3, 0.5}
+
+// RunFig4 reproduces Fig. 4: Bloom join across false-positive rates, with
+// baseline and filtered joins as flat references. Customer filter fixed at
+// -950, orders unfiltered.
+func RunFig4(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "Fig4",
+		Title:  "Bloom join vs false positive rate",
+		XLabel: "FPR",
+	}
+	// References measured once, reported at every x for plotting parity.
+	baseExec := db.NewExec()
+	if _, err := baseExec.JoinAggregate(listing2Spec("-950", "", 0.01), "baseline", joinAggItems); err != nil {
+		return nil, err
+	}
+	filtExec := db.NewExec()
+	if _, err := filtExec.JoinAggregate(listing2Spec("-950", "", 0.01), "filtered", joinAggItems); err != nil {
+		return nil, err
+	}
+	for _, fpr := range Fig4FPRs {
+		x := fmt.Sprintf("%g", fpr)
+		res.add("Baseline Join", x, baseExec, nil)
+		res.add("Filtered Join", x, filtExec, nil)
+		e := db.NewExec()
+		if _, err := e.JoinAggregate(listing2Spec("-950", "", fpr), "bloom", joinAggItems); err != nil {
+			return nil, err
+		}
+		_, _, returned, _ := e.Metrics.Totals()
+		res.add("Bloom Join", x, e, map[string]float64{"returnedMB": float64(returned) / 1e6})
+	}
+	return res, nil
+}
+
+// RunFig4Bitwise is the Suggestion-3 ablation: the '0'/'1'-string Bloom
+// predicate (the paper's encoding) vs the BLOOM_CONTAINS bitwise form at
+// the same FPR.
+func RunFig4Bitwise(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	db.Caps.AllowBloomContains = true
+	res := &Result{
+		ID:     "Fig4-S3",
+		Title:  "Bloom predicate encoding: '0'/'1' string vs bitwise (Suggestion 3)",
+		XLabel: "FPR",
+	}
+	for _, fpr := range []float64{0.0001, 0.01, 0.3} {
+		x := fmt.Sprintf("%g", fpr)
+		e1 := db.NewExec()
+		if _, err := e1.JoinAggregate(listing2Spec("-950", "", fpr), "bloom", joinAggItems); err != nil {
+			return nil, err
+		}
+		res.add("String Bloom", x, e1, nil)
+
+		js := listing2Spec("-950", "", fpr)
+		js.Bitwise = true
+		e2 := db.NewExec()
+		if _, err := e2.JoinAggregate(js, "bloom", joinAggItems); err != nil {
+			return nil, err
+		}
+		res.add("Bitwise Bloom", x, e2, nil)
+	}
+	return res, nil
+}

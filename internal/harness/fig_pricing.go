@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/engine"
+)
+
+// RunS5Pricing is the Suggestion-5 ablation: re-price representative
+// scan-heavy queries under computation-aware pricing, where a scan's
+// per-GB charge reflects how much storage-side computation it actually
+// performed. The paper argues flat per-GB scan pricing overcharges simple
+// queries (Section X, Suggestion 5: "data scan costs dominate a majority
+// of queries ... the current pricing model may have overcharged").
+func RunS5Pricing(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	capPricing := cloudsim.DefaultComputationAwarePricing()
+	res := &Result{
+		ID:     "S5",
+		Title:  "Flat vs computation-aware scan pricing (Suggestion 5)",
+		XLabel: "query",
+	}
+	cases := []struct {
+		name string
+		run  func() (*engine.Exec, int64, error) // exec, approx nodes/row
+	}{
+		{
+			name: "plain projection",
+			run: func() (*engine.Exec, int64, error) {
+				e := db.NewExec()
+				_, err := e.S3SideFilter("lineitem", "", "l_orderkey")
+				return e, 2, err
+			},
+		},
+		{
+			name: "simple filter",
+			run: func() (*engine.Exec, int64, error) {
+				e := db.NewExec()
+				_, err := e.S3SideFilter("lineitem", "l_quantity < 10", "l_orderkey, l_quantity")
+				return e, 7, err
+			},
+		},
+		{
+			name: "bloom probe",
+			run: func() (*engine.Exec, int64, error) {
+				e := db.NewExec()
+				_, err := e.JoinAggregate(listing2Spec("-950", "", 0.01), "bloom", joinAggItems)
+				return e, 95, err
+			},
+		},
+	}
+	for _, c := range cases {
+		e, nodes, err := c.run()
+		if err != nil {
+			return nil, fmt.Errorf("harness: S5 %s: %w", c.name, err)
+		}
+		flat := e.Cost()
+		aware := e.Metrics.CostComputationAware(capPricing, float64(nodes))
+		res.Points = append(res.Points,
+			Point{Series: "Flat Pricing", X: c.name, RuntimeSec: e.RuntimeSeconds(), Cost: flat},
+			Point{Series: "Computation-Aware", X: c.name, RuntimeSec: e.RuntimeSeconds(), Cost: aware,
+				Extra: map[string]float64{"scanDiscountPct": 100 * (1 - aware.ScanUSD/maxPos(flat.ScanUSD))}},
+		)
+	}
+	res.Notes = append(res.Notes,
+		"computation-aware pricing discounts light scans; heavy expressions (large Bloom filters) converge to list price")
+	return res, nil
+}
+
+func maxPos(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return x
+}

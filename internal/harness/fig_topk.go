@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"fmt"
+
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/tpch"
+)
+
+// fig8K scales the paper's K=100 (over 60M rows) to the generated
+// lineitem's row count, keeping K << N so the sampling optimum is interior.
+func fig8K(env *Env) int {
+	n := approxLineitemRows(env)
+	k := n / 500
+	if k < 25 {
+		k = 25
+	}
+	return k
+}
+
+func approxLineitemRows(env *Env) int {
+	// GenLineitems averages 4 lines per order.
+	return tpch.SizesFor(env.Scale.TPCHSF).Orders * 4
+}
+
+// RunFig8 reproduces Fig. 8: the sampling top-K's runtime split (sampling
+// phase vs scanning phase) and bytes returned as the sample size S sweeps
+// around the analytic optimum S* = sqrt(KN/alpha).
+func RunFig8(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	k := fig8K(env)
+	n := int64(approxLineitemRows(env))
+	sStar := engine.OptimalSampleSize(k, n, 0.1)
+	res := &Result{
+		ID:     "Fig8",
+		Title:  fmt.Sprintf("Sampling top-K vs sample size (K=%d, S*=%d)", k, sStar),
+		XLabel: "sample size",
+	}
+	for _, mult := range []struct {
+		label string
+		f     float64
+	}{
+		{"S*/16", 1.0 / 16}, {"S*/4", 1.0 / 4}, {"S*", 1},
+		{"4*S*", 4}, {"16*S*", 16},
+	} {
+		s := int64(float64(sStar) * mult.f)
+		if s <= int64(k) {
+			s = int64(k) + 1
+		}
+		if s > n {
+			s = n
+		}
+		e := db.NewExec()
+		rel, err := e.SamplingTopK("lineitem", "l_extendedprice", k, true,
+			engine.SamplingTopKOptions{SampleSize: s})
+		if err != nil {
+			return nil, err
+		}
+		if len(rel.Rows) != k {
+			return nil, fmt.Errorf("harness: Fig8 returned %d rows, want %d", len(rel.Rows), k)
+		}
+		extra := map[string]float64{
+			"samplingSec": e.Metrics.PhaseSeconds("sample lineitem"),
+			"scanningSec": e.Metrics.PhaseSeconds("threshold scan lineitem"),
+			"returnedGB":  float64(e.Metrics.PhaseReturnedBytes("")) / 1e9,
+			"S":           float64(s),
+		}
+		res.add("Sampling Top-K", mult.label, e, extra)
+	}
+	res.Notes = append(res.Notes,
+		"samplingSec/scanningSec are the two bar segments of the paper's Fig. 8a; returnedGB is the line")
+	return res, nil
+}
+
+// RunFig9 reproduces Fig. 9: server-side vs sampling top-K as K grows.
+// The sampling algorithm derives S from the Section VII-B model.
+func RunFig9(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	n := approxLineitemRows(env)
+	res := &Result{
+		ID:     "Fig9",
+		Title:  "Top-K algorithms vs K",
+		XLabel: "K",
+	}
+	for _, k := range []int{1, 10, 100, 1000} {
+		if k >= n/4 {
+			break
+		}
+		x := fmt.Sprint(k)
+		e1 := db.NewExec()
+		server, err := e1.ServerSideTopK("lineitem", "l_extendedprice", k, true)
+		if err != nil {
+			return nil, err
+		}
+		res.add("Server-Side Top-K", x, e1, nil)
+
+		e2 := db.NewExec()
+		sampled, err := e2.SamplingTopK("lineitem", "l_extendedprice", k, true,
+			engine.SamplingTopKOptions{Alpha: 0.1})
+		if err != nil {
+			return nil, err
+		}
+		res.add("Sampling Top-K", x, e2, nil)
+
+		if len(server.Rows) != k || len(sampled.Rows) != k {
+			return nil, fmt.Errorf("harness: Fig9 K=%d row counts %d/%d",
+				k, len(server.Rows), len(sampled.Rows))
+		}
+		vi := server.ColIndex("l_extendedprice")
+		for i := range server.Rows {
+			a, _ := server.Rows[i][vi].Num()
+			b, _ := sampled.Rows[i][vi].Num()
+			if a != b {
+				return nil, fmt.Errorf("harness: Fig9 K=%d row %d differs: %v vs %v", k, i, a, b)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunTopKModel validates the Section VII-B analysis: measured bytes
+// returned across sample sizes should be minimized near the analytic
+// S* = sqrt(KN/alpha).
+func RunTopKModel(env *Env) (*Result, error) {
+	fig8, err := RunFig8(env)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "TopKModel",
+		Title:  "Sampling top-K: analytic optimum vs measured data traffic",
+		XLabel: "sample size",
+		Points: fig8.Points,
+	}
+	best, bestVal := "", -1.0
+	for _, p := range fig8.Points {
+		gb := p.Extra["returnedGB"]
+		if bestVal < 0 || gb < bestVal {
+			bestVal, best = gb, p.X
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("minimum measured traffic at %s (model predicts S*)", best))
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/tpch"
+)
+
+// RunFig10 reproduces Fig. 10: the four individual operators (filter,
+// group-by, top-K, join) and the six TPC-H queries, each under the
+// baseline PushdownDB (no S3 Select) and the optimized PushdownDB, plus
+// the geometric means the paper's headline numbers come from.
+func RunFig10(env *Env) (*Result, error) {
+	db, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	groupDB, err := env.GroupTable(-1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "Fig10",
+		Title:  "Operators and TPC-H queries: baseline vs optimized PushdownDB",
+		XLabel: "workload",
+	}
+
+	type workItem struct {
+		name      string
+		baseline  func() (*engine.Exec, error)
+		optimized func() (*engine.Exec, error)
+	}
+
+	maxOrder := tpch.SizesFor(env.Scale.TPCHSF).Orders
+	filterPred := fmt.Sprintf("l_orderkey <= %d", maxOrder/1000+1) // ~1e-3
+
+	k := fig8K(env)
+	items := []workItem{
+		{
+			name: "Filter",
+			baseline: func() (*engine.Exec, error) {
+				e := db.NewExec()
+				_, err := e.ServerSideFilter("lineitem", filterPred, "")
+				return e, err
+			},
+			optimized: func() (*engine.Exec, error) {
+				e := db.NewExec()
+				_, err := e.S3SideFilter("lineitem", filterPred, "*")
+				return e, err
+			},
+		},
+		{
+			name: "Group-by",
+			baseline: func() (*engine.Exec, error) {
+				e := groupDB.NewExec()
+				_, err := e.ServerSideGroupBy("groups", "g3", fig5Aggs(), "")
+				return e, err
+			},
+			optimized: func() (*engine.Exec, error) {
+				e := groupDB.NewExec()
+				_, err := e.S3SideGroupBy("groups", "g3", fig5Aggs(), "")
+				return e, err
+			},
+		},
+		{
+			name: "Top-K",
+			baseline: func() (*engine.Exec, error) {
+				e := db.NewExec()
+				_, err := e.ServerSideTopK("lineitem", "l_extendedprice", k, true)
+				return e, err
+			},
+			optimized: func() (*engine.Exec, error) {
+				e := db.NewExec()
+				_, err := e.SamplingTopK("lineitem", "l_extendedprice", k, true,
+					engine.SamplingTopKOptions{Alpha: 0.1})
+				return e, err
+			},
+		},
+		{
+			name: "Join",
+			baseline: func() (*engine.Exec, error) {
+				e := db.NewExec()
+				_, err := e.JoinAggregate(listing2Spec("-950", "", 0.01), "baseline", joinAggItems)
+				return e, err
+			},
+			optimized: func() (*engine.Exec, error) {
+				e := db.NewExec()
+				_, err := e.JoinAggregate(listing2Spec("-950", "", 0.01), "bloom", joinAggItems)
+				return e, err
+			},
+		},
+	}
+	for _, q := range tpch.Queries() {
+		q := q
+		items = append(items, workItem{
+			name: "TPCH " + q.Name,
+			baseline: func() (*engine.Exec, error) {
+				_, e, err := q.Baseline(db)
+				return e, err
+			},
+			optimized: func() (*engine.Exec, error) {
+				_, e, err := q.Optimized(db)
+				return e, err
+			},
+		})
+	}
+
+	type pair struct{ runtime, cost float64 }
+	var basePairs, optPairs []pair
+	for _, it := range items {
+		be, err := it.baseline()
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s baseline: %w", it.name, err)
+		}
+		res.add("PushdownDB (Baseline)", it.name, be, nil)
+		basePairs = append(basePairs, pair{be.RuntimeSeconds(), be.Cost().Total()})
+
+		oe, err := it.optimized()
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s optimized: %w", it.name, err)
+		}
+		res.add("PushdownDB (Optimized)", it.name, oe, nil)
+		optPairs = append(optPairs, pair{oe.RuntimeSeconds(), oe.Cost().Total()})
+	}
+
+	geo := func(ps []pair) pair {
+		lr, lc := 0.0, 0.0
+		for _, p := range ps {
+			lr += math.Log(p.runtime)
+			lc += math.Log(p.cost)
+		}
+		n := float64(len(ps))
+		return pair{math.Exp(lr / n), math.Exp(lc / n)}
+	}
+	bg, og := geo(basePairs), geo(optPairs)
+	res.Points = append(res.Points,
+		Point{Series: "PushdownDB (Baseline)", X: "Geo-Mean", RuntimeSec: bg.runtime,
+			Cost: costOf(bg.cost)},
+		Point{Series: "PushdownDB (Optimized)", X: "Geo-Mean", RuntimeSec: og.runtime,
+			Cost: costOf(og.cost)},
+	)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"geo-mean speedup %.1fx, cost ratio %.2f (paper: 6.7x faster, 30%% cheaper)",
+		bg.runtime/og.runtime, og.cost/bg.cost))
+	return res, nil
+}
+
+// costOf wraps a scalar total into a breakdown-shaped value (geo-means
+// have no meaningful component split).
+func costOf(total float64) (c cloudsim.CostBreakdown) {
+	c.ComputeUSD = total
+	return c
+}

@@ -1,0 +1,70 @@
+// Package s3api defines the client surface PushdownDB uses to talk to the
+// storage service, with an in-process implementation. A wire-protocol
+// implementation over HTTP lives in internal/s3http; both satisfy Client,
+// so the engine is independent of whether the store is embedded (fast
+// tests, benchmarks) or remote (integration tests, cmd/s3server).
+package s3api
+
+import (
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/store"
+)
+
+// Client is the storage-service API surface: plain and ranged GETs, the
+// multi-range GET extension (paper Suggestion 1), listing, and S3 Select.
+type Client interface {
+	// Get returns a whole object.
+	Get(bucket, key string) ([]byte, error)
+	// GetRange returns the inclusive byte range [first, last].
+	GetRange(bucket, key string, first, last int64) ([]byte, error)
+	// GetRanges returns several inclusive ranges in one request.
+	GetRanges(bucket, key string, ranges [][2]int64) ([][]byte, error)
+	// Select runs an S3 Select request against one object.
+	Select(bucket, key string, req selectengine.Request) (*selectengine.Result, error)
+	// List returns the keys under a prefix, sorted.
+	List(bucket, prefix string) ([]string, error)
+	// Size returns an object's length.
+	Size(bucket, key string) (int64, error)
+}
+
+// InProc is the embedded Client over a *store.Store.
+type InProc struct {
+	store *store.Store
+}
+
+// NewInProc wraps st.
+func NewInProc(st *store.Store) *InProc { return &InProc{store: st} }
+
+// Get implements Client.
+func (c *InProc) Get(bucket, key string) ([]byte, error) {
+	return c.store.Get(bucket, key)
+}
+
+// GetRange implements Client.
+func (c *InProc) GetRange(bucket, key string, first, last int64) ([]byte, error) {
+	return c.store.GetRange(bucket, key, first, last)
+}
+
+// GetRanges implements Client.
+func (c *InProc) GetRanges(bucket, key string, ranges [][2]int64) ([][]byte, error) {
+	return c.store.GetRanges(bucket, key, ranges)
+}
+
+// Select implements Client.
+func (c *InProc) Select(bucket, key string, req selectengine.Request) (*selectengine.Result, error) {
+	data, err := c.store.Get(bucket, key)
+	if err != nil {
+		return nil, err
+	}
+	return selectengine.Execute(data, req)
+}
+
+// List implements Client.
+func (c *InProc) List(bucket, prefix string) ([]string, error) {
+	return c.store.List(bucket, prefix), nil
+}
+
+// Size implements Client.
+func (c *InProc) Size(bucket, key string) (int64, error) {
+	return c.store.Size(bucket, key)
+}

@@ -1,0 +1,69 @@
+package s3api
+
+import (
+	"reflect"
+	"testing"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/store"
+)
+
+func newClient(t *testing.T) (*store.Store, *InProc) {
+	t.Helper()
+	st := store.New()
+	return st, NewInProc(st)
+}
+
+func TestInProcGet(t *testing.T) {
+	st, c := newClient(t)
+	st.Put("b", "k", []byte("payload"))
+	got, err := c.Get("b", "k")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := c.Get("b", "missing"); err == nil {
+		t.Error("missing key should error")
+	}
+}
+
+func TestInProcRanges(t *testing.T) {
+	st, c := newClient(t)
+	st.Put("b", "k", []byte("0123456789"))
+	got, err := c.GetRange("b", "k", 2, 4)
+	if err != nil || string(got) != "234" {
+		t.Fatalf("GetRange = %q, %v", got, err)
+	}
+	parts, err := c.GetRanges("b", "k", [][2]int64{{0, 0}, {9, 9}})
+	if err != nil || string(parts[0]) != "0" || string(parts[1]) != "9" {
+		t.Fatalf("GetRanges = %q, %v", parts, err)
+	}
+}
+
+func TestInProcSelect(t *testing.T) {
+	st, c := newClient(t)
+	st.Put("b", "t.csv", csvx.Encode([]string{"a"}, [][]string{{"1"}, {"2"}, {"3"}}))
+	res, err := c.Select("b", "t.csv", selectengine.Request{
+		SQL: "SELECT a FROM S3Object WHERE a >= 2", HasHeader: true,
+	})
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("Select = %v, %v", res, err)
+	}
+	if _, err := c.Select("b", "nope", selectengine.Request{SQL: "SELECT * FROM S3Object"}); err == nil {
+		t.Error("missing object should error")
+	}
+}
+
+func TestInProcListSize(t *testing.T) {
+	st, c := newClient(t)
+	st.Put("b", "t/part0000.csv", []byte("xy"))
+	st.Put("b", "t/part0001.csv", []byte("z"))
+	keys, err := c.List("b", "t/")
+	if err != nil || !reflect.DeepEqual(keys, []string{"t/part0000.csv", "t/part0001.csv"}) {
+		t.Fatalf("List = %v, %v", keys, err)
+	}
+	n, err := c.Size("b", "t/part0000.csv")
+	if err != nil || n != 2 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+}

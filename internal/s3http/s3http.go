@@ -1,0 +1,368 @@
+// Package s3http exposes the simulated S3 service over HTTP and provides
+// the matching client. The protocol mirrors the parts of the S3 REST API
+// PushdownDB needs:
+//
+//	PUT    /{bucket}/{key}                 store an object
+//	GET    /{bucket}/{key}                 fetch an object; honours Range
+//	                                       (single "bytes=a-b" range, plus
+//	                                       multiple ranges as the paper's
+//	                                       Suggestion-1 extension)
+//	POST   /{bucket}/{key}?select          run S3 Select (JSON body)
+//	GET    /{bucket}?list&prefix=p         list keys
+//	HEAD   /{bucket}/{key}                 object size
+//
+// S3 Select requests and responses use JSON rather than AWS's XML +
+// event-stream framing; the framing overhead is represented in the
+// cloudsim cost model instead of on this wire.
+package s3http
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/store"
+)
+
+// SelectBody is the JSON body of a select POST.
+type SelectBody struct {
+	SQL          string                    `json:"sql"`
+	HasHeader    bool                      `json:"has_header"`
+	Capabilities selectengine.Capabilities `json:"capabilities"`
+	ScanRange    *selectengine.ScanRange   `json:"scan_range,omitempty"`
+}
+
+// SelectResponse is the JSON response of a select POST.
+type SelectResponse struct {
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Stats   selectengine.Stats `json:"stats"`
+}
+
+// multiRangeResponse carries Suggestion-1 multi-range GET results.
+type multiRangeResponse struct {
+	Parts []string `json:"parts"` // base64
+}
+
+// Server serves a store over HTTP.
+type Server struct {
+	store *store.Store
+}
+
+// NewServer wraps st.
+func NewServer(st *store.Store) *Server { return &Server{store: st} }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	slash := strings.IndexByte(path, '/')
+	var bucket, key string
+	if slash < 0 {
+		bucket = path
+	} else {
+		bucket, key = path[:slash], path[slash+1:]
+	}
+	if bucket == "" {
+		http.Error(w, "missing bucket", http.StatusBadRequest)
+		return
+	}
+	switch {
+	case r.Method == http.MethodPut && key != "":
+		s.put(w, r, bucket, key)
+	case r.Method == http.MethodPost && key != "" && r.URL.Query().Has("select"):
+		s.sel(w, r, bucket, key)
+	case r.Method == http.MethodGet && key == "":
+		s.list(w, r, bucket)
+	case r.Method == http.MethodGet && key != "":
+		s.get(w, r, bucket, key)
+	case r.Method == http.MethodHead && key != "":
+		s.head(w, bucket, key)
+	default:
+		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) put(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.store.Put(bucket, key, data)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) head(w http.ResponseWriter, bucket, key string) {
+	n, err := s.store.Size(bucket, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request, bucket string) {
+	keys := s.store.List(bucket, r.URL.Query().Get("prefix"))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(keys)
+}
+
+// parseRanges parses "bytes=a-b" or "bytes=a-b,c-d,...".
+func parseRanges(h string) ([][2]int64, error) {
+	if !strings.HasPrefix(h, "bytes=") {
+		return nil, fmt.Errorf("s3http: bad Range header %q", h)
+	}
+	var out [][2]int64
+	for _, part := range strings.Split(strings.TrimPrefix(h, "bytes="), ",") {
+		dash := strings.IndexByte(part, '-')
+		if dash <= 0 {
+			return nil, fmt.Errorf("s3http: bad range %q", part)
+		}
+		first, err1 := strconv.ParseInt(strings.TrimSpace(part[:dash]), 10, 64)
+		last, err2 := strconv.ParseInt(strings.TrimSpace(part[dash+1:]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("s3http: bad range %q", part)
+		}
+		out = append(out, [2]int64{first, last})
+	}
+	return out, nil
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	rangeHeader := r.Header.Get("Range")
+	if rangeHeader == "" {
+		data, err := s.store.Get(bucket, key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		_, _ = w.Write(data)
+		return
+	}
+	ranges, err := parseRanges(rangeHeader)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(ranges) == 1 {
+		data, err := s.store.GetRange(bucket, key, ranges[0][0], ranges[0][1])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		w.WriteHeader(http.StatusPartialContent)
+		_, _ = w.Write(data)
+		return
+	}
+	// Suggestion-1 extension: multiple ranges in one request.
+	parts, err := s.store.GetRanges(bucket, key, ranges)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	resp := multiRangeResponse{Parts: make([]string, len(parts))}
+	for i, p := range parts {
+		resp.Parts[i] = base64.StdEncoding.EncodeToString(p)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusPartialContent)
+	_ = json.NewEncoder(w).Encode(&resp)
+}
+
+func (s *Server) sel(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	var body SelectBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := s.store.Get(bucket, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	res, err := selectengine.Execute(data, selectengine.Request{
+		SQL:          body.SQL,
+		HasHeader:    body.HasHeader,
+		Capabilities: body.Capabilities,
+		ScanRange:    body.ScanRange,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&SelectResponse{Columns: res.Columns, Rows: res.Rows, Stats: res.Stats})
+}
+
+// Client is the HTTP implementation of s3api.Client.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for an s3http server at base (e.g.
+// "http://127.0.0.1:9000").
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+func (c *Client) url(bucket, key string) string {
+	if key == "" {
+		return c.base + "/" + bucket
+	}
+	return c.base + "/" + bucket + "/" + key
+}
+
+func (c *Client) do(req *http.Request, wantStatus ...int) ([]byte, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range wantStatus {
+		if resp.StatusCode == s {
+			return body, nil
+		}
+	}
+	return nil, fmt.Errorf("s3http: %s %s: %s: %s", req.Method, req.URL, resp.Status, strings.TrimSpace(string(body)))
+}
+
+// Put stores an object.
+func (c *Client) Put(bucket, key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.url(bucket, key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	_, err = c.do(req, http.StatusOK)
+	return err
+}
+
+// Get implements s3api.Client.
+func (c *Client) Get(bucket, key string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.url(bucket, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req, http.StatusOK)
+}
+
+// GetRange implements s3api.Client.
+func (c *Client) GetRange(bucket, key string, first, last int64) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.url(bucket, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", first, last))
+	return c.do(req, http.StatusPartialContent)
+}
+
+// GetRanges implements s3api.Client (Suggestion-1 extension).
+func (c *Client) GetRanges(bucket, key string, ranges [][2]int64) ([][]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.url(bucket, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString("bytes=")
+	for i, r := range ranges {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d-%d", r[0], r[1])
+	}
+	req.Header.Set("Range", sb.String())
+	body, err := c.do(req, http.StatusPartialContent)
+	if err != nil {
+		return nil, err
+	}
+	if len(ranges) == 1 {
+		return [][]byte{body}, nil
+	}
+	var resp multiRangeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("s3http: decoding multi-range response: %w", err)
+	}
+	out := make([][]byte, len(resp.Parts))
+	for i, p := range resp.Parts {
+		out[i], err = base64.StdEncoding.DecodeString(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Select implements s3api.Client.
+func (c *Client) Select(bucket, key string, sreq selectengine.Request) (*selectengine.Result, error) {
+	body, err := json.Marshal(&SelectBody{
+		SQL:          sreq.SQL,
+		HasHeader:    sreq.HasHeader,
+		Capabilities: sreq.Capabilities,
+		ScanRange:    sreq.ScanRange,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.url(bucket, key)+"?select", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	respBody, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var resp SelectResponse
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return nil, err
+	}
+	return &selectengine.Result{Columns: resp.Columns, Rows: resp.Rows, Stats: resp.Stats}, nil
+}
+
+// List implements s3api.Client.
+func (c *Client) List(bucket, prefix string) ([]string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.url(bucket, "")+"?list&prefix="+prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	if err := json.Unmarshal(body, &keys); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// Size implements s3api.Client.
+func (c *Client) Size(bucket, key string) (int64, error) {
+	req, err := http.NewRequest(http.MethodHead, c.url(bucket, key), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("s3http: HEAD %s/%s: %s", bucket, key, resp.Status)
+	}
+	return strconv.ParseInt(resp.Header.Get("Content-Length"), 10, 64)
+}

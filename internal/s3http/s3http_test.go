@@ -1,0 +1,180 @@
+package s3http
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/store"
+)
+
+func newPair(t *testing.T) (*store.Store, *Client) {
+	t.Helper()
+	st := store.New()
+	srv := httptest.NewServer(NewServer(st))
+	t.Cleanup(srv.Close)
+	return st, NewClient(srv.URL, srv.Client())
+}
+
+func TestPutGetOverHTTP(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Put("b", "dir/key.csv", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("b", "dir/key.csv")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := c.Get("b", "missing"); err == nil {
+		t.Error("missing object should error")
+	}
+}
+
+func TestRangeOverHTTP(t *testing.T) {
+	st, c := newPair(t)
+	st.Put("b", "k", []byte("0123456789"))
+	got, err := c.GetRange("b", "k", 3, 6)
+	if err != nil || string(got) != "3456" {
+		t.Fatalf("GetRange = %q, %v", got, err)
+	}
+	if _, err := c.GetRange("b", "k", 50, 60); err == nil {
+		t.Error("unsatisfiable range should error")
+	}
+}
+
+func TestMultiRangeOverHTTP(t *testing.T) {
+	st, c := newPair(t)
+	st.Put("b", "k", []byte("abcdefghij"))
+	parts, err := c.GetRanges("b", "k", [][2]int64{{0, 1}, {5, 6}, {9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("ab"), []byte("fg"), []byte("j")}
+	if !reflect.DeepEqual(parts, want) {
+		t.Errorf("parts = %q", parts)
+	}
+	// Single range through the same API.
+	parts, err = c.GetRanges("b", "k", [][2]int64{{2, 4}})
+	if err != nil || string(parts[0]) != "cde" {
+		t.Errorf("single-range GetRanges = %q, %v", parts, err)
+	}
+}
+
+func TestSelectOverHTTP(t *testing.T) {
+	st, c := newPair(t)
+	data := csvx.Encode([]string{"k", "v"}, [][]string{{"1", "10"}, {"2", "20"}, {"3", "30"}})
+	st.Put("b", "t.csv", data)
+	res, err := c.Select("b", "t.csv", selectengine.Request{
+		SQL:       "SELECT k FROM S3Object WHERE v >= 20",
+		HasHeader: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "2" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Stats.BytesScanned != int64(len(data)) {
+		t.Errorf("stats lost over the wire: %+v", res.Stats)
+	}
+	// Errors propagate.
+	if _, err := c.Select("b", "t.csv", selectengine.Request{
+		SQL: "SELECT k FROM S3Object ORDER BY k", HasHeader: true,
+	}); err == nil {
+		t.Error("ORDER BY rejection should propagate over HTTP")
+	}
+}
+
+func TestSelectScanRangeOverHTTP(t *testing.T) {
+	st, c := newPair(t)
+	data := csvx.Encode([]string{"k"}, [][]string{{"1"}, {"2"}, {"3"}, {"4"}})
+	st.Put("b", "t.csv", data)
+	ranges, _ := csvx.RowRanges(data, true)
+	res, err := c.Select("b", "t.csv", selectengine.Request{
+		SQL:       "SELECT k FROM S3Object",
+		HasHeader: true,
+		ScanRange: &selectengine.ScanRange{Start: ranges[2][0], End: int64(len(data))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "3" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestListAndSizeOverHTTP(t *testing.T) {
+	st, c := newPair(t)
+	st.Put("b", "t/part0000.csv", []byte("abc"))
+	st.Put("b", "t/part0001.csv", []byte("defg"))
+	st.Put("b", "u/part0000.csv", []byte("x"))
+	keys, err := c.List("b", "t/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"t/part0000.csv", "t/part0001.csv"}) {
+		t.Errorf("keys = %v", keys)
+	}
+	n, err := c.Size("b", "t/part0001.csv")
+	if err != nil || n != 4 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+	if _, err := c.Size("b", "missing"); err == nil {
+		t.Error("missing size should error")
+	}
+}
+
+func TestClientSatisfiesInterface(t *testing.T) {
+	var _ s3api.Client = (*Client)(nil)
+	var _ s3api.Client = (*s3api.InProc)(nil)
+}
+
+func TestHTTPAndInProcAgree(t *testing.T) {
+	st, httpClient := newPair(t)
+	inproc := s3api.NewInProc(st)
+	data := csvx.Encode([]string{"a", "b"}, [][]string{{"1", "x"}, {"2", "y"}})
+	st.Put("b", "t.csv", data)
+
+	req := selectengine.Request{SQL: "SELECT a, b FROM S3Object WHERE a = 2", HasHeader: true}
+	r1, err1 := inproc.Select("b", "t.csv", req)
+	r2, err2 := httpClient.Select("b", "t.csv", req)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) || r1.Stats != r2.Stats {
+		t.Errorf("in-proc %+v != http %+v", r1, r2)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, c := newPair(t)
+	// Bad range header format.
+	st2 := store.New()
+	st2.Put("b", "k", []byte("xyz"))
+	srv := httptest.NewServer(NewServer(st2))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("empty bucket path status = %d", resp.StatusCode)
+	}
+	_ = c
+}
+
+func TestParseRanges(t *testing.T) {
+	good, err := parseRanges("bytes=1-2,4-9")
+	if err != nil || !reflect.DeepEqual(good, [][2]int64{{1, 2}, {4, 9}}) {
+		t.Errorf("parseRanges = %v, %v", good, err)
+	}
+	for _, bad := range []string{"1-2", "bytes=", "bytes=a-b", "bytes=5"} {
+		if _, err := parseRanges(bad); err == nil {
+			t.Errorf("parseRanges(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package selectengine
+
+import (
+	"fmt"
+	"testing"
+
+	"pushdowndb/internal/colformat"
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/value"
+)
+
+// Micro-benchmarks of the storage-side scan paths (the simulator's own
+// throughput; paper-scale numbers come from cloudsim).
+
+func benchCSV(rows int) []byte {
+	header := []string{"k", "g", "v", "s"}
+	data := make([][]string, rows)
+	for i := range data {
+		data[i] = []string{
+			fmt.Sprint(i), fmt.Sprint(i % 16),
+			fmt.Sprintf("%.4f", float64(i)*0.5), "text-" + fmt.Sprint(i%100),
+		}
+	}
+	return csvx.Encode(header, data)
+}
+
+func benchColumnar(rows int, b *testing.B) []byte {
+	schema := colformat.Schema{
+		{Name: "k", Kind: value.KindInt}, {Name: "g", Kind: value.KindInt},
+		{Name: "v", Kind: value.KindFloat}, {Name: "s", Kind: value.KindString},
+	}
+	w := colformat.NewWriter(schema, 4096, true)
+	for i := 0; i < rows; i++ {
+		if err := w.Append([]value.Value{
+			value.Int(int64(i)), value.Int(int64(i % 16)),
+			value.Float(float64(i) * 0.5), value.Str("text-" + fmt.Sprint(i%100)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data, err := w.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func BenchmarkCSVFilterScan(b *testing.B) {
+	data := benchCSV(20000)
+	req := Request{SQL: "SELECT k, v FROM S3Object WHERE v <= 100.0", HasHeader: true}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(data, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVAggregate(b *testing.B) {
+	data := benchCSV(20000)
+	req := Request{SQL: "SELECT SUM(v), COUNT(*) FROM S3Object WHERE g = 3", HasHeader: true}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(data, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVCaseGroupBy(b *testing.B) {
+	// The Listing-4 shape: 16 groups x 1 aggregate.
+	sql := "SELECT "
+	for g := 0; g < 16; g++ {
+		if g > 0 {
+			sql += ", "
+		}
+		sql += fmt.Sprintf("SUM(CASE WHEN g = %d THEN v ELSE 0 END)", g)
+	}
+	sql += " FROM S3Object"
+	data := benchCSV(20000)
+	req := Request{SQL: sql, HasHeader: true}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(data, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnarFilterScan(b *testing.B) {
+	data := benchColumnar(20000, b)
+	req := Request{SQL: "SELECT k, v FROM S3Object WHERE v <= 100.0"}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(data, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBloomPredicateScan(b *testing.B) {
+	// A 7-probe Bloom predicate, the Fig. 2-4 probe-side workload.
+	bits := make([]byte, 1024)
+	for i := range bits {
+		bits[i] = '0' + byte(i%2)
+	}
+	sql := "SELECT k FROM S3Object WHERE "
+	for h := 0; h < 7; h++ {
+		if h > 0 {
+			sql += " AND "
+		}
+		sql += fmt.Sprintf(
+			"SUBSTRING('%s', ((%d * CAST(k AS INT) + %d) %% 1048583) %% 1024 + 1, 1) = '1'",
+			string(bits), 131+h*7, 17+h)
+	}
+	data := benchCSV(5000)
+	req := Request{SQL: sql, HasHeader: true}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(data, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

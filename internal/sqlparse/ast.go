@@ -1,0 +1,446 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+
+	"pushdowndb/internal/value"
+)
+
+// Expr is any expression node. String renders the node back to SQL text
+// accepted by this parser (used to build S3 Select request bodies, e.g. the
+// Bloom-filter SUBSTRING predicate and the CASE-based group-by queries).
+type Expr interface {
+	String() string
+}
+
+// Column references a column by name (optionally qualified, e.g. s.c_custkey
+// or the S3 Select positional form _1).
+type Column struct {
+	Qualifier string // optional table alias
+	Name      string
+}
+
+func (c *Column) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val value.Value
+}
+
+func (l *Literal) String() string {
+	switch l.Val.Kind() {
+	case value.KindString:
+		return "'" + strings.ReplaceAll(l.Val.AsString(), "'", "''") + "'"
+	case value.KindDate:
+		return "DATE '" + l.Val.String() + "'"
+	case value.KindNull:
+		return "NULL"
+	case value.KindBool:
+		if l.Val.AsBool() {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return l.Val.String()
+	}
+}
+
+// Star is the bare `*` in a select list or COUNT(*).
+type Star struct{}
+
+func (*Star) String() string { return "*" }
+
+// BinaryOp enumerates binary operators.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	OpAnd BinaryOp = iota
+	OpOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat
+)
+
+var binOpText = map[BinaryOp]string{
+	OpAnd: "AND", OpOr: "OR", OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpMod: "%", OpConcat: "||",
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + binOpText[b.Op] + " " + b.R.String() + ")"
+}
+
+// Unary is NOT expr or -expr.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.X.String() + ")"
+	}
+	return "(-" + u.X.String() + ")"
+}
+
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+func (n *IsNull) String() string {
+	if n.Not {
+		return "(" + n.X.String() + " IS NOT NULL)"
+	}
+	return "(" + n.X.String() + " IS NULL)"
+}
+
+// Between is `expr [NOT] BETWEEN lo AND hi`.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (b *Between) String() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.X.String() + " " + not + "BETWEEN " + b.Lo.String() + " AND " + b.Hi.String() + ")"
+}
+
+// In is `expr [NOT] IN (e1, e2, ...)`.
+type In struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (i *In) String() string {
+	var b strings.Builder
+	b.WriteString("(" + i.X.String())
+	if i.Not {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (")
+	for j, e := range i.List {
+		if j > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString("))")
+	return b.String()
+}
+
+// Like is `expr [NOT] LIKE pattern` with % and _ wildcards.
+type Like struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+func (l *Like) String() string {
+	not := ""
+	if l.Not {
+		not = "NOT "
+	}
+	return "(" + l.X.String() + " " + not + "LIKE " + l.Pattern.String() + ")"
+}
+
+// Case is a searched CASE expression: CASE WHEN c THEN v ... ELSE e END.
+type Case struct {
+	Whens []When
+	Else  Expr // may be nil
+}
+
+// When is one WHEN/THEN arm of a Case.
+type When struct {
+	Cond, Result Expr
+}
+
+func (c *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		b.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Result.String())
+	}
+	if c.Else != nil {
+		b.WriteString(" ELSE " + c.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// Cast is CAST(expr AS type).
+type Cast struct {
+	X  Expr
+	To value.Kind
+}
+
+func (c *Cast) String() string {
+	name := map[value.Kind]string{
+		value.KindInt: "INT", value.KindFloat: "FLOAT",
+		value.KindString: "STRING", value.KindDate: "TIMESTAMP",
+		value.KindBool: "BOOL",
+	}[c.To]
+	return "CAST(" + c.X.String() + " AS " + name + ")"
+}
+
+// Call is a scalar function call (SUBSTRING, UPPER, LOWER, LENGTH, ABS,
+// and the BLOOM_CONTAINS extension).
+type Call struct {
+	Name string // upper case
+	Args []Expr
+}
+
+func (c *Call) String() string {
+	if c.Name == "EXTRACT" && len(c.Args) == 2 {
+		if lit, ok := c.Args[0].(*Literal); ok && lit.Val.Kind() == value.KindString {
+			return "EXTRACT(" + lit.Val.AsString() + " FROM " + c.Args[1].String() + ")"
+		}
+	}
+	var b strings.Builder
+	b.WriteString(c.Name + "(")
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggText = map[AggFunc]string{
+	AggSum: "SUM", AggCount: "COUNT", AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG",
+}
+
+// Aggregate is SUM(x), COUNT(*), AVG(x), MIN(x), MAX(x). X is *Star for
+// COUNT(*).
+type Aggregate struct {
+	Func AggFunc
+	X    Expr
+}
+
+func (a *Aggregate) String() string { return aggText[a.Func] + "(" + a.X.String() + ")" }
+
+// SelectItem is one entry of the select list.
+type SelectItem struct {
+	Expr  Expr   // *Star for `*`
+	Alias string // optional AS alias
+}
+
+func (s SelectItem) String() string {
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String() + " ASC"
+}
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	Table   string // single table (S3 Select: always "S3Object")
+	Alias   string // optional table alias
+	Where   Expr   // may be nil
+	GroupBy []Expr // PushdownDB extension; rejected by the select engine
+	OrderBy []OrderItem
+	Limit   int64 // -1 when absent
+}
+
+// String renders the statement back to SQL.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM " + s.Table)
+	if s.Alias != "" {
+		b.WriteString(" AS " + s.Alias)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + strconv.FormatInt(s.Limit, 10))
+	}
+	return b.String()
+}
+
+// HasAggregates reports whether any select item contains an aggregate.
+func (s *Select) HasAggregates() bool {
+	for _, it := range s.Items {
+		if ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAggregate walks e looking for an Aggregate node.
+func ContainsAggregate(e Expr) bool {
+	switch t := e.(type) {
+	case *Aggregate:
+		return true
+	case *Binary:
+		return ContainsAggregate(t.L) || ContainsAggregate(t.R)
+	case *Unary:
+		return ContainsAggregate(t.X)
+	case *Case:
+		for _, w := range t.Whens {
+			if ContainsAggregate(w.Cond) || ContainsAggregate(w.Result) {
+				return true
+			}
+		}
+		return t.Else != nil && ContainsAggregate(t.Else)
+	case *Cast:
+		return ContainsAggregate(t.X)
+	case *Call:
+		for _, a := range t.Args {
+			if ContainsAggregate(a) {
+				return true
+			}
+		}
+	case *Between:
+		return ContainsAggregate(t.X) || ContainsAggregate(t.Lo) || ContainsAggregate(t.Hi)
+	case *In:
+		if ContainsAggregate(t.X) {
+			return true
+		}
+		for _, a := range t.List {
+			if ContainsAggregate(a) {
+				return true
+			}
+		}
+	case *Like:
+		return ContainsAggregate(t.X) || ContainsAggregate(t.Pattern)
+	case *IsNull:
+		return ContainsAggregate(t.X)
+	}
+	return false
+}
+
+// Columns collects the distinct column names referenced by e, in first-seen
+// order. Used for projection pushdown and columnar scans.
+func Columns(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case *Column:
+			if !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		case *Binary:
+			walk(t.L)
+			walk(t.R)
+		case *Unary:
+			walk(t.X)
+		case *Case:
+			for _, w := range t.Whens {
+				walk(w.Cond)
+				walk(w.Result)
+			}
+			if t.Else != nil {
+				walk(t.Else)
+			}
+		case *Cast:
+			walk(t.X)
+		case *Call:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *Aggregate:
+			walk(t.X)
+		case *Between:
+			walk(t.X)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *In:
+			walk(t.X)
+			for _, a := range t.List {
+				walk(a)
+			}
+		case *Like:
+			walk(t.X)
+			walk(t.Pattern)
+		case *IsNull:
+			walk(t.X)
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,37 @@
+package sqlparse
+
+import "testing"
+
+var benchQueries = []string{
+	"SELECT * FROM S3Object",
+	"SELECT l_orderkey, l_extendedprice FROM S3Object WHERE l_shipdate >= '1994-01-01' AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+	"SELECT SUM(CASE WHEN g = 1 THEN v ELSE 0 END), SUM(CASE WHEN g = 2 THEN v ELSE 0 END), COUNT(*) FROM S3Object",
+	"SELECT c FROM t WHERE SUBSTRING('101010101', ((69 * CAST(c AS INT) + 92) % 97) % 9 + 1, 1) = '1'",
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchQueries {
+			if _, err := Parse(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	var sels []*Select
+	for _, q := range benchQueries {
+		s, err := Parse(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sels = append(sels, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sels {
+			_ = s.String()
+		}
+	}
+}

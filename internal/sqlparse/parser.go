@@ -1,0 +1,763 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pushdowndb/internal/value"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*Select, error) {
+	p := &parser{lex: NewLexer(src), src: src}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Type != TokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.tok)
+	}
+	return sel, nil
+}
+
+// ParseExpr parses a standalone expression (used in tests and by plan
+// builders that assemble predicates from fragments).
+func ParseExpr(src string) (Expr, error) {
+	p := &parser{lex: NewLexer(src), src: src}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Type != TokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.tok)
+	}
+	return e, nil
+}
+
+type parser struct {
+	lex *Lexer
+	src string
+	tok Token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: %s (at offset %d)", fmt.Sprintf(format, args...), p.tok.Pos)
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.Type == TokKeyword && p.tok.Text == kw
+}
+
+func (p *parser) isOp(op string) bool {
+	return p.tok.Type == TokOp && p.tok.Text == op
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.isOp(op) {
+		return p.errf("expected %q, got %s", op, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.tok.Type != TokIdent {
+		return nil, p.errf("expected table name, got %s", p.tok)
+	}
+	sel.Table = p.tok.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// optional alias: FROM t AS s / FROM t s
+	if p.isKeyword("AS") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Type != TokIdent {
+			return nil, p.errf("expected alias after AS, got %s", p.tok)
+		}
+		sel.Alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else if p.tok.Type == TokIdent {
+		sel.Alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if p.isOp(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.isKeyword("ORDER") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.isKeyword("ASC") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else if p.isKeyword("DESC") {
+				item.Desc = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.isOp(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if p.isKeyword("LIMIT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Type != TokNumber {
+			return nil, p.errf("expected number after LIMIT, got %s", p.tok)
+		}
+		n, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", p.tok.Text)
+		}
+		sel.Limit = n
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.isOp("*") {
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Expr: &Star{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.isKeyword("AS") {
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+		if p.tok.Type != TokIdent {
+			return SelectItem{}, p.errf("expected alias after AS, got %s", p.tok)
+		}
+		item.Alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	} else if p.tok.Type == TokIdent {
+		item.Alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	}
+	return item, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr     = and { OR and }
+//	and      = not { AND not }
+//	not      = NOT not | predicate
+//	predicate= additive [ compOp additive | [NOT] BETWEEN .. | [NOT] IN (..) | [NOT] LIKE .. | IS [NOT] NULL ]
+//	additive = mult { (+|-|'||') mult }
+//	mult     = unary { (*|/|%) unary }
+//	unary    = - unary | primary
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+var compOps = map[string]BinaryOp{
+	"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Type == TokOp {
+		if op, ok := compOps[p.tok.Text]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	not := false
+	if p.isKeyword("NOT") {
+		// lookahead for NOT BETWEEN / NOT IN / NOT LIKE
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		not = true
+	}
+	switch {
+	case p.isKeyword("BETWEEN"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.isKeyword("IN"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.isOp(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &In{X: l, List: list, Not: not}, nil
+	case p.isKeyword("LIKE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Like{X: l, Pattern: pat, Not: not}, nil
+	case p.isKeyword("IS"):
+		if not {
+			return nil, p.errf("NOT before IS is not supported; use IS NOT NULL")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		isNot := false
+		if p.isKeyword("NOT") {
+			isNot = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Not: isNot}, nil
+	}
+	if not {
+		return &Unary{Op: "NOT", X: l}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMult()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") || p.isOp("||") {
+		op := OpAdd
+		switch p.tok.Text {
+		case "-":
+			op = OpSub
+		case "||":
+			op = OpConcat
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMult()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMult() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") || p.isOp("%") {
+		op := OpMul
+		switch p.tok.Text {
+		case "/":
+			op = OpDiv
+		case "%":
+			op = OpMod
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.isOp("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals so -950 is a Literal.
+		if lit, ok := x.(*Literal); ok {
+			switch lit.Val.Kind() {
+			case value.KindInt:
+				return &Literal{Val: value.Int(-lit.Val.AsInt())}, nil
+			case value.KindFloat:
+				return &Literal{Val: value.Float(-lit.Val.AsFloat())}, nil
+			}
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggFuncs = map[string]AggFunc{
+	"SUM": AggSum, "COUNT": AggCount, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+var castKinds = map[string]value.Kind{
+	"INT": value.KindInt, "INTEGER": value.KindInt,
+	"FLOAT": value.KindFloat, "DECIMAL": value.KindFloat,
+	"STRING": value.KindString, "TIMESTAMP": value.KindDate,
+	"BOOL": value.KindBool,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.isOp("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.tok.Type == TokNumber:
+		text := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !strings.ContainsAny(text, ".eE") {
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err == nil {
+				return &Literal{Val: value.Int(i)}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", text)
+		}
+		return &Literal{Val: value.Float(f)}, nil
+	case p.tok.Type == TokString:
+		s := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: value.Str(s)}, nil
+	case p.isKeyword("NULL"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: value.Null()}, nil
+	case p.isKeyword("TRUE"), p.isKeyword("FALSE"):
+		b := p.tok.Text == "TRUE"
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: value.Bool(b)}, nil
+	case p.isKeyword("DATE"), p.isKeyword("TIMESTAMP"):
+		// DATE '1994-01-01'
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Type != TokString {
+			return nil, p.errf("expected date string literal, got %s", p.tok)
+		}
+		v, err := value.ParseDate(p.tok.Text)
+		if err != nil {
+			return nil, p.errf("bad date literal %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Literal{Val: v}, nil
+	case p.isKeyword("CASE"):
+		return p.parseCase()
+	case p.isKeyword("CAST"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		if p.tok.Type != TokKeyword {
+			return nil, p.errf("expected type name, got %s", p.tok)
+		}
+		kind, ok := castKinds[p.tok.Text]
+		if !ok {
+			return nil, p.errf("unsupported cast type %s", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &Cast{X: x, To: kind}, nil
+	case p.isKeyword("EXTRACT"):
+		// EXTRACT(YEAR FROM expr) -> Call{EXTRACT, ['YEAR', expr]}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.tok.Type != TokIdent {
+			return nil, p.errf("expected date part (YEAR/MONTH/DAY), got %s", p.tok)
+		}
+		unit := strings.ToUpper(p.tok.Text)
+		if unit != "YEAR" && unit != "MONTH" && unit != "DAY" {
+			return nil, p.errf("unsupported EXTRACT part %q", unit)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &Call{Name: "EXTRACT", Args: []Expr{&Literal{Val: value.Str(unit)}, x}}, nil
+	case p.isKeyword("SUBSTRING"):
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 && len(args) != 3 {
+			return nil, p.errf("SUBSTRING takes 2 or 3 arguments, got %d", len(args))
+		}
+		return &Call{Name: name, Args: args}, nil
+	case p.tok.Type == TokKeyword:
+		if fn, ok := aggFuncs[p.tok.Text]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var x Expr
+			if p.isOp("*") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				x = &Star{}
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				x = e
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &Aggregate{Func: fn, X: x}, nil
+		}
+		return nil, p.errf("unexpected keyword %s", p.tok.Text)
+	case p.tok.Type == TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isOp("(") {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Name: strings.ToUpper(name), Args: args}, nil
+		}
+		if p.isOp(".") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Type != TokIdent && p.tok.Type != TokOp {
+				return nil, p.errf("expected column after %q., got %s", name, p.tok)
+			}
+			if p.isOp("*") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return &Star{}, nil
+			}
+			col := p.tok.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Column{Qualifier: name, Name: col}, nil
+		}
+		return &Column{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected token %s", p.tok)
+	}
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.isOp(")") {
+		return args, p.advance()
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.advance(); err != nil { // consume CASE
+		return nil, err
+	}
+	c := &Case{}
+	for p.isKeyword("WHEN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN arm")
+	}
+	if p.isKeyword("ELSE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

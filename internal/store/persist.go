@@ -1,0 +1,68 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Disk persistence: SaveDir/LoadDir mirror the store to a directory tree
+// (<dir>/<bucket>/<key>), so cmd/s3server can survive restarts and
+// datasets generated once can be reused. Object keys may contain slashes;
+// they map to subdirectories.
+
+// SaveDir writes every bucket and object under dir, replacing existing
+// files. Buckets become top-level directories.
+func (s *Store) SaveDir(dir string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for bucket, objects := range s.buckets {
+		for key, data := range objects {
+			path := filepath.Join(dir, bucket, filepath.FromSlash(key))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return fmt.Errorf("store: save %s/%s: %w", bucket, key, err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return fmt.Errorf("store: save %s/%s: %w", bucket, key, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadDir reads a directory tree written by SaveDir into a new store:
+// every first-level directory is a bucket, every file below it an object.
+func LoadDir(dir string) (*Store, error) {
+	st := New()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", dir, err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue // top-level files are not part of any bucket
+		}
+		bucket := ent.Name()
+		root := filepath.Join(dir, bucket)
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			st.Put(bucket, strings.ReplaceAll(filepath.ToSlash(rel), "//", "/"), data)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: load bucket %s: %w", bucket, err)
+		}
+	}
+	return st, nil
+}

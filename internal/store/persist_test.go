@@ -1,0 +1,66 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := New()
+	s.Put("tpch", "customer/part0000.csv", []byte("c1,c2\n1,2\n"))
+	s.Put("tpch", "customer/part0001.csv", []byte("c1,c2\n3,4\n"))
+	s.Put("tpch", "nation/part0000.csv", []byte("n\nALGERIA\n"))
+	s.Put("other", "k", []byte{0x00, 0xFF, 0x7F}) // binary payload
+
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bucket := range s.Buckets() {
+		for _, key := range s.List(bucket, "") {
+			want, _ := s.Get(bucket, key)
+			got, err := loaded.Get(bucket, key)
+			if err != nil {
+				t.Fatalf("%s/%s missing after reload: %v", bucket, key, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s/%s payload differs after reload", bucket, key)
+			}
+		}
+	}
+	if got := loaded.TableParts("tpch", "customer"); len(got) != 2 {
+		t.Errorf("partition listing after reload = %v", got)
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, err := LoadDir("/nonexistent/path/for/sure"); err == nil {
+		t.Error("missing directory should error")
+	}
+}
+
+func TestSaveDirOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	s := New()
+	s.Put("b", "k", []byte("v1"))
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("b", "k", []byte("v2-longer"))
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := loaded.Get("b", "k")
+	if string(got) != "v2-longer" {
+		t.Errorf("got %q after overwrite", got)
+	}
+}

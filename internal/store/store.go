@@ -1,0 +1,189 @@
+// Package store implements the object-store substrate standing in for
+// Amazon S3: buckets of immutable byte objects addressed by key, with
+// whole-object GET, single-range GET (what the real S3 API offers) and a
+// multi-range GET extension (the paper's Suggestion 1).
+//
+// Tables are stored as one or more partition objects under a common prefix,
+// e.g. customer/part0000.csv — the layout PushdownDB uses to load
+// partitions in parallel. The store is safe for concurrent use.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is an in-memory object store.
+type Store struct {
+	mu      sync.RWMutex
+	buckets map[string]map[string][]byte
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{buckets: map[string]map[string][]byte{}}
+}
+
+// CreateBucket creates a bucket; creating an existing bucket is an error.
+func (s *Store) CreateBucket(bucket string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[bucket]; ok {
+		return fmt.Errorf("store: bucket %q already exists", bucket)
+	}
+	s.buckets[bucket] = map[string][]byte{}
+	return nil
+}
+
+// Put stores an object, creating the bucket implicitly if needed. The data
+// slice is retained; callers must not mutate it afterwards.
+func (s *Store) Put(bucket, key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		b = map[string][]byte{}
+		s.buckets[bucket] = b
+	}
+	b[key] = data
+}
+
+// Delete removes an object if present.
+func (s *Store) Delete(bucket, key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.buckets[bucket]; ok {
+		delete(b, key)
+	}
+}
+
+// Get returns the full object payload.
+func (s *Store) Get(bucket, key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := s.lookup(bucket, key)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Size returns the object length in bytes.
+func (s *Store) Size(bucket, key string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := s.lookup(bucket, key)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// GetRange returns bytes [first, last] inclusive, mirroring the HTTP Range
+// header semantics S3 implements. last is clamped to the object end; a
+// first past the end is an error (HTTP 416).
+func (s *Store) GetRange(bucket, key string, first, last int64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := s.lookup(bucket, key)
+	if err != nil {
+		return nil, err
+	}
+	if first < 0 || first >= int64(len(data)) || last < first {
+		return nil, fmt.Errorf("store: range [%d,%d] not satisfiable for %s/%s (len %d)",
+			first, last, bucket, key, len(data))
+	}
+	if last >= int64(len(data)) {
+		last = int64(len(data)) - 1
+	}
+	return data[first : last+1], nil
+}
+
+// GetRanges returns multiple inclusive ranges in one request — the
+// multi-range GET of the paper's Suggestion 1. Results are in request
+// order. Any unsatisfiable range fails the whole request.
+func (s *Store) GetRanges(bucket, key string, ranges [][2]int64) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := s.lookup(bucket, key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(ranges))
+	for i, r := range ranges {
+		first, last := r[0], r[1]
+		if first < 0 || first >= int64(len(data)) || last < first {
+			return nil, fmt.Errorf("store: range [%d,%d] not satisfiable for %s/%s",
+				first, last, bucket, key)
+		}
+		if last >= int64(len(data)) {
+			last = int64(len(data)) - 1
+		}
+		out[i] = data[first : last+1]
+	}
+	return out, nil
+}
+
+// List returns the keys in bucket with the given prefix, sorted.
+func (s *Store) List(bucket, prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b := s.buckets[bucket]
+	var keys []string
+	for k := range b {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Buckets returns all bucket names, sorted.
+func (s *Store) Buckets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var names []string
+	for b := range s.buckets {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Store) lookup(bucket, key string) ([]byte, error) {
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return nil, fmt.Errorf("store: no such bucket %q", bucket)
+	}
+	data, ok := b[key]
+	if !ok {
+		return nil, fmt.Errorf("store: no such key %q in bucket %q", key, bucket)
+	}
+	return data, nil
+}
+
+// PartitionKey formats the canonical key of partition i of a table.
+func PartitionKey(table string, i int) string {
+	return fmt.Sprintf("%s/part%04d.csv", table, i)
+}
+
+// TableParts lists the partition keys of a table stored under the
+// PartitionKey convention.
+func (s *Store) TableParts(bucket, table string) []string {
+	return s.List(bucket, table+"/part")
+}
+
+// TableSize sums the byte sizes of all partitions of a table.
+func (s *Store) TableSize(bucket, table string) int64 {
+	var total int64
+	for _, k := range s.TableParts(bucket, table) {
+		n, err := s.Size(bucket, k)
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	s.Put("b", "k", []byte("hello"))
+	got, err := s.Get("b", "k")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := s.Get("b", "missing"); err == nil {
+		t.Error("missing key should error")
+	}
+	if _, err := s.Get("nobucket", "k"); err == nil {
+		t.Error("missing bucket should error")
+	}
+}
+
+func TestCreateBucket(t *testing.T) {
+	s := New()
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateBucket("b"); err == nil {
+		t.Error("duplicate bucket should error")
+	}
+	if got := s.Buckets(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Buckets = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.Put("b", "k", []byte("x"))
+	s.Delete("b", "k")
+	if _, err := s.Get("b", "k"); err == nil {
+		t.Error("deleted key should be gone")
+	}
+	s.Delete("b", "never-existed") // no panic
+	s.Delete("nobucket", "k")
+}
+
+func TestSize(t *testing.T) {
+	s := New()
+	s.Put("b", "k", make([]byte, 123))
+	n, err := s.Size("b", "k")
+	if err != nil || n != 123 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	s := New()
+	s.Put("b", "k", []byte("0123456789"))
+	got, err := s.GetRange("b", "k", 2, 5)
+	if err != nil || string(got) != "2345" {
+		t.Fatalf("GetRange = %q, %v", got, err)
+	}
+	// Clamp past end.
+	got, err = s.GetRange("b", "k", 8, 100)
+	if err != nil || string(got) != "89" {
+		t.Fatalf("clamped GetRange = %q, %v", got, err)
+	}
+	// Unsatisfiable.
+	if _, err := s.GetRange("b", "k", 10, 12); err == nil {
+		t.Error("start past end should error")
+	}
+	if _, err := s.GetRange("b", "k", -1, 3); err == nil {
+		t.Error("negative start should error")
+	}
+	if _, err := s.GetRange("b", "k", 5, 2); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestGetRanges(t *testing.T) {
+	s := New()
+	s.Put("b", "k", []byte("abcdefgh"))
+	got, err := s.GetRanges("b", "k", [][2]int64{{0, 1}, {4, 5}, {7, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("ab"), []byte("ef"), []byte("h")}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GetRanges = %q", got)
+	}
+	if _, err := s.GetRanges("b", "k", [][2]int64{{0, 1}, {99, 100}}); err == nil {
+		t.Error("any bad range should fail the request")
+	}
+}
+
+func TestListAndTableParts(t *testing.T) {
+	s := New()
+	for i := 0; i < 3; i++ {
+		s.Put("tpch", PartitionKey("customer", i), []byte{byte(i)})
+	}
+	s.Put("tpch", "customer_index/part0000.csv", []byte("idx"))
+	s.Put("tpch", "orders/part0000.csv", []byte("o"))
+	parts := s.TableParts("tpch", "customer")
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	for i, p := range parts {
+		if p != fmt.Sprintf("customer/part%04d.csv", i) {
+			t.Errorf("part[%d] = %q", i, p)
+		}
+	}
+	if n := s.TableSize("tpch", "customer"); n != 3 {
+		t.Errorf("TableSize = %d", n)
+	}
+	if got := s.List("tpch", ""); len(got) != 5 {
+		t.Errorf("List all = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			s.Put("b", key, []byte{byte(i)})
+			if _, err := s.Get("b", key); err != nil {
+				t.Errorf("get %s: %v", key, err)
+			}
+			s.List("b", "")
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.List("b", "")); got != 16 {
+		t.Errorf("keys = %d, want 16", got)
+	}
+}
+
+// Property: GetRange(first, last) equals slicing the original payload.
+func TestQuickRangeMatchesSlice(t *testing.T) {
+	s := New()
+	f := func(data []byte, a, b uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		s.Put("q", "k", data)
+		first := int64(a) % int64(len(data))
+		last := first + int64(b)%8
+		got, err := s.GetRange("q", "k", first, last)
+		if err != nil {
+			return false
+		}
+		end := last + 1
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		return bytes.Equal(got, data[first:end])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+
+	"pushdowndb/internal/colformat"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/store"
+	"pushdowndb/internal/value"
+)
+
+// Section IX also evaluates the TPC-H queries over Parquet data. These
+// helpers load the generated tables in the columnar stand-in format so the
+// same queries can run against both layouts.
+
+// columnKind infers a column's storage kind from its TPC-H name.
+func columnKind(name string) value.Kind {
+	switch {
+	case strings.HasSuffix(name, "key") || name == "o_shippriority" ||
+		name == "l_linenumber" || name == "p_size" || name == "l_quantity":
+		return value.KindInt
+	case strings.HasSuffix(name, "price") || strings.HasSuffix(name, "bal") ||
+		name == "l_discount" || name == "l_tax":
+		return value.KindFloat
+	case strings.HasSuffix(name, "date"):
+		return value.KindDate
+	default:
+		return value.KindString
+	}
+}
+
+// SchemaFor builds the columnar schema for a TPC-H table header.
+func SchemaFor(header []string) colformat.Schema {
+	s := make(colformat.Schema, len(header))
+	for i, h := range header {
+		s[i] = colformat.ColumnDef{Name: h, Kind: columnKind(h)}
+	}
+	return s
+}
+
+// typedRows converts generated CSV rows to typed rows per the schema.
+func typedRows(schema colformat.Schema, rows [][]string) ([][]value.Value, error) {
+	out := make([][]value.Value, len(rows))
+	for i, r := range rows {
+		tr := make([]value.Value, len(r))
+		for j, f := range r {
+			if f == "" {
+				tr[j] = value.Null()
+				continue
+			}
+			var v value.Value
+			var err error
+			switch schema[j].Kind {
+			case value.KindInt:
+				v, err = value.CastInt(value.Str(f))
+			case value.KindFloat:
+				v, err = value.CastFloat(value.Str(f))
+			case value.KindDate:
+				v, err = value.ParseDate(f)
+			default:
+				v = value.Str(f)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("tpch: column %s value %q: %w", schema[j].Name, f, err)
+			}
+			tr[j] = v
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// LoadColumnar generates the TPC-H tables and writes them in the columnar
+// (Parquet stand-in) format, under table names suffixed "_col" so a store
+// can hold both layouts side by side (Section IX compares them).
+func LoadColumnar(st *store.Store, d Dataset) (Dataset, error) {
+	d = d.WithDefaults()
+	orders := GenOrders(d.SF, d.Seed)
+	steps := []struct {
+		table  string
+		header []string
+		rows   [][]string
+		parts  int
+	}{
+		{"customer_col", CustomerHeader, GenCustomers(d.SF, d.Seed), d.Partitions},
+		{"orders_col", OrdersHeader, orders, d.Partitions},
+		{"lineitem_col", LineitemHeader, GenLineitems(d.SF, d.Seed, orders), d.Partitions},
+		{"part_col", PartHeader, GenParts(d.SF, d.Seed), d.Partitions},
+	}
+	for _, s := range steps {
+		schema := SchemaFor(s.header)
+		typed, err := typedRows(schema, s.rows)
+		if err != nil {
+			return d, err
+		}
+		groupRows := len(typed)/s.parts/4 + 1
+		if err := engine.PartitionTableColumnar(st, d.Bucket, s.table, schema, typed,
+			s.parts, groupRows, true); err != nil {
+			return d, fmt.Errorf("tpch: loading %s: %w", s.table, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,308 @@
+// Package tpch generates TPC-H tables (a dbgen stand-in), loads them into
+// the simulated S3 store, and implements the paper's six evaluation
+// queries (Q1, Q3, Q6, Q14, Q17, Q19) in both baseline and optimized form.
+//
+// The generator reproduces the schema and the distributions the paper's
+// experiments depend on — uniform c_acctbal in [-999.99, 9999.99] (the
+// Fig. 2 selectivity axis), uniform o_orderdate in [1992-01-01, 1998-08-02]
+// (the Fig. 3 axis), 1–7 lineitems per order, TPC-H brand/container/type
+// vocabularies — with deterministic seeding so experiments are exactly
+// repeatable. Row counts scale linearly with the scale factor: SF=1 is
+// 150k customers / 1.5M orders / ~6M lineitems, as in TPC-H.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pushdowndb/internal/value"
+)
+
+// Dates bounding o_orderdate per the TPC-H spec.
+var (
+	startDate = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+	endDate   = time.Date(1998, 8, 2, 0, 0, 0, 0, time.UTC)
+)
+
+const orderDateRangeDays = 2405 // days in [1992-01-01, 1998-08-02)
+
+var (
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes   = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	types1      = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	types2      = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	types3      = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	nations     = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	// nationRegion maps nation key to region key per the TPC-H seed data.
+	nationRegion = []int{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+)
+
+// Sizes holds per-table row counts at a scale factor.
+type Sizes struct {
+	Customers int
+	Orders    int
+	Parts     int
+	Suppliers int
+}
+
+// SizesFor returns TPC-H row counts at scale factor sf.
+func SizesFor(sf float64) Sizes {
+	atLeast := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return Sizes{
+		Customers: atLeast(int(150_000 * sf)),
+		Orders:    atLeast(int(1_500_000 * sf)),
+		Parts:     atLeast(int(200_000 * sf)),
+		Suppliers: atLeast(int(10_000 * sf)),
+	}
+}
+
+func dateStr(days int) string {
+	return startDate.AddDate(0, 0, days).Format("2006-01-02")
+}
+
+// DaysFromStart converts a YYYY-MM-DD date into days after 1992-01-01
+// (used by experiments sweeping o_orderdate selectivity).
+func DaysFromStart(date string) int {
+	v, err := value.ParseDate(date)
+	if err != nil {
+		return 0
+	}
+	epochStart := startDate.Unix() / 86400
+	return int(v.Days() - epochStart)
+}
+
+// retailPrice follows the TPC-H p_retailprice formula.
+func retailPrice(partkey int) float64 {
+	return float64(90000+((partkey%200001)/10)+100*(partkey%1000)) / 100
+}
+
+// CustomerHeader lists the customer columns.
+var CustomerHeader = []string{
+	"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+	"c_acctbal", "c_mktsegment", "c_comment",
+}
+
+// GenCustomers generates the customer table at scale factor sf.
+func GenCustomers(sf float64, seed int64) [][]string {
+	n := SizesFor(sf).Customers
+	rng := rand.New(rand.NewSource(seed ^ 0xC05))
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		key := i + 1
+		nation := rng.Intn(25)
+		rows[i] = []string{
+			fmt.Sprint(key),
+			fmt.Sprintf("Customer#%09d", key),
+			randAddress(rng),
+			fmt.Sprint(nation),
+			randPhone(rng, nation),
+			fmt.Sprintf("%.2f", -999.99+rng.Float64()*(9999.99+999.99)),
+			segments[rng.Intn(len(segments))],
+			randText(rng, 30),
+		}
+	}
+	return rows
+}
+
+// OrdersHeader lists the orders columns.
+var OrdersHeader = []string{
+	"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+	"o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment",
+}
+
+// GenOrders generates the orders table. Each order's date is uniform over
+// the spec's range; customers are drawn uniformly.
+func GenOrders(sf float64, seed int64) [][]string {
+	sizes := SizesFor(sf)
+	rng := rand.New(rand.NewSource(seed ^ 0x0DE5))
+	rows := make([][]string, sizes.Orders)
+	for i := 0; i < sizes.Orders; i++ {
+		key := i + 1
+		days := rng.Intn(orderDateRangeDays)
+		status := "F"
+		if days > orderDateRangeDays-365 {
+			status = "O"
+		} else if rng.Intn(20) == 0 {
+			status = "P"
+		}
+		rows[i] = []string{
+			fmt.Sprint(key),
+			fmt.Sprint(rng.Intn(sizes.Customers) + 1),
+			status,
+			fmt.Sprintf("%.2f", 1000+rng.Float64()*450000),
+			dateStr(days),
+			priorities[rng.Intn(len(priorities))],
+			fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1),
+			"0",
+			randText(rng, 24),
+		}
+	}
+	return rows
+}
+
+// LineitemHeader lists the lineitem columns.
+var LineitemHeader = []string{
+	"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+	"l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+	"l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
+	"l_shipmode", "l_comment",
+}
+
+// GenLineitems generates the lineitem table: 1..7 lines per order, ship
+// dates 1..121 days after the order date, return flags and line statuses
+// derived from the spec's date rules. The orders slice must come from
+// GenOrders with the same sf (order dates are re-derived from it).
+func GenLineitems(sf float64, seed int64, orders [][]string) [][]string {
+	sizes := SizesFor(sf)
+	rng := rand.New(rand.NewSource(seed ^ 0x11E1))
+	cutoff, _ := value.ParseDate("1995-06-17")
+	var rows [][]string
+	for _, o := range orders {
+		orderkey := o[0]
+		odate, err := value.ParseDate(o[4])
+		if err != nil {
+			continue
+		}
+		lines := 1 + rng.Intn(7)
+		for ln := 1; ln <= lines; ln++ {
+			partkey := rng.Intn(sizes.Parts) + 1
+			suppkey := rng.Intn(sizes.Suppliers) + 1
+			qty := 1 + rng.Intn(50)
+			price := float64(qty) * retailPrice(partkey)
+			discount := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			shipDays := odate.Days() + int64(1+rng.Intn(121))
+			commitDays := odate.Days() + int64(30+rng.Intn(61))
+			receiptDays := shipDays + int64(1+rng.Intn(30))
+			returnflag := "N"
+			if receiptDays <= cutoff.Days() {
+				if rng.Intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			}
+			linestatus := "O"
+			if shipDays <= cutoff.Days() {
+				linestatus = "F"
+			}
+			rows = append(rows, []string{
+				orderkey,
+				fmt.Sprint(partkey),
+				fmt.Sprint(suppkey),
+				fmt.Sprint(ln),
+				fmt.Sprint(qty),
+				fmt.Sprintf("%.2f", price),
+				fmt.Sprintf("%.2f", discount),
+				fmt.Sprintf("%.2f", tax),
+				returnflag,
+				linestatus,
+				value.FormatDays(shipDays),
+				value.FormatDays(commitDays),
+				value.FormatDays(receiptDays),
+				instructs[rng.Intn(len(instructs))],
+				shipModes[rng.Intn(len(shipModes))],
+				randText(rng, 16),
+			})
+		}
+	}
+	return rows
+}
+
+// PartHeader lists the part columns.
+var PartHeader = []string{
+	"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+	"p_container", "p_retailprice", "p_comment",
+}
+
+// GenParts generates the part table with the spec's brand/type/container
+// vocabularies.
+func GenParts(sf float64, seed int64) [][]string {
+	n := SizesFor(sf).Parts
+	rng := rand.New(rand.NewSource(seed ^ 0x9A27))
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		key := i + 1
+		mfgr := rng.Intn(5) + 1
+		brand := mfgr*10 + rng.Intn(5) + 1
+		rows[i] = []string{
+			fmt.Sprint(key),
+			randPartName(rng),
+			fmt.Sprintf("Manufacturer#%d", mfgr),
+			fmt.Sprintf("Brand#%d", brand),
+			types1[rng.Intn(len(types1))] + " " + types2[rng.Intn(len(types2))] + " " + types3[rng.Intn(len(types3))],
+			fmt.Sprint(1 + rng.Intn(50)),
+			containers1[rng.Intn(len(containers1))] + " " + containers2[rng.Intn(len(containers2))],
+			fmt.Sprintf("%.2f", retailPrice(key)),
+			randText(rng, 10),
+		}
+	}
+	return rows
+}
+
+// SupplierHeader lists the supplier columns.
+var SupplierHeader = []string{
+	"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment",
+}
+
+// GenSuppliers generates the supplier table.
+func GenSuppliers(sf float64, seed int64) [][]string {
+	n := SizesFor(sf).Suppliers
+	rng := rand.New(rand.NewSource(seed ^ 0x5CDD))
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		key := i + 1
+		nation := rng.Intn(25)
+		rows[i] = []string{
+			fmt.Sprint(key),
+			fmt.Sprintf("Supplier#%09d", key),
+			randAddress(rng),
+			fmt.Sprint(nation),
+			randPhone(rng, nation),
+			fmt.Sprintf("%.2f", -999.99+rng.Float64()*(9999.99+999.99)),
+			randText(rng, 20),
+		}
+	}
+	return rows
+}
+
+// NationHeader lists the nation columns.
+var NationHeader = []string{"n_nationkey", "n_name", "n_regionkey", "n_comment"}
+
+// GenNations returns the 25 fixed nations.
+func GenNations() [][]string {
+	rows := make([][]string, len(nations))
+	for i, n := range nations {
+		rows[i] = []string{fmt.Sprint(i), n, fmt.Sprint(nationRegion[i]), "fixed nation"}
+	}
+	return rows
+}
+
+// RegionHeader lists the region columns.
+var RegionHeader = []string{"r_regionkey", "r_name", "r_comment"}
+
+// GenRegions returns the 5 fixed regions.
+func GenRegions() [][]string {
+	rows := make([][]string, len(regions))
+	for i, r := range regions {
+		rows[i] = []string{fmt.Sprint(i), r, "fixed region"}
+	}
+	return rows
+}

@@ -1,0 +1,106 @@
+package tpch
+
+import (
+	"testing"
+)
+
+func TestExtendedQueriesBaselineVsOptimized(t *testing.T) {
+	db := testDB(t, 0.002)
+	for _, q := range ExtendedQueries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			base, be, err := q.Baseline(db)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			opt, oe, err := q.Optimized(db)
+			if err != nil {
+				t.Fatalf("optimized: %v", err)
+			}
+			if len(base.Rows) != len(opt.Rows) {
+				t.Fatalf("row counts differ: %d vs %d\nbase:\n%s\nopt:\n%s",
+					len(base.Rows), len(opt.Rows), base, opt)
+			}
+			bk, ok := relKey(base), relKey(opt)
+			for i := range bk {
+				if bk[i] != ok[i] {
+					t.Errorf("row %d:\n  baseline  %s\n  optimized %s", i, bk[i], ok[i])
+				}
+			}
+			_, _, bRet, bGet := be.Metrics.Totals()
+			_, _, oRet, oGet := oe.Metrics.Totals()
+			if oRet+oGet >= bRet+bGet {
+				t.Errorf("optimized moved %d bytes, baseline %d", oRet+oGet, bRet+bGet)
+			}
+		})
+	}
+}
+
+func TestQ4SemiJoinCountsOrdersOnce(t *testing.T) {
+	// An order with several qualifying lineitems must count once (EXISTS
+	// semantics, not join multiplicity).
+	db := testDB(t, 0.002)
+	rel, _, err := Q4Optimized(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, r := range rel.Rows {
+		n, _ := r[1].IntNum()
+		if n <= 0 {
+			t.Errorf("non-positive priority count: %v", r)
+		}
+		total += n
+	}
+	// Compare with the number of distinct qualifying orders.
+	e := db.NewExec()
+	ords, err := e.SelectRows("check", e.NextStage(), "orders",
+		"SELECT o_orderkey FROM S3Object WHERE "+q4OrdersFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > int64(len(ords.Rows)) {
+		t.Errorf("semi-join counted %d orders, only %d qualify by date", total, len(ords.Rows))
+	}
+}
+
+func TestQ12HighPlusLowEqualsJoin(t *testing.T) {
+	db := testDB(t, 0.002)
+	rel, _, err := Q12Optimized(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) == 0 || len(rel.Rows) > 2 {
+		t.Fatalf("Q12 ship modes = %d (want 1-2: MAIL, SHIP)", len(rel.Rows))
+	}
+	for _, r := range rel.Rows {
+		mode := r[0].String()
+		if mode != "MAIL" && mode != "SHIP" {
+			t.Errorf("unexpected ship mode %q", mode)
+		}
+		hi, _ := r[1].IntNum()
+		lo, _ := r[2].IntNum()
+		if hi < 0 || lo < 0 || hi+lo == 0 {
+			t.Errorf("implausible counts for %s: %d/%d", mode, hi, lo)
+		}
+	}
+}
+
+func TestQ10LimitAndOrdering(t *testing.T) {
+	db := testDB(t, 0.002)
+	rel, _, err := Q10Optimized(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Rows) > 20 {
+		t.Fatalf("Q10 must return at most 20 rows, got %d", len(rel.Rows))
+	}
+	ri := rel.ColIndex("revenue")
+	for i := 1; i < len(rel.Rows); i++ {
+		a, _ := rel.Rows[i-1][ri].Num()
+		b, _ := rel.Rows[i][ri].Num()
+		if a < b {
+			t.Fatalf("Q10 not sorted by revenue desc at %d", i)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package tpch
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Word lists for the dbgen-style pseudo text and part names.
+var (
+	nouns = []string{
+		"packages", "requests", "accounts", "deposits", "foxes", "ideas",
+		"theodolites", "pinto beans", "instructions", "dependencies",
+		"excuses", "platelets", "asymptotes", "courts", "dolphins",
+	}
+	verbs = []string{
+		"sleep", "wake", "nag", "haggle", "cajole", "detect", "integrate",
+		"snooze", "doze", "boost", "engage", "affix", "use", "doubt",
+	}
+	adjectives = []string{
+		"furious", "sly", "careful", "blithe", "quick", "fluffy", "slow",
+		"quiet", "ruthless", "thin", "close", "dogged", "bold", "ironic",
+	}
+	partAdjs = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+	}
+)
+
+// randText produces dbgen-flavoured filler text of roughly maxWords words.
+func randText(rng *rand.Rand, maxWords int) string {
+	n := 3 + rng.Intn(maxWords)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch i % 3 {
+		case 0:
+			b.WriteString(adjectives[rng.Intn(len(adjectives))])
+		case 1:
+			b.WriteString(nouns[rng.Intn(len(nouns))])
+		default:
+			b.WriteString(verbs[rng.Intn(len(verbs))])
+		}
+	}
+	return b.String()
+}
+
+// randPartName produces a part name: five space-separated colour words.
+func randPartName(rng *rand.Rand) string {
+	parts := make([]string, 5)
+	for i := range parts {
+		parts[i] = partAdjs[rng.Intn(len(partAdjs))]
+	}
+	return strings.Join(parts, " ")
+}
+
+const addressChars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,"
+
+// randAddress produces a random address string.
+func randAddress(rng *rand.Rand) string {
+	n := 10 + rng.Intn(25)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = addressChars[rng.Intn(len(addressChars))]
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// randPhone produces the spec's phone format CC-DDD-DDD-DDDD where CC is
+// 10 + nationkey.
+func randPhone(rng *rand.Rand, nation int) string {
+	digits := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('0' + rng.Intn(10))
+		}
+		return string(b)
+	}
+	cc := 10 + nation
+	return strings.Join([]string{itoa2(cc), digits(3), digits(3), digits(4)}, "-")
+}
+
+func itoa2(n int) string {
+	return string([]byte{byte('0' + n/10), byte('0' + n%10)})
+}

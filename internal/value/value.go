@@ -1,0 +1,424 @@
+// Package value defines the SQL value model shared by the S3 Select engine
+// and the PushdownDB executor: a compact tagged union over the types the
+// S3 Select dialect knows about (NULL, BOOL, INT, FLOAT, STRING, DATE),
+// together with coercion, comparison and hashing rules.
+//
+// Dates are stored as days since 1970-01-01 and formatted as YYYY-MM-DD,
+// which matches how TPC-H data is laid out in CSV and how the paper's
+// queries compare order dates.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64   // BOOL (0/1), INT, DATE (days since epoch)
+	f    float64 // FLOAT
+	s    string  // STRING
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Int wraps an integer.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float wraps a float.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Date wraps a date expressed as days since 1970-01-01.
+func Date(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// DateFromYMD builds a date value from a calendar day.
+func DateFromYMD(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Date(t.Unix() / 86400)
+}
+
+// Kind reports the runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload. It panics unless Kind is BOOL.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("value: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// AsInt returns the integer payload. It panics unless Kind is INT or DATE.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt && v.kind != KindDate {
+		panic("value: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload. It panics unless Kind is FLOAT.
+func (v Value) AsFloat() float64 {
+	if v.kind != KindFloat {
+		panic("value: AsFloat on " + v.kind.String())
+	}
+	return v.f
+}
+
+// AsString returns the string payload. It panics unless Kind is STRING.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Days returns the date payload in days since epoch. It panics unless Kind is DATE.
+func (v Value) Days() int64 {
+	if v.kind != KindDate {
+		panic("value: Days on " + v.kind.String())
+	}
+	return v.i
+}
+
+// IsNumeric reports whether the value is INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Num returns the value as a float64 for arithmetic, coercing INT and DATE.
+// NULL and non-numeric kinds return (0, false).
+func (v Value) Num() (float64, bool) {
+	switch v.kind {
+	case KindInt, KindDate:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindBool:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// IntNum returns the value as an int64, coercing FLOAT by truncation.
+func (v Value) IntNum() (int64, bool) {
+	switch v.kind {
+	case KindInt, KindDate, KindBool:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value the way S3 Select renders CSV results: NULL as
+// the empty string, floats with minimal digits, dates as YYYY-MM-DD.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'f', -1, 64)
+	case KindString:
+		return v.s
+	case KindDate:
+		return FormatDays(v.i)
+	default:
+		return ""
+	}
+}
+
+// FormatDays renders days-since-epoch as YYYY-MM-DD.
+func FormatDays(days int64) string {
+	t := time.Unix(days*86400, 0).UTC()
+	return t.Format("2006-01-02")
+}
+
+// ParseDate parses YYYY-MM-DD into a DATE value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null(), fmt.Errorf("value: bad date %q: %w", s, err)
+	}
+	return Date(t.Unix() / 86400), nil
+}
+
+// LooksLikeDate reports whether s has the YYYY-MM-DD shape.
+func LooksLikeDate(s string) bool {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return false
+	}
+	for i, c := range s {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// FromCSV interprets a raw CSV field: S3 Select treats all CSV fields as
+// strings until CAST; PushdownDB's loaders use FromCSV to infer INT, FLOAT
+// and DATE where unambiguous.
+func FromCSV(field string) Value {
+	if field == "" {
+		return Null()
+	}
+	if LooksLikeDate(field) {
+		if v, err := ParseDate(field); err == nil {
+			return v
+		}
+	}
+	if i, err := strconv.ParseInt(field, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(field, 64); err == nil {
+		return Float(f)
+	}
+	return Str(field)
+}
+
+// CastInt implements CAST(x AS INT).
+func CastInt(v Value) (Value, error) {
+	switch v.kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		return v, nil
+	case KindFloat:
+		return Int(int64(v.f)), nil
+	case KindBool, KindDate:
+		return Int(v.i), nil
+	case KindString:
+		s := strings.TrimSpace(v.s)
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(s, 64)
+			if ferr != nil {
+				return Null(), fmt.Errorf("value: cannot CAST %q AS INT", v.s)
+			}
+			return Int(int64(f)), nil
+		}
+		return Int(i), nil
+	}
+	return Null(), fmt.Errorf("value: cannot CAST %s AS INT", v.kind)
+}
+
+// CastFloat implements CAST(x AS FLOAT) / AS DECIMAL.
+func CastFloat(v Value) (Value, error) {
+	switch v.kind {
+	case KindNull:
+		return Null(), nil
+	case KindFloat:
+		return v, nil
+	case KindInt, KindBool, KindDate:
+		return Float(float64(v.i)), nil
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return Null(), fmt.Errorf("value: cannot CAST %q AS FLOAT", v.s)
+		}
+		return Float(f), nil
+	}
+	return Null(), fmt.Errorf("value: cannot CAST %s AS FLOAT", v.kind)
+}
+
+// CastString implements CAST(x AS STRING).
+func CastString(v Value) Value {
+	if v.IsNull() {
+		return Null()
+	}
+	return Str(v.String())
+}
+
+// CastDate implements CAST(x AS DATE) / the TIMESTAMP literal coercion.
+func CastDate(v Value) (Value, error) {
+	switch v.kind {
+	case KindNull:
+		return Null(), nil
+	case KindDate:
+		return v, nil
+	case KindInt:
+		return Date(v.i), nil
+	case KindString:
+		return ParseDate(strings.TrimSpace(v.s))
+	}
+	return Null(), fmt.Errorf("value: cannot CAST %s AS DATE", v.kind)
+}
+
+// Compare orders a and b, returning -1, 0 or +1. NULL sorts before
+// everything and equals only NULL. Numeric kinds (INT, FLOAT, BOOL, DATE)
+// compare numerically with each other; a numeric compared with a STRING
+// attempts to parse the string as a number first (this mirrors S3 Select's
+// behaviour on CSV where every field is textual), falling back to string
+// comparison of the rendered forms.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind == KindString && b.kind == KindString {
+		// CSV semantics: S3 Select sees every CSV field as text, so two
+		// fields that both parse as numbers compare numerically (account
+		// balances, keys); otherwise lexicographically (names, dates).
+		if an, aok := coerceNum(a); aok {
+			if bn, bok := coerceNum(b); bok {
+				return cmpFloat(an, bn)
+			}
+		}
+		return strings.Compare(a.s, b.s)
+	}
+	if a.kind == KindString || b.kind == KindString {
+		// Try numeric comparison; dates compare as their textual form,
+		// which is order-preserving for YYYY-MM-DD.
+		if a.kind == KindDate || b.kind == KindDate {
+			return strings.Compare(a.String(), b.String())
+		}
+		an, aok := coerceNum(a)
+		bn, bok := coerceNum(b)
+		if aok && bok {
+			return cmpFloat(an, bn)
+		}
+		return strings.Compare(a.String(), b.String())
+	}
+	an, _ := a.Num()
+	bn, _ := b.Num()
+	return cmpFloat(an, bn)
+}
+
+func coerceNum(v Value) (float64, bool) {
+	if v.kind == KindString {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		return f, err == nil
+	}
+	return v.Num()
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports Compare(a,b)==0 with the extra rule that NULL != NULL
+// under SQL equality; use Compare for sorting and Equal for predicates.
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Hash returns a 64-bit hash consistent with Equal for non-NULL values:
+// numerically equal INT/FLOAT/DATE values hash identically.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	default:
+		f, _ := v.Num()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) {
+			u := uint64(int64(f))
+			for i := 0; i < 8; i++ {
+				mix(byte(u >> (8 * i)))
+			}
+		} else {
+			u := math.Float64bits(f)
+			for i := 0; i < 8; i++ {
+				mix(byte(u >> (8 * i)))
+			}
+		}
+	}
+	return h
+}
+
+// Truthy interprets a value in a WHERE context: only BOOL true is true;
+// NULL and everything else are false.
+func Truthy(v Value) bool {
+	return v.kind == KindBool && v.i != 0
+}

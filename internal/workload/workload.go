@@ -1,0 +1,172 @@
+// Package workload generates the synthetic datasets of the paper's
+// group-by and format experiments: the uniform-group-size table of Fig. 5
+// (20 columns: 10 group columns with 2^1..2^10 distinct groups, 10 float
+// value columns), the Zipfian-skewed table of Figs. 6-7 (100 groups per
+// group column, sizes following a Zipfian distribution with parameter θ,
+// per Gray et al.), and the random float matrices of Fig. 11.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pushdowndb/internal/colformat"
+	"pushdowndb/internal/value"
+)
+
+// Zipf draws group indices in [0, n) where group i has probability
+// proportional to 1/(i+1)^theta — the Gray et al. generator the paper
+// cites. theta = 0 is uniform; larger theta concentrates mass in the first
+// groups (θ=1.3 puts ~59% of rows in the 4 largest groups at n=100,
+// matching Section VI-C2). Unlike the YCSB approximation, this exact
+// CDF-inversion implementation supports theta >= 1.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a generator over n groups with skew theta.
+func NewZipf(n int, theta float64, seed int64) *Zipf {
+	if n < 1 {
+		panic("workload: Zipf needs n >= 1")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws a group index.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// TopMass reports the probability mass of the k most popular groups
+// (used to validate skew levels against the paper's "59% in 4 groups").
+func (z *Zipf) TopMass(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= len(z.cdf) {
+		return 1
+	}
+	return z.cdf[k-1]
+}
+
+// GroupTableSpec describes a synthetic group-by table.
+type GroupTableSpec struct {
+	Rows int
+	// GroupCols gives the number of distinct groups of each group column.
+	GroupCols []int
+	// ValueCols is the number of float value columns.
+	ValueCols int
+	// Theta skews group sizes (0 = uniform).
+	Theta float64
+	Seed  int64
+}
+
+// UniformSpec is the Fig. 5 table: 10 group columns with 2..2^10 groups and
+// 10 value columns, uniform group sizes.
+func UniformSpec(rows int, seed int64) GroupTableSpec {
+	gc := make([]int, 10)
+	for i := range gc {
+		gc[i] = 1 << (i + 1)
+	}
+	return GroupTableSpec{Rows: rows, GroupCols: gc, ValueCols: 10, Seed: seed}
+}
+
+// SkewedSpec is the Fig. 6/7 table: 10 group columns with 100 groups each,
+// Zipfian sizes with parameter theta, 10 value columns.
+func SkewedSpec(rows int, theta float64, seed int64) GroupTableSpec {
+	gc := make([]int, 10)
+	for i := range gc {
+		gc[i] = 100
+	}
+	return GroupTableSpec{Rows: rows, GroupCols: gc, ValueCols: 10, Theta: theta, Seed: seed}
+}
+
+// Header returns the column names: g1..gN then v1..vM.
+func (s GroupTableSpec) Header() []string {
+	var h []string
+	for i := range s.GroupCols {
+		h = append(h, fmt.Sprintf("g%d", i+1))
+	}
+	for i := 0; i < s.ValueCols; i++ {
+		h = append(h, fmt.Sprintf("v%d", i+1))
+	}
+	return h
+}
+
+// Generate produces the table rows.
+func (s GroupTableSpec) Generate() [][]string {
+	rng := rand.New(rand.NewSource(s.Seed))
+	zips := make([]*Zipf, len(s.GroupCols))
+	for i, n := range s.GroupCols {
+		zips[i] = NewZipf(n, s.Theta, s.Seed+int64(i)*7919)
+	}
+	rows := make([][]string, s.Rows)
+	for r := 0; r < s.Rows; r++ {
+		row := make([]string, 0, len(s.GroupCols)+s.ValueCols)
+		for i := range s.GroupCols {
+			row = append(row, fmt.Sprint(zips[i].Next()))
+		}
+		for i := 0; i < s.ValueCols; i++ {
+			row = append(row, fmt.Sprintf("%.4f", rng.Float64()*100))
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+// FloatTable generates the Fig. 11 matrix: cols columns of uniform floats
+// rounded to four decimals. The first column ("c1") doubles as the filter
+// column, with values uniform in [0, 1) so that "c1 < x" has selectivity x.
+func FloatTable(rows, cols int, seed int64) (header []string, data [][]string) {
+	rng := rand.New(rand.NewSource(seed))
+	header = make([]string, cols)
+	for i := range header {
+		header[i] = fmt.Sprintf("c%d", i+1)
+	}
+	data = make([][]string, rows)
+	for r := range data {
+		row := make([]string, cols)
+		for c := range row {
+			row[c] = fmt.Sprintf("%.4f", rng.Float64())
+		}
+		data[r] = row
+	}
+	return header, data
+}
+
+// FloatSchema returns the colformat schema matching FloatTable.
+func FloatSchema(cols int) colformat.Schema {
+	s := make(colformat.Schema, cols)
+	for i := range s {
+		s[i] = colformat.ColumnDef{Name: fmt.Sprintf("c%d", i+1), Kind: value.KindFloat}
+	}
+	return s
+}
+
+// FloatRowsTyped converts FloatTable output into typed rows for the
+// columnar writer.
+func FloatRowsTyped(data [][]string) [][]value.Value {
+	out := make([][]value.Value, len(data))
+	for i, r := range data {
+		row := make([]value.Value, len(r))
+		for j, f := range r {
+			v, _ := value.CastFloat(value.Str(f))
+			row[j] = v
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(10, 0, 1)
+	counts := make([]int, 10)
+	n := 100_000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for g, c := range counts {
+		frac := float64(c) / float64(n)
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Errorf("group %d fraction %v, want ~0.1", g, frac)
+		}
+	}
+}
+
+func TestZipfSkewMatchesPaper(t *testing.T) {
+	// Section VI-C2: θ=1.3 over 100 groups puts 59% of rows in the 4
+	// largest groups.
+	z := NewZipf(100, 1.3, 1)
+	mass := z.TopMass(4)
+	if mass < 0.54 || mass > 0.64 {
+		t.Errorf("top-4 mass at θ=1.3 = %v, paper says ~0.59", mass)
+	}
+	// Empirical check.
+	counts := make([]int, 100)
+	n := 200_000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	top4 := counts[0] + counts[1] + counts[2] + counts[3]
+	frac := float64(top4) / float64(n)
+	if math.Abs(frac-mass) > 0.02 {
+		t.Errorf("empirical top-4 %v far from analytic %v", frac, mass)
+	}
+}
+
+func TestZipfMonotoneSkew(t *testing.T) {
+	// Higher theta concentrates more mass in the head.
+	prev := 0.0
+	for _, theta := range []float64{0, 0.6, 0.9, 1.1, 1.3} {
+		m := NewZipf(100, theta, 1).TopMass(4)
+		if m < prev {
+			t.Errorf("top-4 mass not monotone in theta at %v", theta)
+		}
+		prev = m
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	NewZipf(0, 1, 1)
+}
+
+func TestUniformSpecShape(t *testing.T) {
+	s := UniformSpec(500, 1)
+	h := s.Header()
+	if len(h) != 20 || h[0] != "g1" || h[9] != "g10" || h[10] != "v1" {
+		t.Fatalf("header = %v", h)
+	}
+	rows := s.Generate()
+	if len(rows) != 500 || len(rows[0]) != 20 {
+		t.Fatalf("rows shape = %d x %d", len(rows), len(rows[0]))
+	}
+	// Column g3 must have at most 2^3 = 8 distinct values.
+	distinct := map[string]bool{}
+	for _, r := range rows {
+		distinct[r[2]] = true
+	}
+	if len(distinct) > 8 {
+		t.Errorf("g3 distinct = %d, want <= 8", len(distinct))
+	}
+}
+
+func TestSkewedSpecGroupCount(t *testing.T) {
+	s := SkewedSpec(5000, 1.1, 2)
+	rows := s.Generate()
+	distinct := map[string]bool{}
+	for _, r := range rows {
+		distinct[r[0]] = true
+	}
+	if len(distinct) > 100 {
+		t.Errorf("g1 distinct = %d, want <= 100", len(distinct))
+	}
+	// Head group should dominate under skew.
+	counts := map[string]int{}
+	for _, r := range rows {
+		counts[r[0]]++
+	}
+	if counts["0"] < counts["99"] {
+		t.Error("group 0 should be more popular than group 99 under skew")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := SkewedSpec(100, 1.1, 9).Generate()
+	b := SkewedSpec(100, 1.1, 9).Generate()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestFloatTable(t *testing.T) {
+	h, rows := FloatTable(100, 10, 3)
+	if len(h) != 10 || h[0] != "c1" {
+		t.Fatalf("header = %v", h)
+	}
+	for _, r := range rows {
+		var v float64
+		fmt.Sscanf(r[0], "%f", &v)
+		if v < 0 || v >= 1 {
+			t.Fatalf("c1 value %v out of [0,1)", v)
+		}
+	}
+	schema := FloatSchema(10)
+	if len(schema) != 10 || schema[9].Name != "c10" {
+		t.Fatalf("schema = %v", schema)
+	}
+	typed := FloatRowsTyped(rows)
+	if len(typed) != 100 || typed[0][0].Kind().String() != "FLOAT" {
+		t.Fatal("typed conversion broken")
+	}
+}
+
+// Property: Zipf output is always a valid group index.
+func TestQuickZipfRange(t *testing.T) {
+	f := func(n uint8, theta uint8, seed int64) bool {
+		groups := int(n%50) + 1
+		z := NewZipf(groups, float64(theta%20)/10, seed)
+		for i := 0; i < 50; i++ {
+			g := z.Next()
+			if g < 0 || g >= groups {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
