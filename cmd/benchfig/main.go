@@ -34,6 +34,7 @@ func main() {
 		"Fig4": harness.RunFig4, "Fig5": harness.RunFig5, "Fig6": harness.RunFig6,
 		"Fig7": harness.RunFig7, "Fig8": harness.RunFig8, "Fig9": harness.RunFig9,
 		"Fig10": harness.RunFig10, "Fig11": harness.RunFig11,
+		"Planner": harness.RunPlanner,
 	}
 
 	switch {
@@ -48,7 +49,7 @@ func main() {
 	case *fig != "":
 		run, ok := runs[*fig]
 		if !ok {
-			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11)", *fig))
+			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner)", *fig))
 		}
 		r, err := run(env)
 		if err != nil {

@@ -4,6 +4,14 @@
 //
 //	pushdownsql -table customer=./customer.csv \
 //	            -q "SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment ORDER BY n DESC"
+//
+// Multi-table join queries go through the cost-based planner, which picks
+// a Section-V join strategy (baseline vs Bloom join) per join; pass
+// -explain to see the plan tree, strategy choice and cost estimates
+// without running the query:
+//
+//	pushdownsql -table customer=./customer.csv -table orders=./orders.csv -explain \
+//	            -q "SELECT SUM(o.o_totalprice) FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey WHERE c.c_acctbal <= -950"
 package main
 
 import (
@@ -12,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/engine"
 	"pushdowndb/internal/s3api"
@@ -26,15 +35,19 @@ func (t *tableFlags) Set(v string) error { *t = append(*t, v); return nil }
 func main() {
 	var (
 		tables  tableFlags
-		query   = flag.String("q", "", "SQL query (single table)")
-		explain = flag.Bool("explain", false, "print the plan instead of executing")
+		query   = flag.String("q", "", "SQL query (single-table, or multi-table with JOIN ... ON / comma joins)")
+		explain = flag.Bool("explain", false, "print the plan (join strategy choices and cost estimates) instead of executing")
 		parts   = flag.Int("parts", 4, "partitions per table")
+		sim     = flag.Float64("sim", 1, "simulate the data at N× its actual size for the virtual clock, cost model and join planner")
 	)
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
 	if *query == "" || len(tables) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: pushdownsql -table name=path.csv [-table ...] -q SQL")
 		os.Exit(2)
+	}
+	if *sim <= 0 {
+		fatal(fmt.Errorf("-sim must be > 0, got %g", *sim))
 	}
 
 	st := store.New()
@@ -58,6 +71,9 @@ func main() {
 	}
 
 	db := engine.Open(s3api.NewInProc(st), "local")
+	if *sim != 1 {
+		db.Sim = cloudsim.Scale{DataRatio: *sim, PartRatio: 1}
+	}
 	if *explain {
 		plan, err := db.Explain(*query)
 		if err != nil {

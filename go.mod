@@ -1,0 +1,3 @@
+module pushdowndb
+
+go 1.22

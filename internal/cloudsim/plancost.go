@@ -1,0 +1,192 @@
+package cloudsim
+
+import "math"
+
+// Planner-facing cost estimation. The join planner (internal/engine)
+// gathers per-table statistics with pushed-down COUNT(*) probes, then asks
+// this file what each join strategy would cost. Estimates are produced by
+// replaying the strategy's request pattern against a scratch Metrics under
+// the same Config/Scale the query runs with, so the planner's model and
+// the executor's accounting can never drift apart.
+
+// PlanTableStats describes one join input for planning: the base table's
+// size, how many rows survive its pushed-down filter, and the shape
+// numbers the virtual clock needs (columns, partitions, filter complexity).
+type PlanTableStats struct {
+	Bytes        int64 // total object bytes across all partitions
+	Rows         int64 // total rows
+	FilteredRows int64 // rows passing the pushed filter (== Rows if none)
+	Cols         int   // column count (cell-decode cost)
+	Partitions   int
+	FilterNodes  int64 // per-row expr AST nodes of the pushed scan SQL
+	// ProjCols is how many columns the pushed scan returns (0 = all).
+	// Returned-byte estimates shrink proportionally; scan and cell-decode
+	// costs do not (CSV scans decode every cell regardless).
+	ProjCols int
+}
+
+// Selectivity is the fraction of rows passing the table's filter.
+func (s PlanTableStats) Selectivity() float64 {
+	if s.Rows <= 0 {
+		return 1
+	}
+	return float64(s.FilteredRows) / float64(s.Rows)
+}
+
+func (s PlanTableStats) parts() int {
+	if s.Partitions <= 0 {
+		return 1
+	}
+	return s.Partitions
+}
+
+// projFrac approximates the byte share of the projected columns (uniform
+// column widths assumed).
+func (s PlanTableStats) projFrac() float64 {
+	if s.ProjCols <= 0 || s.Cols <= 0 || s.ProjCols >= s.Cols {
+		return 1
+	}
+	return float64(s.ProjCols) / float64(s.Cols)
+}
+
+// PlanEstimate is a strategy's predicted virtual runtime and total dollar
+// cost, plus the score the planner ranks strategies by: the billed cost
+// with the runtime valued once more at the compute rate. The USD figure
+// already contains a compute-time component, so the score deliberately
+// double-weights runtime — a slow query occupies the node and the user
+// beyond what the bill shows (the trade-off the paper's follow-up work
+// optimizes for).
+type PlanEstimate struct {
+	Seconds float64
+	USD     float64
+	Score   float64
+}
+
+// Cheaper reports whether e beats other on score, breaking ties on raw
+// cost, then runtime.
+func (e PlanEstimate) Cheaper(other PlanEstimate) bool {
+	if e.Score != other.Score {
+		return e.Score < other.Score
+	}
+	if e.USD != other.USD {
+		return e.USD < other.USD
+	}
+	return e.Seconds < other.Seconds
+}
+
+// estimate snapshots a scratch metrics replay into a PlanEstimate.
+func estimate(m *Metrics, pricing Pricing) PlanEstimate {
+	sec := m.RuntimeSeconds()
+	usd := m.Cost(pricing).Total()
+	return PlanEstimate{
+		Seconds: sec,
+		USD:     usd,
+		Score:   usd + sec/3600*pricing.ComputePerHour,
+	}
+}
+
+// EstimateBaselineJoin prices the paper's baseline join: both tables
+// fetched in full with plain GETs (parallel, one stage), filters and the
+// hash join evaluated on the server.
+func EstimateBaselineJoin(cfg Config, scale Scale, pricing Pricing, build, probe PlanTableStats) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+	load := func(name string, s PlanTableStats) {
+		ph := m.Phase(name, 0)
+		per := s.Bytes / int64(s.parts())
+		for i := 0; i < s.parts(); i++ {
+			ph.AddGetRequest(per)
+		}
+		ph.AddServerRows(s.Rows) // local filter pass over every row
+	}
+	load("load build", build)
+	load("load probe", probe)
+	j := m.Phase("hash join", 0)
+	j.AddServerRows(build.FilteredRows + probe.FilteredRows)
+	return estimate(m, pricing)
+}
+
+// EstimateBloomJoin prices the paper's Bloom join: the build side scanned
+// via S3 Select with selection+projection pushed down, then the probe side
+// scanned with the Bloom predicate (plus its own filter) pushed down.
+// matchFrac is the planner's estimate of the probe-row fraction whose join
+// key lands in the Bloom filter (before false positives); fpr is the
+// filter's target false-positive rate.
+func EstimateBloomJoin(cfg Config, scale Scale, pricing Pricing, build, probe PlanTableStats, matchFrac, fpr float64) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+
+	// Stage 0: build-side scan with pushdown.
+	bp := m.Phase("bloom build", 0)
+	addScan(bp, build, build.Selectivity(), build.FilterNodes)
+	bp.AddServerRows(build.FilteredRows * 2) // hash table + filter insert
+
+	// Stage 1: probe-side scan with the Bloom predicate pushed down.
+	pp := m.Phase("bloom probe", 1)
+	retFrac := probe.Selectivity() * math.Min(1, matchFrac+fpr)
+	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr))
+
+	// Local hash join over the surviving rows.
+	j := m.Phase("hash join", 1)
+	j.AddServerRows(build.FilteredRows + int64(retFrac*float64(probe.Rows)))
+	return estimate(m, pricing)
+}
+
+// EstimateScanJoin prices joining an already-materialized intermediate
+// relation (buildRows rows, on the server) against a base table scanned via
+// S3 Select with only its own filter pushed down — the "filtered" step of a
+// multi-join pipeline.
+func EstimateScanJoin(cfg Config, scale Scale, pricing Pricing, buildRows int64, probe PlanTableStats) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+	ph := m.Phase("filtered scan", 0)
+	addScan(ph, probe, probe.Selectivity(), probe.FilterNodes)
+	j := m.Phase("hash join", 0)
+	j.AddServerRows(buildRows + probe.FilteredRows)
+	return estimate(m, pricing)
+}
+
+// EstimateBloomProbe prices joining a materialized intermediate relation
+// against a base table with a Bloom filter over the intermediate's keys
+// pushed into the probe scan (engine.BloomProbe). matchFrac and fpr are as
+// in EstimateBloomJoin.
+func EstimateBloomProbe(cfg Config, scale Scale, pricing Pricing, buildRows int64, probe PlanTableStats, matchFrac, fpr float64) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+	bp := m.Phase("bloom build", 0)
+	bp.AddServerRows(buildRows) // filter insert over the intermediate
+	pp := m.Phase("bloom probe", 1)
+	retFrac := probe.Selectivity() * math.Min(1, matchFrac+fpr)
+	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr))
+	j := m.Phase("hash join", 1)
+	j.AddServerRows(buildRows + int64(retFrac*float64(probe.Rows)))
+	return estimate(m, pricing)
+}
+
+// addScan records a full-table S3 Select scan over s returning retFrac of
+// its rows (narrowed by the pushed projection), with nodes per-row
+// expression work, one request per partition.
+func addScan(ph *Phase, s PlanTableStats, retFrac float64, nodes int64) {
+	parts := s.parts()
+	perBytes := s.Bytes / int64(parts)
+	perRows := s.Rows / int64(parts)
+	perRet := int64(retFrac * s.projFrac() * float64(s.Bytes) / float64(parts))
+	for i := 0; i < parts; i++ {
+		ph.AddSelectRequest(SelectReq{
+			ScanBytes:     perBytes,
+			ReturnedBytes: perRet,
+			Rows:          perRows,
+			ExprNodes:     nodes,
+			Cells:         perRows * int64(max(s.Cols, 1)),
+		})
+	}
+}
+
+// bloomPredicateNodes approximates the per-row expression work of the
+// paper's '0'/'1'-string SUBSTRING Bloom predicate: one SUBSTRING + a few
+// arithmetic nodes per hash function, with the optimal hash count
+// k = log2(1/fpr).
+func bloomPredicateNodes(fpr float64) int64 {
+	if fpr <= 0 || fpr >= 1 {
+		fpr = 0.01
+	}
+	k := math.Ceil(math.Log2(1 / fpr))
+	const nodesPerHash = 12
+	return int64(math.Max(1, k)) * nodesPerHash
+}

@@ -1,0 +1,88 @@
+package cloudsim
+
+import "testing"
+
+// Stats shaped like a TPC-H customer ⋈ orders join at paper scale.
+func planStats(filteredBuild int64) (build, probe PlanTableStats) {
+	build = PlanTableStats{
+		Bytes: 200 << 10, Rows: 1500, FilteredRows: filteredBuild,
+		Cols: 8, Partitions: 4, FilterNodes: 3,
+	}
+	probe = PlanTableStats{
+		Bytes: 2 << 20, Rows: 15000, FilteredRows: 15000,
+		Cols: 9, Partitions: 4,
+	}
+	return
+}
+
+func paperScale() Scale { return Scale{DataRatio: 1000, PartRatio: 8} }
+
+func TestEstimateJoinSelectiveBuildFavorsBloom(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	build, probe := planStats(15) // 1% of customers survive
+	base := EstimateBaselineJoin(cfg, paperScale(), pricing, build, probe)
+	bloom := EstimateBloomJoin(cfg, paperScale(), pricing, build, probe, build.Selectivity(), 0.01)
+	if !bloom.Cheaper(base) {
+		t.Errorf("selective build at scale: bloom %+v should beat baseline %+v", bloom, base)
+	}
+	if bloom.Seconds <= 0 || bloom.USD <= 0 || base.Seconds <= 0 {
+		t.Errorf("estimates must be positive: bloom %+v baseline %+v", bloom, base)
+	}
+}
+
+func TestEstimateJoinUnselectiveTinyFavorsBaseline(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	build, probe := planStats(1500) // no filter: everything survives
+	base := EstimateBaselineJoin(cfg, Unit(), pricing, build, probe)
+	bloom := EstimateBloomJoin(cfg, Unit(), pricing, build, probe, 1, 0.01)
+	if !base.Cheaper(bloom) {
+		t.Errorf("unselective at unit scale: baseline %+v should beat bloom %+v", base, bloom)
+	}
+}
+
+func TestEstimateChainStepBloomWinsWhenIntermediateSmall(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	_, probe := planStats(0)
+	small := EstimateBloomProbe(cfg, paperScale(), pricing, 20, probe, 20.0/15000, 0.01)
+	scan := EstimateScanJoin(cfg, paperScale(), pricing, 20, probe)
+	if !small.Cheaper(scan) {
+		t.Errorf("tiny intermediate: bloom probe %+v should beat full scan %+v", small, scan)
+	}
+}
+
+func TestPlanEstimateCheaperTieBreaks(t *testing.T) {
+	a := PlanEstimate{Seconds: 1, USD: 2, Score: 3}
+	b := PlanEstimate{Seconds: 2, USD: 2, Score: 3}
+	if !a.Cheaper(b) || b.Cheaper(a) {
+		t.Error("runtime should break score/USD ties")
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	if s := (PlanTableStats{}).Selectivity(); s != 1 {
+		t.Errorf("empty table selectivity = %v", s)
+	}
+	if s := (PlanTableStats{Rows: 100, FilteredRows: 25}).Selectivity(); s != 0.25 {
+		t.Errorf("selectivity = %v", s)
+	}
+}
+
+func TestNarrowProjectionCheapensPushdownEstimate(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	build, probe := planStats(15)
+	wide := EstimateBloomJoin(cfg, paperScale(), pricing, build, probe, build.Selectivity(), 0.01)
+	probe.ProjCols = 2 // of 9 columns
+	narrow := EstimateBloomJoin(cfg, paperScale(), pricing, build, probe, build.Selectivity(), 0.01)
+	if !narrow.Cheaper(wide) {
+		t.Errorf("projected scan %+v should be cheaper than full-width %+v", narrow, wide)
+	}
+}
+
+func TestBloomPredicateNodesMonotonic(t *testing.T) {
+	if bloomPredicateNodes(0.0001) <= bloomPredicateNodes(0.1) {
+		t.Error("tighter FPR means more hash functions, so more per-row work")
+	}
+	if bloomPredicateNodes(-1) <= 0 {
+		t.Error("bad FPR should fall back to a positive default")
+	}
+}

@@ -30,6 +30,20 @@ type DB struct {
 	// MaxScanParallel bounds concurrent partition requests (compute node
 	// connection limit). Zero means one goroutine per partition.
 	MaxScanParallel int
+
+	// statsCache holds planner table statistics keyed by
+	// bucket/table/filter, so repeated queries plan from cached stats
+	// instead of re-issuing COUNT(*) probes.
+	statsMu    sync.Mutex
+	statsCache map[string]cloudsim.PlanTableStats
+}
+
+// InvalidateStats drops the planner's cached table statistics (call after
+// loading or mutating tables).
+func (db *DB) InvalidateStats() {
+	db.statsMu.Lock()
+	db.statsCache = nil
+	db.statsMu.Unlock()
 }
 
 // Open returns a DB with the paper's default cost model and pricing.
@@ -51,9 +65,17 @@ type Exec struct {
 	// Metrics is the query's virtual clock and cost accumulator.
 	Metrics *cloudsim.Metrics
 
+	// plan is the join plan Query built for this execution (nil for
+	// single-table queries and explicit operator calls).
+	plan *QueryPlan
+
 	mu    sync.Mutex
 	stage int
 }
+
+// QueryPlan returns the join plan this execution ran (nil when the query
+// was single-table or driven through the explicit operator APIs).
+func (e *Exec) QueryPlan() *QueryPlan { return e.plan }
 
 // NewExec starts a query execution context.
 func (db *DB) NewExec() *Exec {

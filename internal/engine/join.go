@@ -1,14 +1,23 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"pushdowndb/internal/bloom"
+	"pushdowndb/internal/expr"
 	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/sqlparse"
 	"pushdowndb/internal/value"
 )
+
+// ErrNonIntegerJoinKey reports a Bloom join attempted over a key column
+// that is not integer-typed; the filter encodings hash int64 keys. The
+// planner uses it (via errors.Is) to degrade a planned Bloom join to the
+// baseline/filtered strategy at run time.
+var ErrNonIntegerJoinKey = errors.New("bloom join requires integer keys")
 
 // Section V: join algorithms. All three implement a hash join whose build
 // side is the (smaller) left table; they differ in how much work is pushed
@@ -64,6 +73,11 @@ func (e *Exec) BaselineJoin(js JoinSpec) (*Relation, error) {
 			return nil, err
 		}
 	}
+	// The server-side filter pass touches every loaded row; meter it in
+	// the load phases so execution matches the planner's baseline
+	// estimate (cloudsim.EstimateBaselineJoin).
+	e.Metrics.Phase("load "+js.LeftTable, stage).AddServerRows(int64(len(left.Rows)))
+	e.Metrics.Phase("load "+js.RightTable, stage).AddServerRows(int64(len(right.Rows)))
 	var err error
 	if left, err = FilterLocal(left, js.LeftFilter); err != nil {
 		return nil, err
@@ -171,8 +185,8 @@ func (e *Exec) BloomProbe(left *Relation, leftKey, rightTable, rightKey, rightFi
 		}
 		k, ok := row[li].IntNum()
 		if !ok {
-			return nil, fmt.Errorf("engine: bloom join requires integer keys, got %s (%v)",
-				row[li].Kind(), row[li])
+			return nil, fmt.Errorf("engine: %w, got %s (%v)",
+				ErrNonIntegerJoinKey, row[li].Kind(), row[li])
 		}
 		keys = append(keys, k)
 	}
@@ -270,16 +284,7 @@ func AggregateLocal(rel *Relation, items string) (*Relation, error) {
 		return nil, err
 	}
 	if len(out.Rows) == 0 {
-		// Empty input: produce a single row of NULLs matching the items.
-		probe, err := ProjectLocal(&Relation{Cols: rel.Cols, Rows: nil}, items)
-		if err != nil {
-			return nil, err
-		}
-		row := make(Row, len(probe.Cols))
-		for i := range row {
-			row[i] = value.Null()
-		}
-		return &Relation{Cols: probe.Cols, Rows: []Row{row}}, nil
+		return emptyAggregateRow(rel.Cols, items)
 	}
 	// Drop the synthetic group column.
 	trimmed := &Relation{Cols: out.Cols[1:]}
@@ -287,4 +292,54 @@ func AggregateLocal(rel *Relation, items string) (*Relation, error) {
 		trimmed.Rows = append(trimmed.Rows, r[1:])
 	}
 	return trimmed, nil
+}
+
+// emptyAggregateRow builds the single result row of an aggregation over
+// zero input rows with standard SQL semantics: aggregate nodes evaluate
+// to COUNT = 0 / others NULL, and any arithmetic around them is applied
+// (so COUNT(*) + 0 is 0, not NULL).
+func emptyAggregateRow(inputCols []string, items string) (*Relation, error) {
+	sel, err := sqlparse.Parse("SELECT " + items + " FROM t")
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad aggregate items %q: %w", items, err)
+	}
+	zero := func(a *sqlparse.Aggregate) sqlparse.Expr {
+		if a.Func == sqlparse.AggCount {
+			return &sqlparse.Literal{Val: value.Int(0)}
+		}
+		return &sqlparse.Literal{Val: value.Null()}
+	}
+	// Columns of the (empty) input look up as NULL.
+	nulls := make(Row, len(inputCols))
+	for i := range nulls {
+		nulls[i] = value.Null()
+	}
+	env := &rowEnv{rel: &Relation{Cols: inputCols}, row: nulls}
+	ev := expr.New()
+	out := &Relation{}
+	var row Row
+	for _, it := range sel.Items {
+		if _, isStar := it.Expr.(*sqlparse.Star); isStar {
+			out.Cols = append(out.Cols, inputCols...)
+			row = append(row, nulls...)
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*sqlparse.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		out.Cols = append(out.Cols, name)
+		v, err := ev.Eval(sqlparse.MapAggregates(it.Expr, zero), env)
+		if err != nil {
+			// Same error a non-empty input would raise evaluating this item.
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	out.Rows = []Row{row}
+	return out, nil
 }

@@ -1,0 +1,757 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+)
+
+// Cost-based join planning (the paper's Section V strategies behind a SQL
+// front end). A multi-table SELECT is planned as a left-deep chain of hash
+// joins: per-table selection and projection are pushed into S3 Select as
+// usual, and for every join the planner consults the cloudsim cost model
+// to choose between the baseline join (full GET loads, join on the server)
+// and the Bloom join (build-side pushdown scan, Bloom predicate pushed
+// into the probe-side scan). Cardinalities come from pushed-down COUNT(*)
+// probes whose requests are accounted in the query's own metrics — the
+// planner pays for its statistics like everything else — and are cached on
+// the DB so repeated queries plan from table stats instead of re-probing.
+
+// Join strategies the planner chooses among.
+const (
+	// StrategyBaseline loads both tables in full with plain GETs and
+	// joins on the server (Section V-A baseline join).
+	StrategyBaseline = "baseline"
+	// StrategyBloom pushes the build side's scan and a Bloom filter over
+	// its join keys into S3 Select (Section V-A2 Bloom join).
+	StrategyBloom = "bloom"
+	// StrategyFiltered scans the probe table with only its own filter
+	// pushed down and joins against the materialized intermediate
+	// relation (used for the later joins of a multi-join chain).
+	StrategyFiltered = "filtered"
+)
+
+// planFPR is the Bloom filter target false-positive rate the planner uses
+// (the paper's sweet spot, Fig. 4).
+const planFPR = 0.01
+
+// planSeed makes planned Bloom filters deterministic.
+const planSeed = 1
+
+// TableScan is one base-table leaf of a query plan: the S3 Select scan
+// with the table's pushed-down selection and projection, plus the
+// statistics the planner gathered for it.
+type TableScan struct {
+	Table string
+	Alias string // optional alias from the FROM clause
+	Cols  []string
+	// Filter is the conjunction of the query's single-table predicates
+	// over this table, qualifier-stripped so it can be pushed to S3.
+	Filter sqlparse.Expr
+	// Project lists the columns any part of the query needs from this
+	// table (nil = all, e.g. when the select list has a *).
+	Project []string
+	// Stats are the planner's cardinality and size statistics, from a
+	// pushed-down COUNT(*) probe or the DB's stats cache.
+	Stats cloudsim.PlanTableStats
+	// CachedStats reports whether Stats came from the cache (no probe was
+	// issued for this query).
+	CachedStats bool
+}
+
+// Name returns the scan's display name (alias if present).
+func (sc *TableScan) Name() string {
+	if sc.Alias != "" {
+		return sc.Alias
+	}
+	return sc.Table
+}
+
+// JoinStep is one hash join of the plan, with the strategy the cost model
+// chose and the per-strategy estimates that drove the decision.
+type JoinStep struct {
+	BuildName, ProbeName string // display names of the two sides
+	BuildKey, ProbeKey   string // equi-join key column names
+	Strategy             string
+	Reason               string
+	// Estimates maps each candidate strategy to its predicted virtual
+	// runtime and dollar cost.
+	Estimates map[string]cloudsim.PlanEstimate
+	// EstRows is the planner's estimate of this join's output cardinality
+	// (used to cost the next step of the chain).
+	EstRows int64
+
+	first              bool // joins two base tables via the JoinSpec operators
+	buildIdx, probeIdx int  // scan indices (first step)
+	scan               int  // scan index of the table joined in (later steps)
+}
+
+// QueryPlan is the planned execution of a multi-table SELECT.
+type QueryPlan struct {
+	Sel      *sqlparse.Select
+	Scans    []*TableScan
+	Steps    []*JoinStep
+	Residual sqlparse.Expr // conjuncts evaluated on the server after all joins
+}
+
+func exprStr(e sqlparse.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return e.String()
+}
+
+// resolve maps a column reference to the index of the scan that provides
+// it. Qualified references match the scan's alias or table name;
+// unqualified ones match the first scan whose header contains the column.
+func (p *QueryPlan) resolve(c *sqlparse.Column) (int, error) {
+	if c.Qualifier != "" {
+		for i, sc := range p.Scans {
+			if strings.EqualFold(c.Qualifier, sc.Alias) || strings.EqualFold(c.Qualifier, sc.Table) {
+				if colIndex(sc.Cols, c.Name) < 0 {
+					return -1, fmt.Errorf("engine: column %q is not in table %s %v", c.Name, sc.Table, sc.Cols)
+				}
+				return i, nil
+			}
+		}
+		return -1, fmt.Errorf("engine: unknown table or alias %q", c.Qualifier)
+	}
+	for i, sc := range p.Scans {
+		if colIndex(sc.Cols, c.Name) >= 0 {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("engine: column %q is not in any FROM table", c.Name)
+}
+
+// scansOf returns the distinct scan indices an expression references.
+func (p *QueryPlan) scansOf(e sqlparse.Expr) ([]int, error) {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range sqlparse.ColumnRefs(e) {
+		i, err := p.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// providerCount reports how many FROM tables have a column named name.
+func (p *QueryPlan) providerCount(name string) int {
+	n := 0
+	for _, sc := range p.Scans {
+		if colIndex(sc.Cols, name) >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func colIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// equiPred is one `a.x = b.y` conjunct between two different tables.
+type equiPred struct {
+	a, b   int // scan indices
+	ak, bk string
+	expr   sqlparse.Expr
+	used   bool
+}
+
+// planJoins builds the cost-based plan for a multi-table select. Planning
+// issues real (metered) requests: header probes and, on stats-cache
+// misses, one pushed-down COUNT(*) probe per table.
+func (e *Exec) planJoins(sel *sqlparse.Select) (*QueryPlan, error) {
+	p := &QueryPlan{Sel: sel}
+	p.Scans = append(p.Scans, &TableScan{Table: sel.Table, Alias: sel.Alias})
+	for _, j := range sel.Joins {
+		p.Scans = append(p.Scans, &TableScan{Table: j.Table, Alias: j.Alias})
+	}
+	names := map[string]bool{}
+	for _, sc := range p.Scans {
+		k := strings.ToLower(sc.Name())
+		if names[k] {
+			return nil, fmt.Errorf("engine: duplicate table name or alias %q in FROM; give each table a distinct alias", sc.Name())
+		}
+		names[k] = true
+	}
+
+	// Headers: one cheap ranged GET per table, all in one stage.
+	hdrStage := e.NextStage()
+	for _, sc := range p.Scans {
+		cols, err := e.TableHeader("plan header "+sc.Table, hdrStage, sc.Table)
+		if err != nil {
+			return nil, err
+		}
+		sc.Cols = cols
+	}
+
+	// Classify every WHERE / ON conjunct: single-table predicates push
+	// down, two-table equalities become join keys, the rest runs locally
+	// after the joins.
+	var conjuncts []sqlparse.Expr
+	conjuncts = append(conjuncts, sqlparse.Conjuncts(sel.Where)...)
+	for _, j := range sel.Joins {
+		conjuncts = append(conjuncts, sqlparse.Conjuncts(j.Cond)...)
+	}
+	filters := make([][]sqlparse.Expr, len(p.Scans))
+	var equis []*equiPred
+	var residual []sqlparse.Expr
+	// pushedNames collects unqualified column references inside pushed
+	// per-table filters; if such a name exists in several tables, the
+	// first-table-wins resolution is a silent guess, so the ambiguity
+	// check below must vet it like a post-join reference.
+	var pushedNames []string
+	for _, c := range conjuncts {
+		scans, err := p.scansOf(c)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case len(scans) == 1:
+			for _, ref := range sqlparse.ColumnRefs(c) {
+				if ref.Qualifier == "" {
+					pushedNames = append(pushedNames, ref.Name)
+				}
+			}
+			filters[scans[0]] = append(filters[scans[0]], sqlparse.StripQualifiers(c))
+		case len(scans) == 2:
+			if b, ok := c.(*sqlparse.Binary); ok && b.Op == sqlparse.OpEq {
+				lc, lok := b.L.(*sqlparse.Column)
+				rc, rok := b.R.(*sqlparse.Column)
+				if lok && rok {
+					// Join keys resolve at planning time, so an
+					// unqualified key present in several tables is a
+					// silent guess — reject it outright (the equated
+					// exemption cannot apply to the predicate that would
+					// define the equating).
+					for _, kc := range []*sqlparse.Column{lc, rc} {
+						if kc.Qualifier == "" && p.providerCount(kc.Name) > 1 {
+							return nil, fmt.Errorf("engine: join key %q is ambiguous (several FROM tables provide it); qualify it with a table name or alias", kc.Name)
+						}
+					}
+					la, _ := p.resolve(lc)
+					ra, _ := p.resolve(rc)
+					equis = append(equis, &equiPred{a: la, b: ra, ak: lc.Name, bk: rc.Name, expr: c})
+					continue
+				}
+			}
+			residual = append(residual, c)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	for i, sc := range p.Scans {
+		sc.Filter = sqlparse.AndAll(filters[i])
+	}
+
+	// Projection pushdown: every column the query touches, mapped to its
+	// table. A * in the select list keeps all columns everywhere.
+	if err := p.computeProjections(); err != nil {
+		return nil, err
+	}
+
+	// Statistics: pushed-down COUNT(*) probes (cached on the DB).
+	probeStage := e.NextStage()
+	for _, sc := range p.Scans {
+		if err := e.tableStats(sc, probeStage); err != nil {
+			return nil, err
+		}
+	}
+
+	// Greedy left-deep join chain: each round joins in the connected table
+	// with the smallest filtered cardinality, keeping intermediates small.
+	joined := map[int]bool{0: true}
+	prevRows := p.Scans[0].Stats.FilteredRows
+	db := e.db
+	// equated tracks which (table, column) pairs are made equal by a used
+	// join predicate, so the ambiguity check can tell harmless duplicate
+	// names (all copies provably equal) from dangerous ones.
+	equated := newColEquiv()
+	for len(joined) < len(p.Scans) {
+		var eq *equiPred
+		var joinedKey, newKey string
+		newIdx := -1
+		for _, q := range equis {
+			if q.used {
+				continue
+			}
+			var candIdx int
+			var candJoinedKey, candNewKey string
+			switch {
+			case joined[q.a] && !joined[q.b]:
+				candJoinedKey, candIdx, candNewKey = q.ak, q.b, q.bk
+			case joined[q.b] && !joined[q.a]:
+				candJoinedKey, candIdx, candNewKey = q.bk, q.a, q.ak
+			default:
+				continue
+			}
+			if eq == nil || p.Scans[candIdx].Stats.FilteredRows < p.Scans[newIdx].Stats.FilteredRows {
+				eq, joinedKey, newIdx, newKey = q, candJoinedKey, candIdx, candNewKey
+			}
+		}
+		if eq == nil {
+			// An ambiguous unqualified reference may have mis-classified
+			// the would-be join condition as a single-table filter; prefer
+			// that diagnosis over a confusing cross-join error.
+			if err := p.checkAmbiguousColumns(equated, pushedNames); err != nil {
+				return nil, err
+			}
+			var missing []string
+			for i, sc := range p.Scans {
+				if !joined[i] {
+					missing = append(missing, sc.Name())
+				}
+			}
+			return nil, fmt.Errorf("engine: no equality predicate connects table(s) %s to the rest of the query (cross joins are not supported)",
+				strings.Join(missing, ", "))
+		}
+		eq.used = true
+		equated.union(colNode(eq.a, eq.ak), colNode(eq.b, eq.bk))
+		newScan := p.Scans[newIdx]
+
+		var step *JoinStep
+		if len(joined) == 1 {
+			// First join: two base tables (the joined set is still just
+			// scan 0); the smaller filtered side builds, and the strategy
+			// is BaselineJoin vs BloomJoin.
+			const firstIdx = 0
+			buildIdx, probeIdx := firstIdx, newIdx
+			buildKey, probeKey := joinedKey, newKey
+			if newScan.Stats.FilteredRows < p.Scans[firstIdx].Stats.FilteredRows {
+				buildIdx, probeIdx = newIdx, firstIdx
+				buildKey, probeKey = newKey, joinedKey
+			}
+			build, probe := p.Scans[buildIdx], p.Scans[probeIdx]
+			matchFrac := build.Stats.Selectivity()
+			ests := map[string]cloudsim.PlanEstimate{
+				StrategyBaseline: cloudsim.EstimateBaselineJoin(db.Cfg, db.Sim, db.Pricing, build.Stats, probe.Stats),
+				StrategyBloom:    cloudsim.EstimateBloomJoin(db.Cfg, db.Sim, db.Pricing, build.Stats, probe.Stats, matchFrac, planFPR),
+			}
+			strategy := StrategyBaseline
+			if ests[StrategyBloom].Cheaper(ests[StrategyBaseline]) {
+				strategy = StrategyBloom
+			}
+			step = &JoinStep{
+				BuildName: build.Name(), ProbeName: probe.Name(),
+				BuildKey: buildKey, ProbeKey: probeKey,
+				Strategy: strategy, Estimates: ests,
+				EstRows: int64(float64(probe.Stats.FilteredRows) * matchFrac),
+				first:   true, buildIdx: buildIdx, probeIdx: probeIdx,
+			}
+			step.Reason = fmt.Sprintf(
+				"build side %s keeps %d of %d rows (%.1f%%); %s estimated cheapest",
+				build.Name(), build.Stats.FilteredRows, build.Stats.Rows,
+				100*matchFrac, strategy)
+		} else {
+			// Later joins: the materialized intermediate builds; the
+			// strategy is a plain filtered scan vs a Bloom probe.
+			matchFrac := 1.0
+			if newScan.Stats.Rows > 0 && prevRows < newScan.Stats.Rows {
+				matchFrac = float64(prevRows) / float64(newScan.Stats.Rows)
+			}
+			ests := map[string]cloudsim.PlanEstimate{
+				StrategyFiltered: cloudsim.EstimateScanJoin(db.Cfg, db.Sim, db.Pricing, prevRows, newScan.Stats),
+				StrategyBloom:    cloudsim.EstimateBloomProbe(db.Cfg, db.Sim, db.Pricing, prevRows, newScan.Stats, matchFrac, planFPR),
+			}
+			strategy := StrategyFiltered
+			if ests[StrategyBloom].Cheaper(ests[StrategyFiltered]) {
+				strategy = StrategyBloom
+			}
+			step = &JoinStep{
+				BuildName: "(intermediate)", ProbeName: newScan.Name(),
+				BuildKey: joinedKey, ProbeKey: newKey,
+				Strategy: strategy, Estimates: ests,
+				EstRows: int64(float64(newScan.Stats.FilteredRows) * matchFrac),
+				scan:    newIdx,
+			}
+			step.Reason = fmt.Sprintf(
+				"intermediate has ~%d rows vs %d filtered %s rows; %s estimated cheapest",
+				prevRows, newScan.Stats.FilteredRows, newScan.Name(), strategy)
+		}
+		p.Steps = append(p.Steps, step)
+		prevRows = step.EstRows
+		joined[newIdx] = true
+	}
+
+	// Equality predicates between already-joined tables (e.g. a second
+	// equi-condition over the same pair) are applied locally.
+	for _, q := range equis {
+		if !q.used {
+			residual = append(residual, q.expr)
+		}
+	}
+	p.Residual = sqlparse.AndAll(residual)
+
+	if err := p.checkAmbiguousColumns(equated, pushedNames); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// colEquiv is a union-find over (scan, column) nodes: two nodes in one
+// class are provably equal in every join-result row because a chain of
+// used equi-join predicates connects them.
+type colEquiv struct{ parent map[string]string }
+
+func newColEquiv() *colEquiv { return &colEquiv{parent: map[string]string{}} }
+
+func colNode(scan int, name string) string {
+	return fmt.Sprintf("%d:%s", scan, strings.ToLower(name))
+}
+
+func (u *colEquiv) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *colEquiv) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// checkAmbiguousColumns rejects queries that resolve a column name
+// provided by more than one joined table: the join result concatenates
+// bare column names (qualifiers are not preserved), so such a reference —
+// or a later-step join key looked up on the intermediate relation — would
+// silently bind to whichever copy comes first. The exemption: when every
+// table's copy of the name is connected by used equi-join predicates, all
+// copies are equal and any binding is correct. Providers are judged on
+// full table headers, not pushed projections, because the baseline join
+// (including runtime fallbacks to it) materializes every column.
+func (p *QueryPlan) checkAmbiguousColumns(equated *colEquiv, pushedNames []string) error {
+	names := append([]string{}, pushedNames...)
+	add := func(n string) { names = append(names, n) }
+	for _, it := range p.Sel.Items {
+		if _, ok := it.Expr.(*sqlparse.Star); ok {
+			continue // * prints every copy; no name resolution happens
+		}
+		for _, c := range sqlparse.ColumnRefs(it.Expr) {
+			add(c.Name)
+		}
+	}
+	for _, g := range p.Sel.GroupBy {
+		for _, c := range sqlparse.ColumnRefs(g) {
+			add(c.Name)
+		}
+	}
+	for _, o := range p.Sel.OrderBy {
+		for _, c := range sqlparse.ColumnRefs(o.Expr) {
+			if _, err := p.resolve(c); err == nil { // aliases are fine
+				add(c.Name)
+			}
+		}
+	}
+	if p.Residual != nil {
+		for _, c := range sqlparse.ColumnRefs(p.Residual) {
+			add(c.Name)
+		}
+	}
+	// Later-step build keys are looked up by bare name on the materialized
+	// intermediate, so they resolve post-join exactly like query exprs.
+	for _, st := range p.Steps {
+		if !st.first {
+			add(st.BuildKey)
+		}
+	}
+	checked := map[string]bool{}
+	for _, n := range names {
+		k := strings.ToLower(n)
+		if checked[k] {
+			continue
+		}
+		checked[k] = true
+		var provs []int
+		for i, sc := range p.Scans {
+			if colIndex(sc.Cols, n) >= 0 {
+				provs = append(provs, i)
+			}
+		}
+		if len(provs) < 2 {
+			continue
+		}
+		root := equated.find(colNode(provs[0], n))
+		for _, i := range provs[1:] {
+			if equated.find(colNode(i, n)) != root {
+				return fmt.Errorf("engine: column %q is ambiguous after the join (several FROM tables provide it and qualifiers are not preserved in the join result); join on it or give the tables distinct column names", n)
+			}
+		}
+	}
+	return nil
+}
+
+// computeProjections fills each scan's Project with the columns the query
+// references from that table.
+func (p *QueryPlan) computeProjections() error {
+	var refs []*sqlparse.Column
+	needAll := false
+	for _, it := range p.Sel.Items {
+		if _, ok := it.Expr.(*sqlparse.Star); ok {
+			needAll = true
+			continue
+		}
+		refs = append(refs, sqlparse.ColumnRefs(it.Expr)...)
+	}
+	if p.Sel.Where != nil {
+		refs = append(refs, sqlparse.ColumnRefs(p.Sel.Where)...)
+	}
+	for _, g := range p.Sel.GroupBy {
+		refs = append(refs, sqlparse.ColumnRefs(g)...)
+	}
+	for _, j := range p.Sel.Joins {
+		if j.Cond != nil {
+			refs = append(refs, sqlparse.ColumnRefs(j.Cond)...)
+		}
+	}
+	if needAll {
+		return nil // Project stays nil everywhere: keep all columns
+	}
+	// ORDER BY may reference select-list aliases, which are not table
+	// columns; skip references that do not resolve.
+	for _, o := range p.Sel.OrderBy {
+		for _, c := range sqlparse.ColumnRefs(o.Expr) {
+			if _, err := p.resolve(c); err == nil {
+				refs = append(refs, c)
+			}
+		}
+	}
+	seen := make([]map[string]bool, len(p.Scans))
+	for i := range seen {
+		seen[i] = map[string]bool{}
+	}
+	for _, c := range refs {
+		i, err := p.resolve(c)
+		if err != nil {
+			return err
+		}
+		key := strings.ToLower(c.Name)
+		if !seen[i][key] {
+			seen[i][key] = true
+			p.Scans[i].Project = append(p.Scans[i].Project, c.Name)
+		}
+	}
+	return nil
+}
+
+// tableStats fills sc.Stats from the DB's stats cache or, on a miss, a
+// pushed-down probe: COUNT(*) plus (when the table has a filter) a
+// SUM(CASE WHEN filter THEN 1 ELSE 0 END) filtered-cardinality estimate,
+// both evaluated storage-side in a single scan.
+func (e *Exec) tableStats(sc *TableScan, stage int) error {
+	filter := exprStr(sc.Filter)
+	key := e.db.Bucket + "\x00" + sc.Table + "\x00" + filter
+	e.db.statsMu.Lock()
+	if st, ok := e.db.statsCache[key]; ok {
+		e.db.statsMu.Unlock()
+		// FilterNodes and ProjCols depend on this query's projection, not
+		// just the probe, so they are recomputed on every plan rather
+		// than cached.
+		st.FilterNodes = scanFilterNodes(sc.Project, filter)
+		st.ProjCols = len(sc.Project)
+		sc.Stats, sc.CachedStats = st, true
+		return nil
+	}
+	e.db.statsMu.Unlock()
+
+	sql := "SELECT COUNT(*) FROM S3Object"
+	if filter != "" {
+		sql = "SELECT COUNT(*), SUM(CASE WHEN " + filter + " THEN 1 ELSE 0 END) FROM S3Object"
+	}
+	phase := e.Metrics.Phase("plan probe "+sc.Table, stage)
+	results, err := e.selectOnParts(phase, sc.Table, sql, nil)
+	if err != nil {
+		return fmt.Errorf("engine: planning probe for %s: %w", sc.Table, err)
+	}
+	var rows, matched, bytes int64
+	for _, res := range results {
+		if len(res.Rows) != 1 {
+			return fmt.Errorf("engine: planning probe for %s returned %d rows", sc.Table, len(res.Rows))
+		}
+		n, _ := value.FromCSV(res.Rows[0][0]).IntNum()
+		rows += n
+		if filter != "" && len(res.Rows[0]) > 1 {
+			if m, ok := value.FromCSV(res.Rows[0][1]).IntNum(); ok {
+				matched += m
+			}
+		}
+		bytes += res.Stats.BytesScanned
+	}
+	if filter == "" {
+		matched = rows
+	}
+	st := cloudsim.PlanTableStats{
+		Bytes: bytes, Rows: rows, FilteredRows: matched,
+		Cols: len(sc.Cols), Partitions: len(results),
+	}
+	e.db.statsMu.Lock()
+	if e.db.statsCache == nil {
+		e.db.statsCache = map[string]cloudsim.PlanTableStats{}
+	}
+	e.db.statsCache[key] = st
+	e.db.statsMu.Unlock()
+	st.FilterNodes = scanFilterNodes(sc.Project, filter)
+	st.ProjCols = len(sc.Project)
+	sc.Stats = st
+	return nil
+}
+
+// scanFilterNodes counts the per-row expression work of the scan SQL that
+// execution will push for this table — select list included, matching
+// what selectengine.CountNodes meters for the same request at run time.
+func scanFilterNodes(project []string, filter string) int64 {
+	sel, err := sqlparse.Parse(projectionSQL(project, filter))
+	if err != nil {
+		return 0
+	}
+	return selectengine.CountNodes(sel)
+}
+
+// runPlan executes a planned multi-table select.
+func (e *Exec) runPlan(p *QueryPlan) (*Relation, error) {
+	var cur *Relation
+	var err error
+	for _, st := range p.Steps {
+		if st.first {
+			cur, err = e.runFirstJoin(p, st)
+		} else {
+			cur, err = e.runChainJoin(p, st, cur)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.Residual != nil {
+		cur, err = FilterLocal(cur, p.Residual.String())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.finishLocal(cur, p.Sel)
+}
+
+// runFirstJoin executes the first step (two base tables) with the chosen
+// JoinSpec operator. A Bloom plan over non-integer keys falls back to the
+// baseline join at run time (the probe cannot be built).
+func (e *Exec) runFirstJoin(p *QueryPlan, st *JoinStep) (*Relation, error) {
+	build, probe := p.Scans[st.buildIdx], p.Scans[st.probeIdx]
+	js := JoinSpec{
+		LeftTable: build.Table, RightTable: probe.Table,
+		LeftKey: st.BuildKey, RightKey: st.ProbeKey,
+		LeftFilter: exprStr(build.Filter), RightFilter: exprStr(probe.Filter),
+		LeftProject: build.Project, RightProject: probe.Project,
+		TargetFPR: planFPR, Seed: planSeed,
+	}
+	if st.Strategy == StrategyBloom {
+		rel, err := e.BloomJoin(js)
+		if err == nil || !errors.Is(err, ErrNonIntegerJoinKey) {
+			return rel, err
+		}
+		st.Strategy = StrategyBaseline
+		st.Reason += "; fell back to baseline: Bloom filters need integer join keys"
+	}
+	return e.BaselineJoin(js)
+}
+
+// runChainJoin joins the materialized intermediate relation with the
+// step's base table.
+func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relation, error) {
+	sc := p.Scans[st.scan]
+	var right *Relation
+	var err error
+	if st.Strategy == StrategyBloom {
+		// Building the Bloom filter walks every intermediate row; meter
+		// it to match cloudsim.EstimateBloomProbe's build charge.
+		e.Metrics.Phase("bloom build intermediate", e.NextStage()).
+			AddServerRows(int64(len(cur.Rows)))
+		right, err = e.BloomProbe(cur, st.BuildKey, sc.Table, st.ProbeKey,
+			exprStr(sc.Filter), sc.Project, planFPR, false, planSeed)
+		if err != nil && errors.Is(err, ErrNonIntegerJoinKey) {
+			st.Strategy = StrategyFiltered
+			st.Reason += "; fell back to filtered: Bloom filters need integer join keys"
+			err = nil
+			right = nil
+		} else if err != nil {
+			return nil, err
+		}
+	}
+	if right == nil {
+		right, err = e.SelectRows("filtered scan "+sc.Table, e.NextStage(), sc.Table,
+			projectionSQL(sc.Project, exprStr(sc.Filter)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	phase := e.Metrics.Phase("hash join", e.stageNow())
+	phase.AddServerRows(int64(len(cur.Rows)) + int64(len(right.Rows)))
+	return HashJoinLocal(cur, right, st.BuildKey, st.ProbeKey)
+}
+
+// String renders the plan as a readable tree (cmd/pushdownsql -explain).
+func (p *QueryPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "join plan (%d tables)\n", len(p.Scans))
+	for _, sc := range p.Scans {
+		fmt.Fprintf(&b, "  scan %s: S3 Select: %s", sc.Name(),
+			projectionSQL(sc.Project, exprStr(sc.Filter)))
+		cached := ""
+		if sc.CachedStats {
+			cached = ", cached stats"
+		}
+		fmt.Fprintf(&b, "  [%d rows, %d after filter%s]\n",
+			sc.Stats.Rows, sc.Stats.FilteredRows, cached)
+	}
+	for i, st := range p.Steps {
+		fmt.Fprintf(&b, "  join %d: %s.%s = %s.%s  (~%d rows)\n",
+			i+1, st.BuildName, st.BuildKey, st.ProbeName, st.ProbeKey, st.EstRows)
+		fmt.Fprintf(&b, "    strategy: %s — %s\n", st.Strategy, st.Reason)
+		names := make([]string, 0, len(st.Estimates))
+		for name := range st.Estimates {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			est := st.Estimates[name]
+			fmt.Fprintf(&b, "    est %-8s %8.3fs  $%.6f\n", name+":", est.Seconds, est.USD)
+		}
+	}
+	if p.Residual != nil {
+		fmt.Fprintf(&b, "  server: filter %s\n", p.Residual.String())
+	}
+	sel := p.Sel
+	if len(sel.GroupBy) > 0 {
+		fmt.Fprintf(&b, "  server: GROUP BY %s\n", renderExprs(sel.GroupBy))
+	} else if sel.HasAggregates() {
+		fmt.Fprintf(&b, "  server: aggregate\n")
+	}
+	if len(sel.OrderBy) > 0 {
+		fmt.Fprintf(&b, "  server: ORDER BY\n")
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&b, "  server: LIMIT %d\n", sel.Limit)
+	}
+	return b.String()
+}

@@ -7,19 +7,57 @@ import (
 	"pushdowndb/internal/sqlparse"
 )
 
-// Query is PushdownDB's minimal SQL front end (the paper's Section III
-// "minimal optimizer"): single-table SELECTs with WHERE, GROUP BY,
-// ORDER BY and LIMIT. Selection and projection are always pushed into
-// S3 Select; grouping, ordering and limiting run on the server. Join
-// queries use the explicit operator APIs (BaselineJoin/BloomJoin/...).
+// Query is PushdownDB's SQL front end. Single-table SELECTs (WHERE, GROUP
+// BY, ORDER BY, LIMIT) push selection and projection into S3 Select and
+// run the rest on the server, as in the paper's Section III "minimal
+// optimizer". Multi-table SELECTs (JOIN ... ON, or comma joins with
+// equality predicates in WHERE) go through the cost-based join planner
+// (plan.go), which picks a Section-V join strategy per join; the chosen
+// plan is available from Exec.QueryPlan.
 func (db *DB) Query(sql string) (*Relation, *Exec, error) {
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
 	e := db.NewExec()
-	rel, err := e.runSelect(sel)
+	var rel *Relation
+	if len(sel.Joins) > 0 {
+		var plan *QueryPlan
+		plan, err = e.planJoins(sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.plan = plan
+		rel, err = e.runPlan(plan)
+	} else {
+		rel, err = e.runSelect(sel)
+	}
 	return rel, e, err
+}
+
+// Plan parses sql and builds its execution plan without running it. For
+// join queries the returned Exec has already accrued the planning cost
+// (header and statistics probes); single-table queries plan for free and
+// return a nil QueryPlan (they bypass the join planner).
+func (db *DB) Plan(sql string) (*QueryPlan, *Exec, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.planParsed(sel)
+}
+
+func (db *DB) planParsed(sel *sqlparse.Select) (*QueryPlan, *Exec, error) {
+	e := db.NewExec()
+	if len(sel.Joins) == 0 {
+		return nil, e, nil
+	}
+	plan, err := e.planJoins(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.plan = plan
+	return plan, e, nil
 }
 
 func (e *Exec) runSelect(sel *sqlparse.Select) (*Relation, error) {
@@ -56,9 +94,17 @@ func (e *Exec) runSelect(sel *sqlparse.Select) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.finishLocal(rel, sel)
+}
+
+// finishLocal runs the server-side tail of a query over an already-scanned
+// (or joined) relation: grouping/aggregation/projection, ordering and
+// limiting, with the row work accounted on the virtual clock.
+func (e *Exec) finishLocal(rel *Relation, sel *sqlparse.Select) (*Relation, error) {
 	phase := e.Metrics.Phase("local", e.NextStage())
 	phase.AddServerRows(int64(len(rel.Rows)))
 
+	var err error
 	items := renderItems(sel.Items)
 	switch {
 	case len(sel.GroupBy) > 0:
@@ -152,11 +198,21 @@ func renderExprs(exprs []sqlparse.Expr) string {
 	return strings.Join(parts, ", ")
 }
 
-// Explain returns a short description of how Query would execute sql.
+// Explain returns a description of how Query would execute sql: the plan
+// tree with per-join strategy decisions for multi-table queries, or the
+// pushdown split for single-table ones. Planning a join query issues the
+// planner's (cheap) header and statistics probes.
 func (db *DB) Explain(sql string) (string, error) {
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return "", err
+	}
+	if len(sel.Joins) > 0 {
+		plan, _, err := db.planParsed(sel)
+		if err != nil {
+			return "", err
+		}
+		return plan.String(), nil
 	}
 	var b strings.Builder
 	simple := len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 && !sel.HasAggregates()

@@ -101,6 +101,9 @@ func Execute(data []byte, req Request) (*Result, error) {
 }
 
 func validate(sel *sqlparse.Select, caps Capabilities) error {
+	if len(sel.Joins) > 0 {
+		return fmt.Errorf("selectengine: JOIN is not supported by S3 Select (single-object queries only)")
+	}
 	if len(sel.OrderBy) > 0 {
 		return fmt.Errorf("selectengine: ORDER BY is not supported by S3 Select")
 	}

@@ -286,11 +286,22 @@ func (o OrderItem) String() string {
 	return o.Expr.String() + " ASC"
 }
 
+// Join is one additional table of the FROM clause: either an explicit
+// `[INNER] JOIN table [alias] ON cond`, or an implicit comma join
+// (`FROM a, b`) whose join condition lives in WHERE and has Cond == nil.
+type Join struct {
+	Table string
+	Alias string // optional table alias
+	Cond  Expr   // ON condition; nil for comma joins
+	Comma bool   // true when written as `, table` rather than `JOIN table`
+}
+
 // Select is a parsed SELECT statement.
 type Select struct {
 	Items   []SelectItem
-	Table   string // single table (S3 Select: always "S3Object")
+	Table   string // first FROM table (S3 Select: always "S3Object")
 	Alias   string // optional table alias
+	Joins   []Join // additional FROM tables; rejected by the select engine
 	Where   Expr   // may be nil
 	GroupBy []Expr // PushdownDB extension; rejected by the select engine
 	OrderBy []OrderItem
@@ -310,6 +321,19 @@ func (s *Select) String() string {
 	b.WriteString(" FROM " + s.Table)
 	if s.Alias != "" {
 		b.WriteString(" AS " + s.Alias)
+	}
+	for _, j := range s.Joins {
+		if j.Comma {
+			b.WriteString(", " + j.Table)
+		} else {
+			b.WriteString(" JOIN " + j.Table)
+		}
+		if j.Alias != "" {
+			b.WriteString(" AS " + j.Alias)
+		}
+		if j.Cond != nil {
+			b.WriteString(" ON " + j.Cond.String())
+		}
 	}
 	if s.Where != nil {
 		b.WriteString(" WHERE " + s.Where.String())
@@ -391,19 +415,110 @@ func ContainsAggregate(e Expr) bool {
 	return false
 }
 
-// Columns collects the distinct column names referenced by e, in first-seen
-// order. Used for projection pushdown and columnar scans.
-func Columns(e Expr) []string {
-	var out []string
-	seen := map[string]bool{}
+// Conjuncts splits e on top-level ANDs, returning the flat conjunct list.
+// A nil expression yields nil. The join planner classifies each conjunct
+// independently (per-table pushdown, equi-join key, or local residual).
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll joins exprs back into a single conjunction (nil when empty).
+func AndAll(exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// Rewrite returns a structural copy of e with children rewritten first
+// and f applied to every copied node (bottom-up). Nodes f leaves alone
+// are returned as copies with rewritten children.
+func Rewrite(e Expr, f func(Expr) Expr) Expr {
+	switch t := e.(type) {
+	case *Binary:
+		e = &Binary{Op: t.Op, L: Rewrite(t.L, f), R: Rewrite(t.R, f)}
+	case *Unary:
+		e = &Unary{Op: t.Op, X: Rewrite(t.X, f)}
+	case *Case:
+		out := &Case{}
+		for _, w := range t.Whens {
+			out.Whens = append(out.Whens, When{Cond: Rewrite(w.Cond, f), Result: Rewrite(w.Result, f)})
+		}
+		if t.Else != nil {
+			out.Else = Rewrite(t.Else, f)
+		}
+		e = out
+	case *Cast:
+		e = &Cast{X: Rewrite(t.X, f), To: t.To}
+	case *Call:
+		out := &Call{Name: t.Name}
+		for _, a := range t.Args {
+			out.Args = append(out.Args, Rewrite(a, f))
+		}
+		e = out
+	case *Aggregate:
+		e = &Aggregate{Func: t.Func, X: Rewrite(t.X, f)}
+	case *Between:
+		e = &Between{X: Rewrite(t.X, f), Lo: Rewrite(t.Lo, f), Hi: Rewrite(t.Hi, f), Not: t.Not}
+	case *In:
+		out := &In{X: Rewrite(t.X, f), Not: t.Not}
+		for _, a := range t.List {
+			out.List = append(out.List, Rewrite(a, f))
+		}
+		e = out
+	case *Like:
+		e = &Like{X: Rewrite(t.X, f), Pattern: Rewrite(t.Pattern, f), Not: t.Not}
+	case *IsNull:
+		e = &IsNull{X: Rewrite(t.X, f), Not: t.Not}
+	}
+	return f(e)
+}
+
+// StripQualifiers returns a copy of e with every column qualifier removed.
+// SQL pushed into S3 Select addresses a single object, so table aliases
+// from the multi-table query are meaningless (and rejected) there.
+func StripQualifiers(e Expr) Expr {
+	return Rewrite(e, func(n Expr) Expr {
+		if c, ok := n.(*Column); ok && c.Qualifier != "" {
+			return &Column{Name: c.Name}
+		}
+		return n
+	})
+}
+
+// MapAggregates returns a copy of e with every Aggregate node replaced by
+// f's result. Used to evaluate aggregate expressions over zero input rows
+// (COUNT becomes 0, other aggregates become NULL).
+func MapAggregates(e Expr, f func(*Aggregate) Expr) Expr {
+	return Rewrite(e, func(n Expr) Expr {
+		if a, ok := n.(*Aggregate); ok {
+			return f(a)
+		}
+		return n
+	})
+}
+
+// ColumnRefs collects every column node referenced by e (with qualifiers,
+// duplicates included). The join planner resolves each reference against
+// the FROM tables' headers.
+func ColumnRefs(e Expr) []*Column {
+	var out []*Column
 	var walk func(Expr)
 	walk = func(e Expr) {
 		switch t := e.(type) {
 		case *Column:
-			if !seen[t.Name] {
-				seen[t.Name] = true
-				out = append(out, t.Name)
-			}
+			out = append(out, t)
 		case *Binary:
 			walk(t.L)
 			walk(t.R)
@@ -442,5 +557,19 @@ func Columns(e Expr) []string {
 		}
 	}
 	walk(e)
+	return out
+}
+
+// Columns collects the distinct column names referenced by e, in first-seen
+// order. Used for projection pushdown and columnar scans.
+func Columns(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range ColumnRefs(e) {
+		if !seen[c.Name] {
+			seen[c.Name] = true
+			out = append(out, c.Name)
+		}
+	}
 	return out
 }

@@ -1,0 +1,167 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseJoinOn(t *testing.T) {
+	sel, err := Parse("SELECT c.c_name, o.o_totalprice FROM customer AS c JOIN orders o ON c.c_custkey = o.o_custkey WHERE c.c_acctbal <= -950")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Table != "customer" || sel.Alias != "c" {
+		t.Fatalf("first table = %q alias %q", sel.Table, sel.Alias)
+	}
+	if len(sel.Joins) != 1 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+	j := sel.Joins[0]
+	if j.Table != "orders" || j.Alias != "o" || j.Comma {
+		t.Fatalf("join = %+v", j)
+	}
+	b, ok := j.Cond.(*Binary)
+	if !ok || b.Op != OpEq {
+		t.Fatalf("cond = %v", j.Cond)
+	}
+	l := b.L.(*Column)
+	if l.Qualifier != "c" || l.Name != "c_custkey" {
+		t.Fatalf("cond left = %+v", l)
+	}
+}
+
+func TestParseInnerJoin(t *testing.T) {
+	sel, err := Parse("SELECT * FROM a INNER JOIN b ON a.x = b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Table != "b" || sel.Joins[0].Cond == nil {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	sel, err := Parse("SELECT * FROM customer, orders WHERE c_custkey = o_custkey AND c_acctbal < 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Joins) != 1 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+	if j := sel.Joins[0]; j.Table != "orders" || !j.Comma || j.Cond != nil {
+		t.Fatalf("join = %+v", sel.Joins[0])
+	}
+	if got := len(Conjuncts(sel.Where)); got != 2 {
+		t.Fatalf("where conjuncts = %d", got)
+	}
+}
+
+func TestParseMultiJoin(t *testing.T) {
+	sel, err := Parse("SELECT COUNT(*) FROM a, b AS bb, c WHERE a.k = bb.k AND bb.j = c.j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Joins) != 2 || sel.Joins[0].Alias != "bb" || sel.Joins[1].Table != "c" {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+}
+
+func TestJoinStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"SELECT * FROM a JOIN b ON (a.x = b.y)",
+		"SELECT * FROM a AS s, b WHERE (s.x = b.y)",
+		"SELECT x FROM a JOIN b AS t ON (a.x = t.y) WHERE (a.z > 3) LIMIT 7",
+	} {
+		sel, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		got := sel.String()
+		sel2, err := Parse(got)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", got, err)
+		}
+		if sel2.String() != got {
+			t.Errorf("round trip unstable: %q -> %q", got, sel2.String())
+		}
+	}
+}
+
+func TestParseJoinErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT * FROM a JOIN b",               // missing ON
+		"SELECT * FROM a JOIN ON a.x = b.y",    // missing table
+		"SELECT * FROM a INNER b ON a.x = b.y", // INNER without JOIN
+		"SELECT * FROM a, WHERE a.x = 1",       // dangling comma
+		"SELECT * FROM a JOIN b ON a.x = b.y,", // trailing comma
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q should not parse", src)
+		}
+	}
+}
+
+func TestParseRejectsOuterJoins(t *testing.T) {
+	// LEFT/RIGHT/FULL/CROSS must not be swallowed as table aliases (that
+	// would silently run an outer join as an inner join).
+	for _, src := range []string{
+		"SELECT * FROM a LEFT JOIN b ON a.x = b.y",
+		"SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y",
+		"SELECT * FROM a RIGHT JOIN b ON a.x = b.y",
+		"SELECT * FROM a FULL JOIN b ON a.x = b.y",
+		"SELECT * FROM a CROSS JOIN b",
+	} {
+		_, err := Parse(src)
+		if err == nil || !strings.Contains(err.Error(), "unsupported join type") {
+			t.Errorf("%q: err = %v, want unsupported-join-type error", src, err)
+		}
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	e, err := ParseExpr("a = 1 AND b = 2 AND (c = 3 OR d = 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("nil should have no conjuncts")
+	}
+	back := AndAll(cs)
+	if got := len(Conjuncts(back)); got != 3 {
+		t.Fatalf("AndAll round trip = %d conjuncts", got)
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+}
+
+func TestStripQualifiers(t *testing.T) {
+	e, err := ParseExpr("c.c_acctbal <= -950 AND o.o_orderdate BETWEEN DATE '1994-01-01' AND DATE '1995-01-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StripQualifiers(e).String()
+	if strings.Contains(s, "c.") || strings.Contains(s, "o.") {
+		t.Errorf("qualifiers remain: %s", s)
+	}
+	for _, ref := range ColumnRefs(StripQualifiers(e)) {
+		if ref.Qualifier != "" {
+			t.Errorf("qualifier survived on %+v", ref)
+		}
+	}
+}
+
+func TestColumnRefsKeepsQualifiers(t *testing.T) {
+	e, err := ParseExpr("c.c_custkey = o.o_custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := ColumnRefs(e)
+	if len(refs) != 2 || refs[0].Qualifier != "c" || refs[1].Qualifier != "o" {
+		t.Fatalf("refs = %+v", refs)
+	}
+}

@@ -104,30 +104,53 @@ func (p *parser) parseSelect() (*Select, error) {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
-	if p.tok.Type != TokIdent {
-		return nil, p.errf("expected table name, got %s", p.tok)
-	}
-	sel.Table = p.tok.Text
-	if err := p.advance(); err != nil {
+	table, alias, err := p.parseTableRef()
+	if err != nil {
 		return nil, err
 	}
-	// optional alias: FROM t AS s / FROM t s
-	if p.isKeyword("AS") {
-		if err := p.advance(); err != nil {
-			return nil, err
+	sel.Table, sel.Alias = table, alias
+	// Additional FROM tables: implicit comma joins (whose equality
+	// predicates live in WHERE) and explicit [INNER] JOIN ... ON.
+	for {
+		switch {
+		case p.isOp(","):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, a, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.Joins = append(sel.Joins, Join{Table: t, Alias: a, Comma: true})
+			continue
+		case p.isKeyword("LEFT"), p.isKeyword("RIGHT"), p.isKeyword("FULL"), p.isKeyword("CROSS"), p.isKeyword("OUTER"):
+			// Reserved so they cannot be swallowed as table aliases,
+			// which would silently turn an outer join into an inner one.
+			return nil, p.errf("unsupported join type %s (only [INNER] JOIN ... ON and comma joins are supported)", p.tok.Text)
+		case p.isKeyword("JOIN"), p.isKeyword("INNER"):
+			if p.isKeyword("INNER") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			t, a, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Joins = append(sel.Joins, Join{Table: t, Alias: a, Cond: cond})
+			continue
 		}
-		if p.tok.Type != TokIdent {
-			return nil, p.errf("expected alias after AS, got %s", p.tok)
-		}
-		sel.Alias = p.tok.Text
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
-	} else if p.tok.Type == TokIdent {
-		sel.Alias = p.tok.Text
-		if err := p.advance(); err != nil {
-			return nil, err
-		}
+		break
 	}
 	if p.isKeyword("WHERE") {
 		if err := p.advance(); err != nil {
@@ -211,6 +234,35 @@ func (p *parser) parseSelect() (*Select, error) {
 		}
 	}
 	return sel, nil
+}
+
+// parseTableRef parses `table [AS alias | alias]`.
+func (p *parser) parseTableRef() (table, alias string, err error) {
+	if p.tok.Type != TokIdent {
+		return "", "", p.errf("expected table name, got %s", p.tok)
+	}
+	table = p.tok.Text
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	if p.isKeyword("AS") {
+		if err := p.advance(); err != nil {
+			return "", "", err
+		}
+		if p.tok.Type != TokIdent {
+			return "", "", p.errf("expected alias after AS, got %s", p.tok)
+		}
+		alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return "", "", err
+		}
+	} else if p.tok.Type == TokIdent {
+		alias = p.tok.Text
+		if err := p.advance(); err != nil {
+			return "", "", err
+		}
+	}
+	return table, alias, nil
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {

@@ -66,5 +66,7 @@ var keywords = map[string]bool{
 	"AVG": true, "SUBSTRING": true, "DATE": true, "INT": true,
 	"INTEGER": true, "FLOAT": true, "DECIMAL": true, "STRING": true,
 	"BOOL": true, "TIMESTAMP": true, "UTCNOW": true, "DISTINCT": true,
-	"HAVING": true, "ESCAPE": true, "EXTRACT": true,
+	"HAVING": true, "ESCAPE": true, "EXTRACT": true, "JOIN": true,
+	"INNER": true, "ON": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true,
 }
