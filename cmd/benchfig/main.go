@@ -34,7 +34,7 @@ func main() {
 		"Fig4": harness.RunFig4, "Fig5": harness.RunFig5, "Fig6": harness.RunFig6,
 		"Fig7": harness.RunFig7, "Fig8": harness.RunFig8, "Fig9": harness.RunFig9,
 		"Fig10": harness.RunFig10, "Fig11": harness.RunFig11,
-		"Planner": harness.RunPlanner,
+		"Planner": harness.RunPlanner, "Parallel": harness.RunParallel,
 	}
 
 	switch {

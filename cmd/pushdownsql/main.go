@@ -39,6 +39,7 @@ func main() {
 		explain = flag.Bool("explain", false, "print the plan (join strategy choices and cost estimates) instead of executing")
 		parts   = flag.Int("parts", 4, "partitions per table")
 		sim     = flag.Float64("sim", 1, "simulate the data at N× its actual size for the virtual clock, cost model and join planner")
+		workers = flag.Int("workers", 1, "worker goroutines for server-side operators (capped at the cost model's cores); the virtual clock and the join planner both price row work at this parallelism")
 	)
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
@@ -74,6 +75,10 @@ func main() {
 	if *sim != 1 {
 		db.Sim = cloudsim.Scale{DataRatio: *sim, PartRatio: 1}
 	}
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
+	db.Cfg.Workers = *workers
 	if *explain {
 		plan, err := db.Explain(*query)
 		if err != nil {

@@ -76,6 +76,16 @@ func DefaultComputationAwarePricing() ComputationAwarePricing {
 type Config struct {
 	// Cores on the compute node (r4.8xlarge has 32 physical cores).
 	Cores int
+	// Workers is how many goroutines the server's local operators spread
+	// their row work across (hash join build/probe, group-by partials,
+	// filter, top-K heaps, CSV decode). The budget is capped at Cores;
+	// 0 or 1 means sequential execution, the configuration the other
+	// constants were calibrated against. The parallelizable server terms
+	// of the bottleneck model — bulk parse, select-response parse and
+	// per-row work — divide their wall-clock by WorkerBudget() while the
+	// total CPU seconds consumed stay the same; request issuance stays
+	// serial.
+	Workers int
 	// RequestRTTSec is the latency of one S3 HTTP round trip.
 	RequestRTTSec float64
 	// S3ScanBytesPerSec is the per-partition raw IO rate of an S3 Select
@@ -113,10 +123,24 @@ type Config struct {
 	RowWorkSecPerRow float64
 }
 
+// WorkerBudget is the effective server-side parallelism: Workers clamped
+// to [1, Cores].
+func (c Config) WorkerBudget() int {
+	w := c.Workers
+	if w < 1 {
+		w = 1
+	}
+	if c.Cores > 0 && w > c.Cores {
+		w = c.Cores
+	}
+	return w
+}
+
 // DefaultConfig returns the calibrated model (see field comments).
 func DefaultConfig() Config {
 	return Config{
 		Cores:                   32,
+		Workers:                 1,
 		RequestRTTSec:           0.010,
 		S3ScanBytesPerSec:       200e6,
 		S3CellSecPerCell:        2.1e-7,
@@ -252,15 +276,22 @@ type phaseTotals struct {
 }
 
 // seconds evaluates the phase duration under the bottleneck model at the
-// given scale.
+// given scale. Server-side work that the engine partitions across worker
+// goroutines — parsing fetched bytes and per-row operator work — divides
+// its wall-clock by the worker budget (full CPU seconds are still spent,
+// across more cores); request issuance and explicit extra seconds remain
+// serial. Per-row work is priced as fully parallelizable: the engine's
+// only serial per-row residue (Bloom-filter bit inserts, a few hashes
+// per build row) is below the roofline model's granularity.
 func (t phaseTotals) seconds(cfg Config, scale Scale) float64 {
 	dr := scale.DataRatio
 	transfer := float64(t.selectReturnBytes+t.getBytes) * dr / cfg.NetworkBytesPerSec
-	server := float64(t.getBytes)*dr/cfg.BulkParseBytesPerSec +
+	parallel := float64(t.getBytes)*dr/cfg.BulkParseBytesPerSec +
 		float64(t.selectReturnBytes)*dr/cfg.SelectParseBytesPerSec +
+		float64(t.serverRows)*dr*cfg.RowWorkSecPerRow
+	server := parallel/float64(cfg.WorkerBudget()) +
 		float64(t.requests)*scale.PartRatio*cfg.RequestCPUSec +
 		float64(t.rowFetchRequests)*dr*cfg.RequestCPUSec +
-		float64(t.serverRows)*dr*cfg.RowWorkSecPerRow +
 		t.serverExtraSec
 	return math.Max(t.s3MaxStreamSec, math.Max(transfer, server))
 }

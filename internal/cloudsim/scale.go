@@ -56,6 +56,19 @@ func (m *Metrics) PhaseSeconds(prefix string) float64 {
 	return total
 }
 
+// StageOf reports the stage of the first phase whose name starts with
+// prefix (tests use it to check operator work lands in the right stage).
+func (m *Metrics) StageOf(prefix string) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.phases {
+		if strings.HasPrefix(p.Name, prefix) {
+			return p.Stage, true
+		}
+	}
+	return 0, false
+}
+
 // PhaseReturnedBytes sums the paper-scale bytes returned to the server
 // (select returns plus GETs) by phases whose name starts with prefix.
 func (m *Metrics) PhaseReturnedBytes(prefix string) int64 {

@@ -3,6 +3,8 @@ package engine
 import (
 	"bytes"
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -85,6 +87,10 @@ func (db *DB) NewExec() *Exec {
 // DB returns the owning database.
 func (e *Exec) DB() *DB { return e.db }
 
+// workers is the server-side parallelism budget local operators run with
+// (the cost model's Workers knob, capped at Cores).
+func (e *Exec) workers() int { return e.db.Cfg.WorkerBudget() }
+
 // NextStage allocates the next sequential stage index.
 func (e *Exec) NextStage() int {
 	e.mu.Lock()
@@ -147,6 +153,17 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 	}
 	phase := e.Metrics.Phase(phaseName, stage)
 	rels := make([]*Relation, len(keys))
+	// The per-partition decodes already run concurrently under
+	// forEachPart; split the worker budget across that fan-out so total
+	// decode concurrency matches the Cores budget the cost model prices.
+	fanout := e.db.MaxScanParallel
+	if fanout <= 0 || fanout > len(keys) {
+		fanout = len(keys)
+	}
+	decodeWorkers := e.workers() / fanout
+	if decodeWorkers < 1 {
+		decodeWorkers = 1
+	}
 	err = e.forEachPart(keys, func(i int, key string) error {
 		data, err := e.db.Client.Get(e.db.Bucket, key)
 		if err != nil {
@@ -157,7 +174,7 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 		if err != nil {
 			return err
 		}
-		rels[i] = FromStrings(header, rows)
+		rels[i] = FromStringsN(header, rows, decodeWorkers)
 		return nil
 	})
 	if err != nil {
@@ -209,7 +226,7 @@ func (e *Exec) SelectRows(phaseName string, stage int, table, sql string) (*Rela
 	}
 	out := &Relation{}
 	for _, res := range results {
-		if err := out.Concat(FromStrings(res.Columns, res.Rows)); err != nil {
+		if err := out.Concat(FromStringsN(res.Columns, res.Rows, e.workers())); err != nil {
 			return nil, err
 		}
 	}
@@ -235,7 +252,7 @@ func (e *Exec) SelectRowsLimit(phaseName string, stage int, table, sql string, t
 	}
 	out := &Relation{}
 	for _, res := range results {
-		if err := out.Concat(FromStrings(res.Columns, res.Rows)); err != nil {
+		if err := out.Concat(FromStringsN(res.Columns, res.Rows, e.workers())); err != nil {
 			return nil, err
 		}
 	}
@@ -320,10 +337,19 @@ func sqlQuote(s string) string {
 	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
 }
 
-// sqlLiteral renders a group value for embedding in a CASE/NOT IN clause:
-// bare when numeric, quoted otherwise.
+// sqlLiteral renders a group value for embedding in a CASE/NOT IN clause
+// or a top-K threshold predicate: bare only when the text round-trips
+// canonically as a SQL numeric literal, quoted otherwise. Values that
+// merely parse as numbers are not safe bare: "00501" would re-render as
+// 501 and stop matching the stored zip-code text, and "NaN"/"Inf"/"0x1p2"
+// would be misread as identifiers or fail to parse at all.
 func sqlLiteral(s string) string {
-	if _, err := value.CastFloat(value.Str(s)); err == nil && s != "" {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil && strconv.FormatInt(i, 10) == s {
+		return s
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil &&
+		!math.IsNaN(f) && !math.IsInf(f, 0) &&
+		strconv.FormatFloat(f, 'f', -1, 64) == s {
 		return s
 	}
 	return sqlQuote(s)

@@ -18,14 +18,14 @@ func (e *Exec) ServerSideFilter(table, predicate, projection string) (*Relation,
 		return nil, err
 	}
 	e.Metrics.Phase("load "+table, stage).AddServerRows(int64(len(rel.Rows)))
-	filtered, err := FilterLocal(rel, predicate)
+	filtered, err := FilterLocalN(rel, predicate, e.workers())
 	if err != nil {
 		return nil, err
 	}
 	if projection == "" || projection == "*" {
 		return filtered, nil
 	}
-	return ProjectLocal(filtered, projection)
+	return ProjectLocalN(filtered, projection, e.workers())
 }
 
 // S3SideFilter pushes both the predicate and the projection into S3
@@ -142,7 +142,7 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 		return nil, err
 	}
 	for _, rows := range partRows {
-		if err := out.Concat(FromStrings(header, rows)); err != nil {
+		if err := out.Concat(FromStringsN(header, rows, e.workers())); err != nil {
 			return nil, err
 		}
 	}

@@ -75,11 +75,11 @@ func (e *Exec) ServerSideGroupBy(table, groupCol string, aggs []GroupAgg, filter
 		return nil, err
 	}
 	e.Metrics.Phase("load "+table, stage).AddServerRows(int64(len(rel.Rows)))
-	rel, err = FilterLocal(rel, filter)
+	rel, err = FilterLocalN(rel, filter, e.workers())
 	if err != nil {
 		return nil, err
 	}
-	return GroupByLocal(rel, groupCol, groupItems(groupCol, aggs))
+	return GroupByLocalN(rel, groupCol, groupItems(groupCol, aggs), e.workers())
 }
 
 // FilteredGroupBy pushes the projection of the referenced columns into S3
@@ -96,7 +96,18 @@ func (e *Exec) FilteredGroupBy(table, groupCol string, aggs []GroupAgg, filter s
 		return nil, err
 	}
 	e.Metrics.Phase("project "+table, stage).AddServerRows(int64(len(rel.Rows)))
-	return GroupByLocal(rel, groupCol, groupItems(groupCol, aggs))
+	return GroupByLocalN(rel, groupCol, groupItems(groupCol, aggs), e.workers())
+}
+
+// groupEqPredicate renders the membership test for one discovered group
+// value. CSV cannot distinguish NULL from the empty string, and the
+// storage service sees empty fields as NULL, so the empty group value is
+// matched with IS NULL.
+func groupEqPredicate(groupCol, g string) string {
+	if g == "" {
+		return groupCol + " IS NULL"
+	}
+	return groupCol + " = " + sqlLiteral(g)
 }
 
 // caseItemsSQL builds the Listing-4 select list: one aggregated CASE per
@@ -104,14 +115,14 @@ func (e *Exec) FilteredGroupBy(table, groupCol string, aggs []GroupAgg, filter s
 func caseItemsSQL(groupCol string, groups []string, aggs []GroupAgg) string {
 	var items []string
 	for _, g := range groups {
-		lit := sqlLiteral(g)
+		pred := groupEqPredicate(groupCol, g)
 		for _, a := range aggs {
 			inner := a.Expr
 			if a.Func == sqlparse.AggCount {
 				inner = "1"
 			}
 			items = append(items, fmt.Sprintf(
-				"SUM(CASE WHEN %s = %s THEN %s ELSE 0 END)", groupCol, lit, inner))
+				"SUM(CASE WHEN %s THEN %s ELSE 0 END)", pred, inner))
 		}
 	}
 	return strings.Join(items, ", ")
@@ -255,12 +266,8 @@ func (e *Exec) HybridGroupBy(table, groupCol string, aggs []GroupAgg, opts Hybri
 	go func() {
 		var err error
 		where := ""
-		if len(big) > 0 {
-			lits := make([]string, len(big))
-			for i, g := range big {
-				lits[i] = sqlLiteral(g)
-			}
-			where = " WHERE " + groupCol + " NOT IN (" + strings.Join(lits, ", ") + ")"
+		if pred := tailPredicate(groupCol, big); pred != "" {
+			where = " WHERE " + pred
 		}
 		cols := projectColsForAggs(groupCol, aggs)
 		tailRel, err = e.SelectRows("tail scan", stage2, table,
@@ -274,7 +281,7 @@ func (e *Exec) HybridGroupBy(table, groupCol string, aggs []GroupAgg, opts Hybri
 	}
 
 	e.Metrics.Phase("tail scan", stage2).AddServerRows(int64(len(tailRel.Rows)))
-	tail, err := GroupByLocal(tailRel, groupCol, groupItems(groupCol, aggs))
+	tail, err := GroupByLocalN(tailRel, groupCol, groupItems(groupCol, aggs), e.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -346,15 +353,56 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 	return big, nil
 }
 
+// tailPredicate renders the hybrid tail scan's WHERE clause: every row
+// whose group is not among the big (S3-aggregated) groups. NOT IN alone
+// would also drop NULL-group rows (the comparison evaluates to NULL), so
+// the predicate handles the NULL group explicitly on whichever side of
+// the split it belongs to.
+func tailPredicate(groupCol string, big []string) string {
+	if len(big) == 0 {
+		return ""
+	}
+	bigHasNull := false
+	var lits []string
+	for _, g := range big {
+		if g == "" {
+			bigHasNull = true
+			continue
+		}
+		lits = append(lits, sqlLiteral(g))
+	}
+	notIn := groupCol + " NOT IN (" + strings.Join(lits, ", ") + ")"
+	switch {
+	case len(lits) == 0: // big is just the NULL group
+		return groupCol + " IS NOT NULL"
+	case bigHasNull:
+		return groupCol + " IS NOT NULL AND " + notIn
+	default:
+		return groupCol + " IS NULL OR " + notIn
+	}
+}
+
 // partialGroupBy is the Suggestion-4 path: ship a real GROUP BY restricted
 // to the given groups, then merge the per-partition partial results.
 func (e *Exec) partialGroupBy(phaseName string, stage int, table, groupCol string, groups []string, aggs []GroupAgg) (*Relation, error) {
-	lits := make([]string, len(groups))
-	for i, g := range groups {
-		lits[i] = sqlLiteral(g)
+	groupsHaveNull := false
+	var lits []string
+	for _, g := range groups {
+		if g == "" {
+			groupsHaveNull = true
+			continue
+		}
+		lits = append(lits, sqlLiteral(g))
+	}
+	pred := groupCol + " IN (" + strings.Join(lits, ", ") + ")"
+	switch {
+	case len(lits) == 0:
+		pred = groupCol + " IS NULL"
+	case groupsHaveNull:
+		pred = groupCol + " IS NULL OR " + pred
 	}
 	sql := "SELECT " + groupItems(groupCol, aggs) + " FROM S3Object WHERE " +
-		groupCol + " IN (" + strings.Join(lits, ", ") + ") GROUP BY " + groupCol
+		pred + " GROUP BY " + groupCol
 	partials, err := e.SelectRows(phaseName, stage, table, sql)
 	if err != nil {
 		return nil, err
@@ -364,7 +412,7 @@ func (e *Exec) partialGroupBy(phaseName string, stage int, table, groupCol strin
 	for _, a := range aggs {
 		mergeParts = append(mergeParts, "SUM("+a.As+") AS "+a.As)
 	}
-	return GroupByLocal(partials, groupCol, strings.Join(mergeParts, ", "))
+	return GroupByLocalN(partials, groupCol, strings.Join(mergeParts, ", "), e.workers())
 }
 
 func projectColsForAggs(groupCol string, aggs []GroupAgg) []string {

@@ -79,10 +79,10 @@ func (e *Exec) BaselineJoin(js JoinSpec) (*Relation, error) {
 	e.Metrics.Phase("load "+js.LeftTable, stage).AddServerRows(int64(len(left.Rows)))
 	e.Metrics.Phase("load "+js.RightTable, stage).AddServerRows(int64(len(right.Rows)))
 	var err error
-	if left, err = FilterLocal(left, js.LeftFilter); err != nil {
+	if left, err = FilterLocalN(left, js.LeftFilter, e.workers()); err != nil {
 		return nil, err
 	}
-	if right, err = FilterLocal(right, js.RightFilter); err != nil {
+	if right, err = FilterLocalN(right, js.RightFilter, e.workers()); err != nil {
 		return nil, err
 	}
 	return e.hashJoin(stage, js, left, right)
@@ -149,22 +149,15 @@ func (e *Exec) BloomJoin(js JoinSpec) (*Relation, error) {
 	}
 	e.Metrics.Phase("bloom build "+js.LeftTable, stage1).
 		AddServerRows(int64(len(left.Rows)) * 2) // hash table + filter insert
-	right, err := e.BloomProbe(left, js.LeftKey, js.RightTable, js.RightKey,
+	right, stage2, err := e.BloomProbe(left, js.LeftKey, js.RightTable, js.RightKey,
 		js.RightFilter, js.RightProject, js.fpr(), js.Bitwise, js.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return e.hashJoin(e.stageNow(), js, left, right)
-}
-
-// stageNow reports the most recently allocated stage.
-func (e *Exec) stageNow() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.stage == 0 {
-		return 0
-	}
-	return e.stage - 1
+	// The final hash join overlaps the probe scan; the probe's own stage
+	// keeps the attribution correct even when concurrent work allocates
+	// stages on this Exec.
+	return e.hashJoin(stage2, js, left, right)
 }
 
 // BloomProbe builds a Bloom filter over left's key column and scans
@@ -172,23 +165,41 @@ func (e *Exec) stageNow() int {
 // the reusable second half of BloomJoin, used directly by multi-join
 // queries (e.g. TPC-H Q3) whose build side is an intermediate relation.
 // When the filter cannot fit the 256 KB expression limit even after FPR
-// degradation, the probe degrades to a plain filtered scan.
-func (e *Exec) BloomProbe(left *Relation, leftKey, rightTable, rightKey, rightFilter string, rightProject []string, fpr float64, bitwise bool, seed int64) (*Relation, error) {
+// degradation, the probe degrades to a plain filtered scan. The returned
+// int is the stage the probe scan ran in, so callers can attribute
+// follow-on work (the hash join) to the same stage.
+func (e *Exec) BloomProbe(left *Relation, leftKey, rightTable, rightKey, rightFilter string, rightProject []string, fpr float64, bitwise bool, seed int64) (*Relation, int, error) {
 	li := left.ColIndex(leftKey)
 	if li < 0 {
-		return nil, fmt.Errorf("engine: bloom join key %q not in %v", leftKey, left.Cols)
+		return nil, 0, fmt.Errorf("engine: bloom join key %q not in %v", leftKey, left.Cols)
+	}
+	// Key extraction partitions across the worker budget; the per-span
+	// slices concatenate in worker order, so the key sequence (and hence
+	// the fitted filter) matches the sequential walk exactly.
+	sps := rowSpans(len(left.Rows), e.workers())
+	keyParts := make([][]int64, len(sps))
+	if err := runSpans(sps, func(w int, sp span) error {
+		part := make([]int64, 0, sp.hi-sp.lo)
+		for i := sp.lo; i < sp.hi; i++ {
+			row := left.Rows[i]
+			if row[li].IsNull() {
+				continue
+			}
+			k, ok := row[li].IntNum()
+			if !ok {
+				return fmt.Errorf("engine: %w, got %s (%v)",
+					ErrNonIntegerJoinKey, row[li].Kind(), row[li])
+			}
+			part = append(part, k)
+		}
+		keyParts[w] = part
+		return nil
+	}); err != nil {
+		return nil, 0, err
 	}
 	keys := make([]int64, 0, len(left.Rows))
-	for _, row := range left.Rows {
-		if row[li].IsNull() {
-			continue
-		}
-		k, ok := row[li].IntNum()
-		if !ok {
-			return nil, fmt.Errorf("engine: %w, got %s (%v)",
-				ErrNonIntegerJoinKey, row[li].Kind(), row[li])
-		}
-		keys = append(keys, k)
+	for _, part := range keyParts {
+		keys = append(keys, part...)
 	}
 
 	rng := rand.New(rand.NewSource(seed + 1))
@@ -234,7 +245,8 @@ func (e *Exec) BloomProbe(left *Relation, leftKey, rightTable, rightKey, rightFi
 		}
 		probeSQL = projectionSQL(rightProject, where)
 	}
-	return e.SelectRows("bloom probe "+rightTable, stage2, rightTable, probeSQL)
+	rel, err := e.SelectRows("bloom probe "+rightTable, stage2, rightTable, probeSQL)
+	return rel, stage2, err
 }
 
 func maxf(a, b float64) float64 {
@@ -248,7 +260,7 @@ func maxf(a, b float64) float64 {
 func (e *Exec) hashJoin(stage int, js JoinSpec, left, right *Relation) (*Relation, error) {
 	phase := e.Metrics.Phase("hash join", stage)
 	phase.AddServerRows(int64(len(left.Rows)) + int64(len(right.Rows)))
-	return HashJoinLocal(left, right, js.LeftKey, js.RightKey)
+	return HashJoinLocalN(left, right, js.LeftKey, js.RightKey, e.workers())
 }
 
 // JoinAggregate is a convenience for the paper's evaluation query
@@ -272,26 +284,14 @@ func (e *Exec) JoinAggregate(js JoinSpec, algorithm string, aggItems string) (*R
 	if err != nil {
 		return nil, err
 	}
-	return AggregateLocal(joined, aggItems)
+	return AggregateLocalN(joined, aggItems, e.workers())
 }
 
 // AggregateLocal evaluates aggregate-only select items over a relation,
-// returning a single-row relation.
+// returning a single-row relation. (GroupByLocal with a constant group
+// gives a single-row aggregate; see AggregateLocalN.)
 func AggregateLocal(rel *Relation, items string) (*Relation, error) {
-	// GroupByLocal with a constant group gives a single-row aggregate.
-	out, err := GroupByLocal(rel, "'all'", "'all' AS g, "+items)
-	if err != nil {
-		return nil, err
-	}
-	if len(out.Rows) == 0 {
-		return emptyAggregateRow(rel.Cols, items)
-	}
-	// Drop the synthetic group column.
-	trimmed := &Relation{Cols: out.Cols[1:]}
-	for _, r := range out.Rows {
-		trimmed.Rows = append(trimmed.Rows, r[1:])
-	}
-	return trimmed, nil
+	return AggregateLocalN(rel, items, 1)
 }
 
 // emptyAggregateRow builds the single result row of an aggregation over

@@ -645,7 +645,7 @@ func (e *Exec) runPlan(p *QueryPlan) (*Relation, error) {
 		}
 	}
 	if p.Residual != nil {
-		cur, err = FilterLocal(cur, p.Residual.String())
+		cur, err = FilterLocalN(cur, p.Residual.String(), e.workers())
 		if err != nil {
 			return nil, err
 		}
@@ -681,13 +681,14 @@ func (e *Exec) runFirstJoin(p *QueryPlan, st *JoinStep) (*Relation, error) {
 func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relation, error) {
 	sc := p.Scans[st.scan]
 	var right *Relation
+	var joinStage int
 	var err error
 	if st.Strategy == StrategyBloom {
 		// Building the Bloom filter walks every intermediate row; meter
 		// it to match cloudsim.EstimateBloomProbe's build charge.
 		e.Metrics.Phase("bloom build intermediate", e.NextStage()).
 			AddServerRows(int64(len(cur.Rows)))
-		right, err = e.BloomProbe(cur, st.BuildKey, sc.Table, st.ProbeKey,
+		right, joinStage, err = e.BloomProbe(cur, st.BuildKey, sc.Table, st.ProbeKey,
 			exprStr(sc.Filter), sc.Project, planFPR, false, planSeed)
 		if err != nil && errors.Is(err, ErrNonIntegerJoinKey) {
 			st.Strategy = StrategyFiltered
@@ -699,15 +700,18 @@ func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relatio
 		}
 	}
 	if right == nil {
-		right, err = e.SelectRows("filtered scan "+sc.Table, e.NextStage(), sc.Table,
+		joinStage = e.NextStage()
+		right, err = e.SelectRows("filtered scan "+sc.Table, joinStage, sc.Table,
 			projectionSQL(sc.Project, exprStr(sc.Filter)))
 		if err != nil {
 			return nil, err
 		}
 	}
-	phase := e.Metrics.Phase("hash join", e.stageNow())
+	// The hash join overlaps the scan that produced its probe side; using
+	// that scan's own stage keeps attribution correct under concurrency.
+	phase := e.Metrics.Phase("hash join", joinStage)
 	phase.AddServerRows(int64(len(cur.Rows)) + int64(len(right.Rows)))
-	return HashJoinLocal(cur, right, st.BuildKey, st.ProbeKey)
+	return HashJoinLocalN(cur, right, st.BuildKey, st.ProbeKey, e.workers())
 }
 
 // String renders the plan as a readable tree (cmd/pushdownsql -explain).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pushdowndb/internal/expr"
 	"pushdowndb/internal/sqlparse"
 )
 
@@ -106,19 +107,50 @@ func (e *Exec) finishLocal(rel *Relation, sel *sqlparse.Select) (*Relation, erro
 
 	var err error
 	items := renderItems(sel.Items)
+	workers := e.workers()
+	sorted := false
 	switch {
 	case len(sel.GroupBy) > 0:
 		groupBy := renderExprs(sel.GroupBy)
-		rel, err = GroupByLocal(rel, groupBy, items)
+		// ORDER BY may reference group-by expressions the select list
+		// drops; carry them through the grouping as hidden trailing items
+		// and strip them after the sort.
+		augItems, orderBy, hidden := groupSortPlan(sel, items)
+		rel, err = GroupByLocalN(rel, groupBy, augItems, workers)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel.OrderBy) > 0 {
+			rel, err = SortLocal(rel, orderBy)
+			if err != nil {
+				return nil, err
+			}
+			if hidden > 0 {
+				rel = dropTrailingCols(rel, hidden)
+			}
+			sorted = true
+		}
 	case sel.HasAggregates():
-		rel, err = AggregateLocal(rel, items)
+		rel, err = AggregateLocalN(rel, items, workers)
 	default:
-		rel, err = ProjectLocal(rel, items)
+		// Sort before projecting: the projection may drop a column ORDER
+		// BY references (queryColumns pushed it into the scan precisely so
+		// it is available here). Aliases are rewritten to their underlying
+		// expressions, which the pre-projection relation can evaluate; the
+		// projection preserves row order.
+		if len(sel.OrderBy) > 0 {
+			rel, err = SortLocal(rel, orderByOverInput(sel))
+			if err != nil {
+				return nil, err
+			}
+			sorted = true
+		}
+		rel, err = ProjectLocalN(rel, items, workers)
 	}
 	if err != nil {
 		return nil, err
 	}
-	if len(sel.OrderBy) > 0 {
+	if len(sel.OrderBy) > 0 && !sorted {
 		var parts []string
 		for _, o := range sel.OrderBy {
 			parts = append(parts, o.String())
@@ -132,6 +164,92 @@ func (e *Exec) finishLocal(rel *Relation, sel *sqlparse.Select) (*Relation, erro
 		rel = LimitLocal(rel, int(sel.Limit))
 	}
 	return rel, nil
+}
+
+// groupSortPlan prepares a grouped query's projection for its ORDER BY.
+// Sort expressions the output relation can evaluate (references resolve
+// to select-list output names, no aggregates) sort directly; everything
+// else — typically a group-by column the select list drops — becomes a
+// hidden trailing item evaluated by the grouping and stripped after the
+// sort. Returns the augmented select items, the ORDER BY string over the
+// grouped output, and the hidden column count.
+func groupSortPlan(sel *sqlparse.Select, items string) (augItems, orderBy string, hidden int) {
+	outNames := map[string]bool{}
+	for _, it := range sel.Items {
+		outNames[strings.ToLower(itemName(it))] = true
+	}
+	augItems = items
+	var parts []string
+	next := 0
+	for _, o := range sel.OrderBy {
+		key := o.Expr.String()
+		direct := len(expr.CollectAggregates([]sqlparse.Expr{o.Expr})) == 0
+		if direct {
+			for _, c := range sqlparse.Columns(o.Expr) {
+				if !outNames[strings.ToLower(c)] {
+					direct = false
+					break
+				}
+			}
+		}
+		if !direct {
+			var name string
+			for ; ; next++ {
+				name = fmt.Sprintf("sortkey_%d", next)
+				if !outNames[name] {
+					break
+				}
+			}
+			outNames[name] = true
+			augItems += ", " + key + " AS " + name
+			hidden++
+			key = name
+		}
+		if o.Desc {
+			key += " DESC"
+		}
+		parts = append(parts, key)
+	}
+	return augItems, strings.Join(parts, ", "), hidden
+}
+
+// dropTrailingCols strips the last n columns of rel (the hidden sort
+// keys groupSortPlan appended).
+func dropTrailingCols(rel *Relation, n int) *Relation {
+	keep := len(rel.Cols) - n
+	out := &Relation{Cols: rel.Cols[:keep], Rows: make([]Row, len(rel.Rows))}
+	for i, r := range rel.Rows {
+		out.Rows[i] = r[:keep]
+	}
+	return out
+}
+
+// orderByOverInput renders sel's ORDER BY for evaluation over the
+// pre-projection relation: column references that name select-list
+// aliases — bare or nested inside larger expressions — are replaced by
+// the aliased expressions.
+func orderByOverInput(sel *sqlparse.Select) string {
+	subst := func(e sqlparse.Expr) sqlparse.Expr {
+		c, ok := e.(*sqlparse.Column)
+		if !ok || c.Qualifier != "" {
+			return e
+		}
+		for _, it := range sel.Items {
+			if it.Alias != "" && strings.EqualFold(it.Alias, c.Name) {
+				return it.Expr
+			}
+		}
+		return e
+	}
+	parts := make([]string, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		s := sqlparse.Rewrite(o.Expr, subst).String()
+		if o.Desc {
+			s += " DESC"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ", ")
 }
 
 // queryColumns collects every column the query references, for projection

@@ -62,81 +62,17 @@ func (e *rowEnv) Lookup(_, name string) (value.Value, bool) {
 
 // FromStrings builds a typed relation from select-engine results.
 func FromStrings(cols []string, rows [][]string) *Relation {
-	rel := &Relation{Cols: cols}
-	rel.Rows = make([]Row, len(rows))
-	for i, sr := range rows {
-		row := make(Row, len(sr))
-		for j, f := range sr {
-			row[j] = value.FromCSV(f)
-		}
-		rel.Rows[i] = row
-	}
-	return rel
+	return FromStringsN(cols, rows, 1)
 }
 
 // FilterLocal keeps the rows matching the SQL predicate.
 func FilterLocal(rel *Relation, predicate string) (*Relation, error) {
-	if predicate == "" {
-		return rel, nil
-	}
-	pred, err := sqlparse.ParseExpr(predicate)
-	if err != nil {
-		return nil, fmt.Errorf("engine: bad predicate %q: %w", predicate, err)
-	}
-	ev := expr.New()
-	out := &Relation{Cols: rel.Cols}
-	for i := range rel.Rows {
-		ok, err := ev.EvalBool(pred, rel.Env(i))
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out.Rows = append(out.Rows, rel.Rows[i])
-		}
-	}
-	return out, nil
+	return FilterLocalN(rel, predicate, 1)
 }
 
 // ProjectLocal evaluates the comma-separated select items over each row.
 func ProjectLocal(rel *Relation, items string) (*Relation, error) {
-	sel, err := sqlparse.Parse("SELECT " + items + " FROM t")
-	if err != nil {
-		return nil, fmt.Errorf("engine: bad projection %q: %w", items, err)
-	}
-	ev := expr.New()
-	out := &Relation{}
-	for _, it := range sel.Items {
-		if _, isStar := it.Expr.(*sqlparse.Star); isStar {
-			out.Cols = append(out.Cols, rel.Cols...)
-			continue
-		}
-		name := it.Alias
-		if name == "" {
-			if c, ok := it.Expr.(*sqlparse.Column); ok {
-				name = c.Name
-			} else {
-				name = it.Expr.String()
-			}
-		}
-		out.Cols = append(out.Cols, name)
-	}
-	for i := range rel.Rows {
-		env := rel.Env(i)
-		var row Row
-		for _, it := range sel.Items {
-			if _, isStar := it.Expr.(*sqlparse.Star); isStar {
-				row = append(row, rel.Rows[i]...)
-				continue
-			}
-			v, err := ev.Eval(it.Expr, env)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, v)
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+	return ProjectLocalN(rel, items, 1)
 }
 
 // SortLocal orders rows by the given keys.
@@ -193,109 +129,14 @@ func LimitLocal(rel *Relation, n int) *Relation {
 // HashJoinLocal joins left and right on equality of leftKey/rightKey. The
 // output concatenates both sides' columns.
 func HashJoinLocal(left, right *Relation, leftKey, rightKey string) (*Relation, error) {
-	li, ri := left.ColIndex(leftKey), right.ColIndex(rightKey)
-	if li < 0 {
-		return nil, fmt.Errorf("engine: join key %q not in left relation %v", leftKey, left.Cols)
-	}
-	if ri < 0 {
-		return nil, fmt.Errorf("engine: join key %q not in right relation %v", rightKey, right.Cols)
-	}
-	build := map[uint64][]int{}
-	for i, row := range left.Rows {
-		if row[li].IsNull() {
-			continue
-		}
-		h := row[li].Hash()
-		build[h] = append(build[h], i)
-	}
-	out := &Relation{Cols: append(append([]string{}, left.Cols...), right.Cols...)}
-	for _, rrow := range right.Rows {
-		if rrow[ri].IsNull() {
-			continue
-		}
-		for _, i := range build[rrow[ri].Hash()] {
-			lrow := left.Rows[i]
-			if !value.Equal(lrow[li], rrow[ri]) {
-				continue
-			}
-			joined := make(Row, 0, len(lrow)+len(rrow))
-			joined = append(joined, lrow...)
-			joined = append(joined, rrow...)
-			out.Rows = append(out.Rows, joined)
-		}
-	}
-	return out, nil
+	return HashJoinLocalN(left, right, leftKey, rightKey, 1)
 }
 
 // GroupByLocal groups rel by the groupBy expressions and evaluates the
 // aggregate select items, e.g. GroupByLocal(rel, "c_nationkey",
 // "c_nationkey, SUM(c_acctbal) AS total").
 func GroupByLocal(rel *Relation, groupBy, items string) (*Relation, error) {
-	sel, err := sqlparse.Parse("SELECT " + items + " FROM t GROUP BY " + groupBy)
-	if err != nil {
-		return nil, fmt.Errorf("engine: bad group-by: %w", err)
-	}
-	ev := expr.New()
-	itemExprs := make([]sqlparse.Expr, len(sel.Items))
-	for i, it := range sel.Items {
-		itemExprs[i] = it.Expr
-	}
-	type group struct {
-		keyVals Row
-		agg     *expr.AggRunner
-	}
-	groups := map[string]*group{}
-	var order []string
-	for i := range rel.Rows {
-		env := rel.Env(i)
-		var kb strings.Builder
-		keyVals := make(Row, len(sel.GroupBy))
-		for j, g := range sel.GroupBy {
-			v, err := ev.Eval(g, env)
-			if err != nil {
-				return nil, err
-			}
-			keyVals[j] = v
-			kb.WriteString(v.String())
-			kb.WriteByte('\x00')
-		}
-		k := kb.String()
-		gs, ok := groups[k]
-		if !ok {
-			gs = &group{keyVals: keyVals, agg: expr.NewAggRunner(ev, itemExprs)}
-			groups[k] = gs
-			order = append(order, k)
-		}
-		if err := gs.agg.Add(env); err != nil {
-			return nil, err
-		}
-	}
-	out := &Relation{}
-	for _, it := range sel.Items {
-		name := it.Alias
-		if name == "" {
-			if c, ok := it.Expr.(*sqlparse.Column); ok {
-				name = c.Name
-			} else {
-				name = it.Expr.String()
-			}
-		}
-		out.Cols = append(out.Cols, name)
-	}
-	for _, k := range order {
-		gs := groups[k]
-		genv := &groupKeyEnv{exprs: sel.GroupBy, vals: gs.keyVals}
-		var row Row
-		for _, it := range sel.Items {
-			v, err := gs.agg.Final(it.Expr, genv)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, v)
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+	return GroupByLocalN(rel, groupBy, items, 1)
 }
 
 type groupKeyEnv struct {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 
 	"pushdowndb/internal/value"
 )
@@ -40,7 +41,7 @@ func (e *Exec) ServerSideTopK(table, orderCol string, k int, asc bool) (*Relatio
 	// Heap maintenance grows with log K; charge an extra unit per row per
 	// factor-of-1024 of K to reflect the paper's K sensitivity.
 	phase.AddServerRows(int64(len(rel.Rows)) * int64(math.Log2(float64(k)+2)) / 10)
-	return topKLocal(rel, orderCol, k, asc)
+	return topKLocalN(rel, orderCol, k, asc, e.workers())
 }
 
 // SamplingTopKOptions tunes Section VII-A.
@@ -90,7 +91,7 @@ func (e *Exec) SamplingTopK(table, orderCol string, k int, asc bool, opts Sampli
 		if err != nil {
 			return nil, err
 		}
-		return topKLocal(rel, orderCol, k, asc)
+		return topKLocalN(rel, orderCol, k, asc, e.workers())
 	}
 	threshold, err := kthValue(sampled, 0, k, asc)
 	if err != nil {
@@ -110,7 +111,7 @@ func (e *Exec) SamplingTopK(table, orderCol string, k int, asc bool, opts Sampli
 	}
 	phase := e.Metrics.Phase("threshold scan "+table, stage2)
 	phase.AddServerRows(int64(len(scanned.Rows)))
-	return topKLocal(scanned, orderCol, k, asc)
+	return topKLocalN(scanned, orderCol, k, asc, e.workers())
 }
 
 // approxRowCount estimates the table's row count from one partition's
@@ -182,28 +183,100 @@ func better(a, b value.Value, asc bool) bool {
 
 // topKLocal selects the top K rows of rel ordered by orderCol.
 func topKLocal(rel *Relation, orderCol string, k int, asc bool) (*Relation, error) {
+	return topKLocalN(rel, orderCol, k, asc, 1)
+}
+
+// topKLocalN selects the top K rows with the heap work partitioned across
+// workers goroutines: each worker keeps a K-bounded heap over its own row
+// range, and the per-partition survivors merge through one final K-heap.
+// Rows are ordered by (key, original row index) — a total order — so the
+// selected set and its output order are identical for every worker count,
+// including ties on the order column.
+func topKLocalN(rel *Relation, orderCol string, k int, asc bool, workers int) (*Relation, error) {
 	idx := rel.ColIndex(orderCol)
 	if idx < 0 {
 		return nil, fmt.Errorf("engine: order column %q not in %v", orderCol, rel.Cols)
 	}
-	h := &rowHeap{idx: idx, asc: !asc}
-	for _, r := range rel.Rows {
-		if r[idx].IsNull() {
-			continue
+	sps := rowSpans(len(rel.Rows), workers)
+	parts := make([][]topRow, len(sps))
+	_ = runSpans(sps, func(w int, sp span) error {
+		h := &topRowHeap{col: idx, asc: asc}
+		for i := sp.lo; i < sp.hi; i++ {
+			r := rel.Rows[i]
+			if r[idx].IsNull() {
+				continue
+			}
+			h.offer(topRow{idx: i, row: r}, k)
 		}
-		if h.Len() < k {
-			heap.Push(h, r)
-		} else if better(r[idx], h.rows[0][idx], asc) {
-			h.rows[0] = r
-			heap.Fix(h, 0)
+		parts[w] = h.rows
+		return nil
+	})
+	// Merge: the global top K under the total order is contained in the
+	// union of the per-partition top Ks.
+	final := &topRowHeap{col: idx, asc: asc}
+	for _, rows := range parts {
+		for _, tr := range rows {
+			final.offer(tr, k)
 		}
 	}
-	out := &Relation{Cols: rel.Cols, Rows: h.rows}
-	dir := "ASC"
-	if !asc {
-		dir = "DESC"
+	sort.Slice(final.rows, func(a, b int) bool {
+		return final.before(final.rows[a], final.rows[b])
+	})
+	out := &Relation{Cols: rel.Cols, Rows: make([]Row, len(final.rows))}
+	for i, tr := range final.rows {
+		out.Rows[i] = tr.row
 	}
-	return SortLocal(out, orderCol+" "+dir)
+	return out, nil
+}
+
+// topRow pairs a candidate row with its original index, the tie-breaker
+// that makes the top-K selection a total order.
+type topRow struct {
+	idx int
+	row Row
+}
+
+// topRowHeap keeps the K best topRows under (key, index) order: a max-heap
+// of the kept set, rooted at the worst kept row.
+type topRowHeap struct {
+	rows []topRow
+	col  int
+	asc  bool
+}
+
+// before reports whether a outranks b: smaller key first when ascending,
+// larger first when descending, earlier row index on key ties.
+func (h *topRowHeap) before(a, b topRow) bool {
+	c := value.Compare(a.row[h.col], b.row[h.col])
+	if !h.asc {
+		c = -c
+	}
+	if c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}
+
+// offer adds tr if the heap holds fewer than k rows or tr outranks the
+// worst kept row.
+func (h *topRowHeap) offer(tr topRow, k int) {
+	if len(h.rows) < k {
+		heap.Push(h, tr)
+		return
+	}
+	if k > 0 && h.before(tr, h.rows[0]) {
+		h.rows[0] = tr
+		heap.Fix(h, 0)
+	}
+}
+
+func (h *topRowHeap) Len() int           { return len(h.rows) }
+func (h *topRowHeap) Less(i, j int) bool { return h.before(h.rows[j], h.rows[i]) } // max-heap
+func (h *topRowHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topRowHeap) Push(x any)         { h.rows = append(h.rows, x.(topRow)) }
+func (h *topRowHeap) Pop() (out any) {
+	out, h.rows = h.rows[len(h.rows)-1], h.rows[:len(h.rows)-1]
+	return
 }
 
 // valueHeap orders values; asc=true makes it a min-heap.
@@ -224,27 +297,5 @@ func (h *valueHeap) Swap(i, j int) { h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
 func (h *valueHeap) Push(x any)    { h.vals = append(h.vals, x.(value.Value)) }
 func (h *valueHeap) Pop() (out any) {
 	out, h.vals = h.vals[len(h.vals)-1], h.vals[:len(h.vals)-1]
-	return
-}
-
-// rowHeap orders rows by one column; asc=true makes it a min-heap.
-type rowHeap struct {
-	rows []Row
-	idx  int
-	asc  bool
-}
-
-func (h *rowHeap) Len() int { return len(h.rows) }
-func (h *rowHeap) Less(i, j int) bool {
-	c := value.Compare(h.rows[i][h.idx], h.rows[j][h.idx])
-	if h.asc {
-		return c < 0
-	}
-	return c > 0
-}
-func (h *rowHeap) Swap(i, j int) { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
-func (h *rowHeap) Push(x any)    { h.rows = append(h.rows, x.(Row)) }
-func (h *rowHeap) Pop() (out any) {
-	out, h.rows = h.rows[len(h.rows)-1], h.rows[:len(h.rows)-1]
 	return
 }

@@ -2,21 +2,76 @@ package expr
 
 import (
 	"fmt"
+	"math"
+	"math/big"
 
 	"pushdowndb/internal/sqlparse"
 	"pushdowndb/internal/value"
 )
 
 // AggState accumulates one aggregate function over a stream of rows.
+//
+// Float sums accumulate exactly (a high-precision big.Float holds the
+// exact sum of any set of float64s, rounding once at Final), so the
+// result is independent of accumulation and merge order — the property
+// the worker-parallel operators and partition-parallel scans rely on for
+// byte-identical results at any parallelism.
 type AggState struct {
 	fn      sqlparse.AggFunc
 	count   int64
 	sumI    int64
-	sumF    float64
+	sumF    *big.Float // exact finite sum; non-nil once a float arrives
+	tmp     big.Float  // reusable operand, keeps the hot path allocation-free
 	isFloat bool
+	sumNaN  bool // a NaN entered the sum (or infinities of mixed sign)
+	sumInf  int  // -1 or +1 once an infinity entered the sum
 	minV    value.Value
 	maxV    value.Value
 	seen    bool
+}
+
+// sumPrec comfortably covers the exact sum of float64s: the full exponent
+// range (~2098 bits from the smallest subnormal ulp to the largest
+// magnitude) plus headroom for the running count.
+const sumPrec = 2200
+
+// addFloat folds one float64 into the exact sum, promoting an integer
+// accumulator on first use and tracking non-finite inputs separately
+// (big.Float has no NaN, and opposite infinities must yield NaN).
+func (a *AggState) addFloat(f float64) {
+	if !a.isFloat {
+		a.isFloat = true
+		a.sumF = new(big.Float).SetPrec(sumPrec).SetInt64(a.sumI)
+		a.sumI = 0
+	}
+	switch {
+	case math.IsNaN(f):
+		a.sumNaN = true
+	case math.IsInf(f, 0):
+		s := 1
+		if f < 0 {
+			s = -1
+		}
+		if a.sumInf != 0 && a.sumInf != s {
+			a.sumNaN = true
+		}
+		a.sumInf = s
+	default:
+		a.sumF.Add(a.sumF, a.tmp.SetFloat64(f))
+	}
+}
+
+// floatSum rounds the exact accumulator to the float64 result.
+func (a *AggState) floatSum() float64 {
+	switch {
+	case a.sumNaN:
+		return math.NaN()
+	case a.sumInf != 0:
+		return math.Inf(a.sumInf)
+	default:
+		f, _ := a.sumF.Float64()
+		return f
+	}
 }
 
 // NewAggState returns an accumulator for fn.
@@ -36,26 +91,18 @@ func (a *AggState) Add(v value.Value) error {
 		switch v.Kind() {
 		case value.KindInt:
 			if a.isFloat {
-				a.sumF += float64(v.AsInt())
+				a.sumF.Add(a.sumF, a.tmp.SetInt64(v.AsInt()))
 			} else {
 				a.sumI += v.AsInt()
 			}
 		case value.KindFloat:
-			if !a.isFloat {
-				a.isFloat = true
-				a.sumF = float64(a.sumI)
-			}
-			a.sumF += v.AsFloat()
+			a.addFloat(v.AsFloat())
 		case value.KindString:
 			f, err := value.CastFloat(v)
 			if err != nil {
 				return fmt.Errorf("expr: SUM over non-numeric %q", v.AsString())
 			}
-			if !a.isFloat {
-				a.isFloat = true
-				a.sumF = float64(a.sumI)
-			}
-			a.sumF += f.AsFloat()
+			a.addFloat(f.AsFloat())
 		default:
 			return fmt.Errorf("expr: SUM over %s", v.Kind())
 		}
@@ -83,13 +130,21 @@ func (a *AggState) Merge(b *AggState) error {
 	case sqlparse.AggSum, sqlparse.AggAvg:
 		if b.isFloat && !a.isFloat {
 			a.isFloat = true
-			a.sumF = float64(a.sumI)
+			a.sumF = new(big.Float).SetPrec(sumPrec).SetInt64(a.sumI)
+			a.sumI = 0
 		}
 		if a.isFloat {
 			if b.isFloat {
-				a.sumF += b.sumF
+				a.sumF.Add(a.sumF, b.sumF)
+				a.sumNaN = a.sumNaN || b.sumNaN
+				if b.sumInf != 0 {
+					if a.sumInf != 0 && a.sumInf != b.sumInf {
+						a.sumNaN = true
+					}
+					a.sumInf = b.sumInf
+				}
 			} else {
-				a.sumF += float64(b.sumI)
+				a.sumF.Add(a.sumF, a.tmp.SetInt64(b.sumI))
 			}
 		} else {
 			a.sumI += b.sumI
@@ -120,16 +175,16 @@ func (a *AggState) Final() value.Value {
 			return value.Null()
 		}
 		if a.isFloat {
-			return value.Float(a.sumF)
+			return value.Float(a.floatSum())
 		}
 		return value.Int(a.sumI)
 	case sqlparse.AggAvg:
 		if a.count == 0 {
 			return value.Null()
 		}
-		s := a.sumF
-		if !a.isFloat {
-			s = float64(a.sumI)
+		s := float64(a.sumI)
+		if a.isFloat {
+			s = a.floatSum()
 		}
 		return value.Float(s / float64(a.count))
 	case sqlparse.AggMin:

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+
+	"pushdowndb/internal/engine"
+)
+
+// ParallelWorkerCounts is the worker-budget sweep of the parallel-execution
+// figure: 1 (the sequential seed server) up to the paper node's 32 cores.
+var ParallelWorkerCounts = []int{1, 2, 4, 8, 16, 32}
+
+// RunParallel sweeps the server's worker budget and reports (a) the
+// server-side group-by baseline, whose load-parse and row work dominate
+// and therefore speed up with the budget until the network transfer
+// bound, and (b) what the cost-based join planner chooses for the
+// Listing-2 join at the same budgets. A faster server makes the baseline
+// join's full-table loads cheaper relative to S3-side pushdown, so the
+// planner's strategy flips from bloom toward baseline as workers grow —
+// the pushdown-vs-server-parallelism trade-off the paper's follow-up
+// work weighs.
+func RunParallel(env *Env) (*Result, error) {
+	gdb, err := env.GroupTable(-1)
+	if err != nil {
+		return nil, err
+	}
+	jdb, err := env.TPCH()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:     "Parallel",
+		Title:  "Server-side operators vs worker budget (32-core node)",
+		XLabel: "workers",
+	}
+	// The loosest Fig. 2 customer filter: the least selective build side,
+	// where the bloom-vs-baseline decision is closest and parallelism can
+	// tip it.
+	acctbal := Fig2Acctbals[len(Fig2Acctbals)-1]
+	joinSQL := fmt.Sprintf(
+		"SELECT SUM(o.o_totalprice) AS total, COUNT(*) AS n "+
+			"FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "+
+			"WHERE c.c_acctbal <= %s", acctbal)
+
+	var seq *engine.Relation
+	for _, w := range ParallelWorkerCounts {
+		x := fmt.Sprint(w)
+		gdb.Cfg.Workers = w
+
+		e1 := gdb.NewExec()
+		out, err := e1.ServerSideGroupBy("groups", "g5", fig5Aggs(), "")
+		if err != nil {
+			return nil, fmt.Errorf("harness: parallel group-by at %d workers: %w", w, err)
+		}
+		if seq == nil {
+			seq = out
+		} else if out.String() != seq.String() {
+			return nil, fmt.Errorf("harness: parallel group-by at %d workers changed the result", w)
+		}
+		res.add("Server-Side Group-By", x, e1, nil)
+
+		jdb.Cfg.Workers = w
+		plan, pe, err := jdb.Plan(joinSQL)
+		if err != nil {
+			return nil, fmt.Errorf("harness: planning join at %d workers: %w", w, err)
+		}
+		if plan == nil || len(plan.Steps) != 1 {
+			return nil, fmt.Errorf("harness: join at %d workers produced no plan", w)
+		}
+		step := plan.Steps[0]
+		strategyCode := map[string]float64{
+			engine.StrategyBaseline: 0, engine.StrategyBloom: 1,
+		}[step.Strategy]
+		res.add("Planner ("+step.Strategy+")", x, pe, map[string]float64{
+			"bloom":        strategyCode,
+			"baseline_est": step.Estimates[engine.StrategyBaseline].Seconds,
+			"bloom_est":    step.Estimates[engine.StrategyBloom].Seconds,
+		})
+	}
+	res.Notes = append(res.Notes,
+		"group-by results are byte-identical at every worker count (deterministic merge order)",
+		fmt.Sprintf("planner series records the strategy chosen for the Listing-2 join at c_acctbal <= %s; est columns are its per-strategy runtime estimates", acctbal),
+		"row work and load parsing divide their wall-clock across the worker budget; request issuance, network transfer and S3-side scans do not")
+	return res, nil
+}

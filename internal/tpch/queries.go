@@ -164,7 +164,7 @@ func Q3Optimized(db *engine.DB) (*engine.Relation, *engine.Exec, error) {
 	if err != nil {
 		return nil, e, err
 	}
-	line, err := e.BloomProbe(custOrders, "o_orderkey", "lineitem", "l_orderkey",
+	line, _, err := e.BloomProbe(custOrders, "o_orderkey", "lineitem", "l_orderkey",
 		"l_shipdate > '"+q3Date+"'",
 		[]string{"l_orderkey", "l_extendedprice", "l_discount"}, 0.01, false, 3)
 	if err != nil {
@@ -277,7 +277,7 @@ func Q14Optimized(db *engine.DB) (*engine.Relation, *engine.Exec, error) {
 	if err != nil {
 		return nil, e, err
 	}
-	part, err := e.BloomProbe(line, "l_partkey", "part", "p_partkey", "",
+	part, _, err := e.BloomProbe(line, "l_partkey", "part", "p_partkey", "",
 		[]string{"p_partkey", "p_type"}, 0.01, false, 14)
 	if err != nil {
 		return nil, e, err
@@ -325,7 +325,7 @@ func Q17Optimized(db *engine.DB) (*engine.Relation, *engine.Exec, error) {
 	if err != nil {
 		return nil, e, err
 	}
-	line, err := e.BloomProbe(part, "p_partkey", "lineitem", "l_partkey", "",
+	line, _, err := e.BloomProbe(part, "p_partkey", "lineitem", "l_partkey", "",
 		[]string{"l_partkey", "l_quantity", "l_extendedprice"}, 0.01, false, 17)
 	if err != nil {
 		return nil, e, err
@@ -402,7 +402,7 @@ func Q19Optimized(db *engine.DB) (*engine.Relation, *engine.Exec, error) {
 	if err != nil {
 		return nil, e, err
 	}
-	line, err := e.BloomProbe(part, "p_partkey", "lineitem", "l_partkey",
+	line, _, err := e.BloomProbe(part, "p_partkey", "lineitem", "l_partkey",
 		q19LineFilter,
 		[]string{"l_partkey", "l_quantity", "l_extendedprice", "l_discount"}, 0.01, false, 19)
 	if err != nil {

@@ -65,7 +65,7 @@ func Q4Optimized(db *engine.DB) (*engine.Relation, *engine.Exec, error) {
 	if err != nil {
 		return nil, e, err
 	}
-	line, err := e.BloomProbe(ords, "o_orderkey", "lineitem", "l_orderkey",
+	line, _, err := e.BloomProbe(ords, "o_orderkey", "lineitem", "l_orderkey",
 		q4LineFilter, []string{"l_orderkey"}, 0.01, false, 4)
 	if err != nil {
 		return nil, e, err
@@ -164,12 +164,12 @@ func Q10Optimized(db *engine.DB) (*engine.Relation, *engine.Exec, error) {
 	if err != nil {
 		return nil, e, err
 	}
-	line, err := e.BloomProbe(ords, "o_orderkey", "lineitem", "l_orderkey",
+	line, _, err := e.BloomProbe(ords, "o_orderkey", "lineitem", "l_orderkey",
 		q10LineFilter, []string{"l_orderkey", "l_extendedprice", "l_discount"}, 0.01, false, 10)
 	if err != nil {
 		return nil, e, err
 	}
-	cust, err := e.BloomProbe(ords, "o_custkey", "customer", "c_custkey",
+	cust, _, err := e.BloomProbe(ords, "o_custkey", "customer", "c_custkey",
 		"", []string{"c_custkey", "c_name", "c_acctbal", "c_nationkey"}, 0.01, false, 11)
 	if err != nil {
 		return nil, e, err
@@ -255,7 +255,7 @@ func Q12Optimized(db *engine.DB) (*engine.Relation, *engine.Exec, error) {
 	if err != nil {
 		return nil, e, err
 	}
-	ords, err := e.BloomProbe(line, "l_orderkey", "orders", "o_orderkey",
+	ords, _, err := e.BloomProbe(line, "l_orderkey", "orders", "o_orderkey",
 		"", []string{"o_orderkey", "o_orderpriority"}, 0.01, false, 12)
 	if err != nil {
 		return nil, e, err

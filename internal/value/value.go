@@ -361,8 +361,18 @@ func coerceNum(v Value) (float64, bool) {
 	return v.Num()
 }
 
+// cmpFloat orders floats totally: NaN equals only NaN and sorts after
+// every number (otherwise `x = lit` would hold for any x when either side
+// is NaN, since both < and > are false).
 func cmpFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
 	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
 	case a < b:
 		return -1
 	case a > b:
