@@ -1,9 +1,15 @@
-// Command pushdownsql loads CSV files into the simulated S3 store and runs
-// SQL against them through PushdownDB, printing the result plus the
-// virtual runtime and the dollar cost the query would have had on AWS.
+// Command pushdownsql loads CSV files into a storage backend and runs SQL
+// against them through PushdownDB, printing the result plus the virtual
+// runtime and the dollar cost the query would have had on AWS.
 //
 //	pushdownsql -table customer=./customer.csv \
 //	            -q "SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment ORDER BY n DESC"
+//
+// The -backend flag selects where table bytes live: the default "inproc"
+// backend simulates in-region S3; "localfs" lays objects out on disk under
+// -fsroot and advertises a local-disk cost profile, which the join planner
+// prices differently (plain loads are free and fast there, so pushdown
+// strategies win less often).
 //
 // Multi-table join queries go through the cost-based planner, which picks
 // a Section-V join strategy (baseline vs Bloom join) per join; pass
@@ -15,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/engine"
+	"pushdowndb/internal/localfs"
 	"pushdowndb/internal/s3api"
 	"pushdowndb/internal/store"
 )
@@ -38,6 +46,8 @@ func main() {
 		query   = flag.String("q", "", "SQL query (single-table, or multi-table with JOIN ... ON / comma joins)")
 		explain = flag.Bool("explain", false, "print the plan (join strategy choices and cost estimates) instead of executing")
 		parts   = flag.Int("parts", 4, "partitions per table")
+		backend = flag.String("backend", "inproc", "storage backend: inproc (simulated in-region S3) or localfs (objects on disk under -fsroot)")
+		fsroot  = flag.String("fsroot", "", "localfs backend root directory (default: a temp dir)")
 		sim     = flag.Float64("sim", 1, "simulate the data at N× its actual size for the virtual clock, cost model and join planner")
 		workers = flag.Int("workers", 1, "worker goroutines for server-side operators (capped at the cost model's cores); the virtual clock and the join planner both price row work at this parallelism")
 	)
@@ -50,8 +60,37 @@ func main() {
 	if *sim <= 0 {
 		fatal(fmt.Errorf("-sim must be > 0, got %g", *sim))
 	}
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
 
-	st := store.New()
+	// Pick the backend and its loading path.
+	ctx := context.Background()
+	var (
+		be     s3api.Backend
+		putter s3api.Putter
+	)
+	switch *backend {
+	case "inproc":
+		inproc := s3api.NewInProc(store.New())
+		be, putter = inproc, inproc
+	case "localfs":
+		root := *fsroot
+		if root == "" {
+			dir, err := os.MkdirTemp("", "pushdowndb-localfs-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			root = dir
+		}
+		fs := localfs.New(root)
+		be, putter = fs, fs
+		fmt.Fprintf(os.Stderr, "localfs backend rooted at %s\n", root)
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (want inproc or localfs)", *backend))
+	}
+
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -65,20 +104,23 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("parsing %s: %w", path, err))
 		}
-		if err := engine.PartitionTable(st, "local", name, header, rows, *parts); err != nil {
+		if err := engine.PartitionTableTo(ctx, putter, "local", name, header, rows, *parts); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "loaded %s: %d rows, %d partitions\n", name, len(rows), *parts)
 	}
 
-	db := engine.Open(s3api.NewInProc(st), "local")
+	opts := []engine.Option{
+		engine.WithBackend(*backend, be),
+		engine.WithWorkers(*workers),
+	}
 	if *sim != 1 {
-		db.Sim = cloudsim.Scale{DataRatio: *sim, PartRatio: 1}
+		opts = append(opts, engine.WithScale(cloudsim.Scale{DataRatio: *sim, PartRatio: 1}))
 	}
-	if *workers < 1 {
-		fatal(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	db, err := engine.Open("local", opts...)
+	if err != nil {
+		fatal(err)
 	}
-	db.Cfg.Workers = *workers
 	if *explain {
 		plan, err := db.Explain(*query)
 		if err != nil {
@@ -87,7 +129,7 @@ func main() {
 		fmt.Print(plan)
 		return
 	}
-	rel, e, err := db.Query(*query)
+	rel, e, err := db.QueryContext(ctx, *query)
 	if err != nil {
 		fatal(err)
 	}

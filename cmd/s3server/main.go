@@ -8,6 +8,14 @@
 //
 //	curl -s -X POST 'http://localhost:9000/tpch/customer/part0000.csv?select' \
 //	  -d '{"sql":"SELECT c_name FROM S3Object WHERE c_acctbal <= -950","has_header":true}'
+//
+// The server is self-describing: GET /?describe returns the select
+// capabilities it executes (enable the Section-X extensions with
+// -allow-groupby / -allow-bloom) and the cost profile it advertises to
+// planners. Failed operations carry a structured error kind in the
+// X-Pushdowndb-Error-Kind header (not_found, invalid_range, bad_request,
+// unsupported, internal), which the s3http client folds back into
+// *s3api.Error values.
 package main
 
 import (
@@ -18,19 +26,24 @@ import (
 	"path/filepath"
 	"strings"
 
+	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/engine"
 	"pushdowndb/internal/s3http"
+	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/store"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":9000", "listen address")
-		bucket = flag.String("bucket", "data", "bucket name for loaded files")
-		dir    = flag.String("dir", "", "directory of CSV files to load as tables")
-		state  = flag.String("state", "", "store state directory: loaded at startup if present, saved after -dir ingestion")
-		parts  = flag.Int("parts", 4, "partitions per loaded table")
+		addr        = flag.String("addr", ":9000", "listen address")
+		bucket      = flag.String("bucket", "data", "bucket name for loaded files")
+		dir         = flag.String("dir", "", "directory of CSV files to load as tables")
+		state       = flag.String("state", "", "store state directory: loaded at startup if present, saved after -dir ingestion")
+		parts       = flag.Int("parts", 4, "partitions per loaded table")
+		allowGB     = flag.Bool("allow-groupby", false, "execute and advertise the Suggestion-4 partial GROUP BY extension")
+		allowBloom  = flag.Bool("allow-bloom", false, "execute and advertise the Suggestion-3 BLOOM_CONTAINS extension")
+		crossRegion = flag.Bool("cross-region", false, "advertise the cross-region S3 cost profile instead of in-region")
 	)
 	flag.Parse()
 
@@ -74,8 +87,18 @@ func main() {
 		fmt.Printf("saved store state to %s\n", *state)
 	}
 
-	fmt.Printf("simulated S3 listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, s3http.NewServer(st)); err != nil {
+	profile := cloudsim.S3Profile()
+	if *crossRegion {
+		profile = cloudsim.CrossRegionS3Profile()
+	}
+	srv := s3http.NewServer(st,
+		s3http.WithCapabilities(selectengine.Capabilities{
+			AllowGroupBy:       *allowGB,
+			AllowBloomContains: *allowBloom,
+		}),
+		s3http.WithProfile(profile))
+	fmt.Printf("simulated S3 listening on %s (profile %s; see GET /?describe)\n", *addr, profile.Name)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}
 }

@@ -27,10 +27,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := engine.Open(s3api.NewInProc(st), ds.Bucket)
 	// Report virtual time as if this were the paper's SF-10 dataset on a
 	// 32-way partitioned layout.
-	db.Sim = cloudsim.Scale{DataRatio: 10 / 0.005, PartRatio: 32.0 / 4}
+	db, err := engine.Open(ds.Bucket,
+		engine.WithBackend("s3sim", s3api.NewInProc(st)),
+		engine.WithScale(cloudsim.Scale{DataRatio: 10 / 0.005, PartRatio: 32.0 / 4}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	spec := engine.JoinSpec{
 		LeftTable: "customer", RightTable: "orders",

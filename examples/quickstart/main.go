@@ -30,8 +30,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Open PushdownDB against the store.
-	db := engine.Open(s3api.NewInProc(st), "weather")
+	// 2. Open PushdownDB with the in-process backend over the store (the
+	// backend simulates in-region S3 and advertises its own capability and
+	// cost profile).
+	db, err := engine.Open("weather",
+		engine.WithBackend("s3sim", s3api.NewInProc(st)))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 3a. Baseline: load the entire table, filter on the server.
 	e1 := db.NewExec()

@@ -28,10 +28,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := engine.Open(s3api.NewInProc(st), ds.Bucket)
 	// Report virtual time as if this were the paper's SF-10 dataset on a
 	// 32-way partitioned layout.
-	db.Sim = cloudsim.Scale{DataRatio: 10 / 0.005, PartRatio: 32.0 / 4}
+	db, err := engine.Open(ds.Bucket,
+		engine.WithBackend("s3sim", s3api.NewInProc(st)),
+		engine.WithScale(cloudsim.Scale{DataRatio: 10 / 0.005, PartRatio: 32.0 / 4}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const sql = "SELECT SUM(o.o_totalprice) AS total, COUNT(*) AS n " +
 		"FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey " +

@@ -21,8 +21,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := engine.Open(s3api.NewInProc(st), ds.Bucket)
-	db.Sim = cloudsim.Scale{DataRatio: 10 / 0.005, PartRatio: 32.0 / 4}
+	db, err := engine.Open(ds.Bucket,
+		engine.WithBackend("s3sim", s3api.NewInProc(st)),
+		engine.WithScale(cloudsim.Scale{DataRatio: 10 / 0.005, PartRatio: 32.0 / 4}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	const k = 40
 	n := int64(tpch.SizesFor(0.005).Orders) * 4 // ~4 lineitems per order

@@ -25,8 +25,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := engine.Open(s3api.NewInProc(st), ds.Bucket)
-	db.Sim = cloudsim.Scale{DataRatio: 10 / *sf, PartRatio: 32.0 / 4}
+	db, err := engine.Open(ds.Bucket,
+		engine.WithBackend("s3sim", s3api.NewInProc(st)),
+		engine.WithScale(cloudsim.Scale{DataRatio: 10 / *sf, PartRatio: 32.0 / 4}))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("TPC-H at generated SF %g, virtual clock reporting at SF 10\n\n", *sf)
 	fmt.Printf("%-6s %14s %14s %9s %12s %12s\n",

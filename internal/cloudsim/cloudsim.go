@@ -160,8 +160,13 @@ func DefaultConfig() Config {
 type Phase struct {
 	Name  string
 	Stage int
-	cfg   Config
-	scale Scale
+	// cfg is the metrics' config with the phase's backend profile applied
+	// (network bandwidth, request RTT).
+	cfg Config
+	// profile is the backend profile the phase's requests run against; the
+	// zero profile prices at the metrics' base Pricing.
+	profile Profile
+	scale   Scale
 
 	mu                sync.Mutex
 	requests          int64 // bulk requests (scans, whole/partition GETs)
@@ -316,8 +321,17 @@ func NewMetricsScaled(cfg Config, scale Scale) *Metrics {
 	return &Metrics{cfg: cfg, scale: scale.normalized()}
 }
 
-// Phase opens (or returns) the named phase in the given stage.
+// Phase opens (or returns) the named phase in the given stage, priced at
+// the metrics' base Config/Pricing.
 func (m *Metrics) Phase(name string, stage int) *Phase {
+	return m.PhaseProfile(name, stage, Profile{})
+}
+
+// PhaseProfile opens (or returns) the named phase in the given stage, with
+// the phase's storage requests timed and priced under the given backend
+// profile. The profile binds on first open; later opens of the same
+// (name, stage) reuse the existing phase.
+func (m *Metrics) PhaseProfile(name string, stage int, profile Profile) *Phase {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, p := range m.phases {
@@ -325,7 +339,12 @@ func (m *Metrics) Phase(name string, stage int) *Phase {
 			return p
 		}
 	}
-	p := &Phase{Name: name, Stage: stage, cfg: m.cfg, scale: m.scale}
+	p := &Phase{
+		Name: name, Stage: stage,
+		cfg:     m.cfg.ForProfile(profile),
+		profile: profile,
+		scale:   m.scale,
+	}
 	m.phases = append(m.phases, p)
 	return p
 }
@@ -337,7 +356,7 @@ func (m *Metrics) RuntimeSeconds() float64 {
 	defer m.mu.Unlock()
 	byStage := map[int]float64{}
 	for _, p := range m.phases {
-		t := p.snapshot().seconds(m.cfg, m.scale)
+		t := p.snapshot().seconds(p.cfg, m.scale)
 		if t > byStage[p.Stage] {
 			byStage[p.Stage] = t
 		}
@@ -387,27 +406,26 @@ const gb = 1 << 30
 
 // Cost prices the query under pricing p at the metrics' scale: byte
 // volumes and per-row request counts are reported at paper size; bulk
-// (per-partition) requests scale only by the partition ratio.
+// (per-partition) requests scale only by the partition ratio. Phases whose
+// requests ran against a backend profile are billed at that profile's
+// request/scan/transfer rates; the compute component always uses p's
+// ComputePerHour (the node is the same wherever the bytes come from).
 func (m *Metrics) Cost(p Pricing) CostBreakdown {
 	m.mu.Lock()
-	var bulkReq, rowReq, scanBytes, selReturn, getBytes float64
+	dr := m.scale.DataRatio
+	var c CostBreakdown
 	for _, ph := range m.phases {
 		t := ph.snapshot()
-		bulkReq += float64(t.requests)
-		rowReq += float64(t.rowFetchRequests)
-		scanBytes += float64(t.scanBytes)
-		selReturn += float64(t.selectReturnBytes)
-		getBytes += float64(t.getBytes)
+		pp := p.ForProfile(ph.profile)
+		requests := float64(t.requests)*m.scale.PartRatio + float64(t.rowFetchRequests)*dr
+		c.RequestUSD += requests / 1000 * pp.RequestPer1000
+		c.ScanUSD += float64(t.scanBytes) * dr / gb * pp.ScanPerGB
+		c.TransferUSD += float64(t.selectReturnBytes)*dr/gb*pp.ReturnPerGB +
+			float64(t.getBytes)*dr/gb*pp.TransferPerGB
 	}
 	m.mu.Unlock()
-	dr := m.scale.DataRatio
-	requests := bulkReq*m.scale.PartRatio + rowReq*dr
-	return CostBreakdown{
-		ComputeUSD:  m.RuntimeSeconds() / 3600 * p.ComputePerHour,
-		RequestUSD:  requests / 1000 * p.RequestPer1000,
-		ScanUSD:     scanBytes * dr / gb * p.ScanPerGB,
-		TransferUSD: selReturn*dr/gb*p.ReturnPerGB + getBytes*dr/gb*p.TransferPerGB,
-	}
+	c.ComputeUSD = m.RuntimeSeconds() / 3600 * p.ComputePerHour
+	return c
 }
 
 // CostComputationAware prices the query under Suggestion-5 pricing: the
@@ -436,7 +454,7 @@ func (m *Metrics) Report() string {
 			p.Name, p.Stage, t.requests+t.rowFetchRequests,
 			float64(t.scanBytes)/1e6,
 			float64(t.selectReturnBytes+t.getBytes)/1e6,
-			t.seconds(m.cfg, m.scale))
+			t.seconds(p.cfg, m.scale))
 	}
 	return b.String()
 }

@@ -23,6 +23,12 @@ type PlanTableStats struct {
 	// Returned-byte estimates shrink proportionally; scan and cell-decode
 	// costs do not (CSV scans decode every cell regardless).
 	ProjCols int
+	// Profile is the performance/pricing profile of the backend the table
+	// lives on; the zero profile estimates at the base Config/Pricing.
+	// This is what makes strategy choice backend-aware: the same join can
+	// price baseline-cheapest on a fast free store and Bloom-cheapest on a
+	// slow metered one.
+	Profile Profile
 }
 
 // Selectivity is the fraction of rows passing the table's filter.
@@ -91,7 +97,7 @@ func estimate(m *Metrics, pricing Pricing) PlanEstimate {
 func EstimateBaselineJoin(cfg Config, scale Scale, pricing Pricing, build, probe PlanTableStats) PlanEstimate {
 	m := NewMetricsScaled(cfg, scale)
 	load := func(name string, s PlanTableStats) {
-		ph := m.Phase(name, 0)
+		ph := m.PhaseProfile(name, 0, s.Profile)
 		per := s.Bytes / int64(s.parts())
 		for i := 0; i < s.parts(); i++ {
 			ph.AddGetRequest(per)
@@ -115,12 +121,12 @@ func EstimateBloomJoin(cfg Config, scale Scale, pricing Pricing, build, probe Pl
 	m := NewMetricsScaled(cfg, scale)
 
 	// Stage 0: build-side scan with pushdown.
-	bp := m.Phase("bloom build", 0)
+	bp := m.PhaseProfile("bloom build", 0, build.Profile)
 	addScan(bp, build, build.Selectivity(), build.FilterNodes)
 	bp.AddServerRows(build.FilteredRows * 2) // hash table + filter insert
 
 	// Stage 1: probe-side scan with the Bloom predicate pushed down.
-	pp := m.Phase("bloom probe", 1)
+	pp := m.PhaseProfile("bloom probe", 1, probe.Profile)
 	retFrac := probe.Selectivity() * math.Min(1, matchFrac+fpr)
 	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr))
 
@@ -136,7 +142,7 @@ func EstimateBloomJoin(cfg Config, scale Scale, pricing Pricing, build, probe Pl
 // multi-join pipeline.
 func EstimateScanJoin(cfg Config, scale Scale, pricing Pricing, buildRows int64, probe PlanTableStats) PlanEstimate {
 	m := NewMetricsScaled(cfg, scale)
-	ph := m.Phase("filtered scan", 0)
+	ph := m.PhaseProfile("filtered scan", 0, probe.Profile)
 	addScan(ph, probe, probe.Selectivity(), probe.FilterNodes)
 	j := m.Phase("hash join", 0)
 	j.AddServerRows(buildRows + probe.FilteredRows)
@@ -151,7 +157,7 @@ func EstimateBloomProbe(cfg Config, scale Scale, pricing Pricing, buildRows int6
 	m := NewMetricsScaled(cfg, scale)
 	bp := m.Phase("bloom build", 0)
 	bp.AddServerRows(buildRows) // filter insert over the intermediate
-	pp := m.Phase("bloom probe", 1)
+	pp := m.PhaseProfile("bloom probe", 1, probe.Profile)
 	retFrac := probe.Selectivity() * math.Min(1, matchFrac+fpr)
 	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr))
 	j := m.Phase("hash join", 1)

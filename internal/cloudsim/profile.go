@@ -1,0 +1,104 @@
+package cloudsim
+
+// Profile describes the performance and pricing characteristics of one
+// storage backend: the link between the compute node and the store, the
+// per-request latency, and the dollar rates the store bills for requests,
+// scans and transfers. Backends advertise a Profile (s3api.Backend.Profile)
+// and the engine threads it into both the virtual clock (per-phase network
+// and RTT terms) and the planner's per-strategy cost estimates, so the same
+// query can legitimately plan differently on a fast local store than on a
+// slow remote one.
+//
+// A zero Profile (Name == "") means "inherit the base Config/Pricing" — the
+// calibration the paper's figures were fitted against.
+type Profile struct {
+	// Name identifies the backend class ("s3", "localfs", ...); the zero
+	// name marks the profile as absent.
+	Name string
+	// NetworkBytesPerSec is the compute-node link bandwidth to this
+	// backend; <= 0 inherits Config.NetworkBytesPerSec.
+	NetworkBytesPerSec float64
+	// RequestRTTSec is one request round trip to this backend; <= 0
+	// inherits Config.RequestRTTSec.
+	RequestRTTSec float64
+	// RequestPer1000, ScanPerGB, ReturnPerGB and TransferPerGB are the
+	// backend's billing rates (zero is meaningful: in-region transfer and
+	// local disks are free).
+	RequestPer1000 float64
+	ScanPerGB      float64
+	ReturnPerGB    float64
+	TransferPerGB  float64
+}
+
+// Defined reports whether the profile carries backend-specific values.
+func (p Profile) Defined() bool { return p.Name != "" }
+
+// S3Profile is the paper's in-region S3: a 10 GigE link, 10 ms round
+// trips, and the Section II-B request/scan/transfer prices. It matches
+// DefaultConfig/DefaultPricing exactly, so backends simulating AWS S3
+// (the in-process store, the HTTP wire) cost the same as before profiles
+// existed.
+func S3Profile() Profile {
+	return Profile{
+		Name:               "s3",
+		NetworkBytesPerSec: 1.25e9,
+		RequestRTTSec:      0.010,
+		RequestPer1000:     0.0004,
+		ScanPerGB:          0.002,
+		ReturnPerGB:        0.0007,
+		TransferPerGB:      0,
+	}
+}
+
+// CrossRegionS3Profile is S3 reached across regions: a thin WAN link,
+// long round trips, and per-GB egress billed on every byte pulled out.
+func CrossRegionS3Profile() Profile {
+	return Profile{
+		Name:               "s3-cross-region",
+		NetworkBytesPerSec: 30e6,
+		RequestRTTSec:      0.080,
+		RequestPer1000:     0.0004,
+		ScanPerGB:          0.002,
+		ReturnPerGB:        0.0007,
+		TransferPerGB:      0.09,
+	}
+}
+
+// LocalFSProfile is an NVMe-class local filesystem: wide, sub-millisecond,
+// and free — no per-request or per-byte dollar cost.
+func LocalFSProfile() Profile {
+	return Profile{
+		Name:               "localfs",
+		NetworkBytesPerSec: 2.5e9,
+		RequestRTTSec:      0.0002,
+	}
+}
+
+// ForProfile returns the config with the profile's performance terms
+// substituted (when defined and positive).
+func (c Config) ForProfile(p Profile) Config {
+	if !p.Defined() {
+		return c
+	}
+	if p.NetworkBytesPerSec > 0 {
+		c.NetworkBytesPerSec = p.NetworkBytesPerSec
+	}
+	if p.RequestRTTSec > 0 {
+		c.RequestRTTSec = p.RequestRTTSec
+	}
+	return c
+}
+
+// ForProfile returns the pricing with the profile's request and transfer
+// rates substituted (when defined). ComputePerHour stays: the compute node
+// is the same whatever store the bytes come from.
+func (pr Pricing) ForProfile(p Profile) Pricing {
+	if !p.Defined() {
+		return pr
+	}
+	pr.RequestPer1000 = p.RequestPer1000
+	pr.ScanPerGB = p.ScanPerGB
+	pr.ReturnPerGB = p.ReturnPerGB
+	pr.TransferPerGB = p.TransferPerGB
+	return pr
+}

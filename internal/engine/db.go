@@ -2,8 +2,10 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,27 +19,185 @@ import (
 	"pushdowndb/internal/value"
 )
 
-// DB is a PushdownDB instance bound to one bucket of the storage service.
+// DB is a PushdownDB instance bound to one bucket name served by one or
+// more storage backends. Backends are registered at Open time with
+// functional options; a table→backend catalog routes each table to the
+// backend its objects live on, and everything the engine needs to know
+// about a backend — its S3 Select capabilities, its network/pricing
+// profile, its error semantics — comes from the backend itself
+// (s3api.Backend is self-describing), not from DB fields.
 type DB struct {
-	Client  s3api.Client
-	Bucket  string
-	Cfg     cloudsim.Config
+	bucket      string
+	backends    map[string]s3api.Backend
+	defaultName string
+	catalog     map[string]string // lower(table) -> backend name
+
+	// Cfg holds the compute node's cost-model constants; per-backend
+	// network and RTT terms come from each backend's Profile.
+	Cfg cloudsim.Config
+	// Pricing is the base price book; per-backend request/transfer rates
+	// come from each backend's Profile.
 	Pricing cloudsim.Pricing
 	// Sim maps this run onto the paper's testbed dimensions for the
 	// virtual clock and pricing (unit scale by default).
 	Sim cloudsim.Scale
-	// Caps are the S3 Select capabilities the storage service advertises;
-	// the Section-X extensions are off by default, matching 2020 AWS.
-	Caps selectengine.Capabilities
 	// MaxScanParallel bounds concurrent partition requests (compute node
 	// connection limit). Zero means one goroutine per partition.
 	MaxScanParallel int
 
 	// statsCache holds planner table statistics keyed by
-	// bucket/table/filter, so repeated queries plan from cached stats
-	// instead of re-issuing COUNT(*) probes.
+	// backend/bucket/table/filter, so repeated queries plan from cached
+	// stats instead of re-issuing COUNT(*) probes.
 	statsMu    sync.Mutex
 	statsCache map[string]cloudsim.PlanTableStats
+}
+
+// Option configures Open.
+type Option func(*DB) error
+
+// WithBackend registers a storage backend under a name. The first
+// registered backend becomes the default unless WithDefaultBackend says
+// otherwise.
+func WithBackend(name string, b s3api.Backend) Option {
+	return func(db *DB) error {
+		if name == "" || b == nil {
+			return fmt.Errorf("engine: WithBackend needs a name and a backend")
+		}
+		if _, dup := db.backends[name]; dup {
+			return fmt.Errorf("engine: backend %q registered twice", name)
+		}
+		db.backends[name] = b
+		if db.defaultName == "" {
+			db.defaultName = name
+		}
+		return nil
+	}
+}
+
+// WithDefaultBackend names the backend tables use when the catalog has no
+// entry for them.
+func WithDefaultBackend(name string) Option {
+	return func(db *DB) error {
+		db.defaultName = name
+		return nil
+	}
+}
+
+// WithTableBackend maps a table to the backend its partitions live on.
+func WithTableBackend(table, backend string) Option {
+	return func(db *DB) error {
+		db.catalog[strings.ToLower(table)] = backend
+		return nil
+	}
+}
+
+// WithConfig replaces the cost-model constants (default: the paper's
+// calibrated DefaultConfig).
+func WithConfig(cfg cloudsim.Config) Option {
+	return func(db *DB) error {
+		db.Cfg = cfg
+		return nil
+	}
+}
+
+// WithPricing replaces the base price book (default DefaultPricing).
+func WithPricing(p cloudsim.Pricing) Option {
+	return func(db *DB) error {
+		db.Pricing = p
+		return nil
+	}
+}
+
+// WithScale sets the simulation scale mapping this run onto paper-size
+// data for the virtual clock and cost model.
+func WithScale(s cloudsim.Scale) Option {
+	return func(db *DB) error {
+		db.Sim = s
+		return nil
+	}
+}
+
+// WithWorkers sets the server-side worker budget (Config.Workers).
+func WithWorkers(n int) Option {
+	return func(db *DB) error {
+		db.Cfg.Workers = n
+		return nil
+	}
+}
+
+// WithMaxScanParallel bounds concurrent partition requests.
+func WithMaxScanParallel(n int) Option {
+	return func(db *DB) error {
+		db.MaxScanParallel = n
+		return nil
+	}
+}
+
+// Open returns a DB over the named bucket with the paper's default cost
+// model and pricing. At least one backend must be registered via
+// WithBackend; the table catalog and the default backend must reference
+// registered names.
+func Open(bucket string, opts ...Option) (*DB, error) {
+	db := &DB{
+		bucket:   bucket,
+		backends: map[string]s3api.Backend{},
+		catalog:  map[string]string{},
+		Cfg:      cloudsim.DefaultConfig(),
+		Pricing:  cloudsim.DefaultPricing(),
+		Sim:      cloudsim.Unit(),
+	}
+	for _, o := range opts {
+		if err := o(db); err != nil {
+			return nil, err
+		}
+	}
+	if len(db.backends) == 0 {
+		return nil, fmt.Errorf("engine: Open needs at least one WithBackend")
+	}
+	if _, ok := db.backends[db.defaultName]; !ok {
+		return nil, fmt.Errorf("engine: default backend %q is not registered", db.defaultName)
+	}
+	for table, name := range db.catalog {
+		if _, ok := db.backends[name]; !ok {
+			return nil, fmt.Errorf("engine: table %q is mapped to unregistered backend %q", table, name)
+		}
+	}
+	return db, nil
+}
+
+// Bucket returns the bucket name this DB reads tables from.
+func (db *DB) Bucket() string { return db.bucket }
+
+// BackendNames lists the registered backends, sorted, default first.
+func (db *DB) BackendNames() []string {
+	names := make([]string, 0, len(db.backends))
+	for n := range db.backends {
+		if n != db.defaultName {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{db.defaultName}, names...)
+}
+
+// BackendFor resolves the backend a table's objects live on: the catalog
+// entry if present, the default backend otherwise.
+func (db *DB) BackendFor(table string) (string, s3api.Backend) {
+	if name, ok := db.catalog[strings.ToLower(table)]; ok {
+		return name, db.backends[name]
+	}
+	return db.defaultName, db.backends[db.defaultName]
+}
+
+// backendFor is BackendFor without the name.
+func (db *DB) backendFor(table string) s3api.Backend {
+	_, b := db.BackendFor(table)
+	return b
+}
+
+// profileFor returns the cost profile of the table's backend.
+func (db *DB) profileFor(table string) cloudsim.Profile {
+	return db.backendFor(table).Profile()
 }
 
 // InvalidateStats drops the planner's cached table statistics (call after
@@ -48,22 +208,12 @@ func (db *DB) InvalidateStats() {
 	db.statsMu.Unlock()
 }
 
-// Open returns a DB with the paper's default cost model and pricing.
-func Open(client s3api.Client, bucket string) *DB {
-	return &DB{
-		Client:  client,
-		Bucket:  bucket,
-		Cfg:     cloudsim.DefaultConfig(),
-		Pricing: cloudsim.DefaultPricing(),
-		Sim:     cloudsim.Unit(),
-	}
-}
-
-// Exec is the context of a single query execution: a virtual clock plus a
-// stage counter. Operators allocate stages in order; phases within one
-// stage overlap on the clock.
+// Exec is the context of a single query execution: a cancellation context,
+// a virtual clock, and a stage counter. Operators allocate stages in
+// order; phases within one stage overlap on the clock.
 type Exec struct {
-	db *DB
+	db  *DB
+	ctx context.Context
 	// Metrics is the query's virtual clock and cost accumulator.
 	Metrics *cloudsim.Metrics
 
@@ -79,13 +229,23 @@ type Exec struct {
 // was single-table or driven through the explicit operator APIs).
 func (e *Exec) QueryPlan() *QueryPlan { return e.plan }
 
-// NewExec starts a query execution context.
-func (db *DB) NewExec() *Exec {
-	return &Exec{db: db, Metrics: cloudsim.NewMetricsScaled(db.Cfg, db.Sim)}
+// NewExec starts a query execution context with background cancellation.
+func (db *DB) NewExec() *Exec { return db.NewExecContext(context.Background()) }
+
+// NewExecContext starts a query execution context; canceling ctx aborts
+// the execution's storage fan-outs.
+func (db *DB) NewExecContext(ctx context.Context) *Exec {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Exec{db: db, ctx: ctx, Metrics: cloudsim.NewMetricsScaled(db.Cfg, db.Sim)}
 }
 
 // DB returns the owning database.
 func (e *Exec) DB() *DB { return e.db }
+
+// Context returns the execution's cancellation context.
+func (e *Exec) Context() context.Context { return e.ctx }
 
 // workers is the server-side parallelism budget local operators run with
 // (the cost model's Workers knob, capped at Cores).
@@ -103,45 +263,88 @@ func (e *Exec) NextStage() int {
 // RuntimeSeconds returns the query's virtual runtime so far.
 func (e *Exec) RuntimeSeconds() float64 { return e.Metrics.RuntimeSeconds() }
 
-// Cost returns the query's cost so far under the DB's pricing.
+// Cost returns the query's cost so far under the DB's pricing (phases run
+// against a backend bill at that backend's profile rates).
 func (e *Exec) Cost() cloudsim.CostBreakdown { return e.Metrics.Cost(e.db.Pricing) }
 
-// parts lists the partition objects of a table.
+// tablePhase opens a metrics phase whose storage requests run against the
+// table's backend, so the phase is timed and priced under that backend's
+// profile.
+func (e *Exec) tablePhase(name string, stage int, table string) *cloudsim.Phase {
+	return e.Metrics.PhaseProfile(name, stage, e.db.profileFor(table))
+}
+
+// parts lists the partition objects of a table on its backend.
 func (e *Exec) parts(table string) ([]string, error) {
-	keys, err := e.db.Client.List(e.db.Bucket, table+"/part")
+	keys, err := e.db.backendFor(table).List(e.ctx, e.db.bucket, table+"/part")
 	if err != nil {
 		return nil, err
 	}
 	if len(keys) == 0 {
-		return nil, fmt.Errorf("engine: table %q has no partitions in bucket %q", table, e.db.Bucket)
+		name, _ := e.db.BackendFor(table)
+		return nil, fmt.Errorf("engine: table %q has no partitions in bucket %q on backend %q",
+			table, e.db.bucket, name)
 	}
 	return keys, nil
 }
 
-// forEachPart runs fn over every partition with bounded parallelism,
-// collecting the first error.
-func (e *Exec) forEachPart(keys []string, fn func(i int, key string) error) error {
+// forEachPart runs fn over every partition with bounded parallelism. The
+// first error cancels the shared context and stops new partitions from
+// launching; in-flight calls see the cancellation through ctx. Canceling
+// the execution's own context aborts the fan-out the same way.
+func (e *Exec) forEachPart(keys []string, fn func(ctx context.Context, i int, key string) error) error {
 	limit := e.db.MaxScanParallel
 	if limit <= 0 || limit > len(keys) {
 		limit = len(keys)
 	}
+	ctx, cancel := context.WithCancel(e.ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	sem := make(chan struct{}, limit)
-	errCh := make(chan error, len(keys))
-	var wg sync.WaitGroup
+launch:
 	for i, k := range keys {
+		// Acquire a slot, bailing out as soon as the fan-out is canceled
+		// (by an earlier error or by the caller) instead of queuing more
+		// work behind it.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break launch
+		}
+		if ctx.Err() != nil {
+			break launch
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, k string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := fn(i, k); err != nil {
-				errCh <- err
+			if err := fn(ctx, i, k); err != nil {
+				fail(err)
 			}
 		}(i, k)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// All launched work succeeded, but the caller's context may have
+	// stopped the loop before every partition ran.
+	return e.ctx.Err()
 }
 
 // LoadTable fetches every partition with plain GETs and parses the CSV on
@@ -151,7 +354,8 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 	if err != nil {
 		return nil, err
 	}
-	phase := e.Metrics.Phase(phaseName, stage)
+	backend := e.db.backendFor(table)
+	phase := e.tablePhase(phaseName, stage, table)
 	rels := make([]*Relation, len(keys))
 	// The per-partition decodes already run concurrently under
 	// forEachPart; split the worker budget across that fan-out so total
@@ -164,8 +368,8 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 	if decodeWorkers < 1 {
 		decodeWorkers = 1
 	}
-	err = e.forEachPart(keys, func(i int, key string) error {
-		data, err := e.db.Client.Get(e.db.Bucket, key)
+	err = e.forEachPart(keys, func(ctx context.Context, i int, key string) error {
+		data, err := backend.Get(ctx, e.db.bucket, key)
 		if err != nil {
 			return err
 		}
@@ -189,20 +393,23 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 	return out, nil
 }
 
-// selectOnParts runs the same S3 Select SQL against every partition and
+// selectOnParts runs the same S3 Select SQL against every partition of the
+// table on its backend (with the backend's advertised capabilities) and
 // returns the per-partition results, recording request metrics.
 func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate func(i int, req *selectengine.Request)) ([]*selectengine.Result, error) {
 	keys, err := e.parts(table)
 	if err != nil {
 		return nil, err
 	}
+	backend := e.db.backendFor(table)
+	caps := backend.Capabilities()
 	results := make([]*selectengine.Result, len(keys))
-	err = e.forEachPart(keys, func(i int, key string) error {
-		req := selectengine.Request{SQL: sql, HasHeader: true, Capabilities: e.db.Caps}
+	err = e.forEachPart(keys, func(ctx context.Context, i int, key string) error {
+		req := selectengine.Request{SQL: sql, HasHeader: true, Capabilities: caps}
 		if mutate != nil {
 			mutate(i, &req)
 		}
-		res, err := e.db.Client.Select(e.db.Bucket, key, req)
+		res, err := backend.Select(ctx, e.db.bucket, key, req)
 		if err != nil {
 			return fmt.Errorf("engine: select on %s: %w", key, err)
 		}
@@ -219,7 +426,7 @@ func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate fu
 // SelectRows runs sql on every partition of table and concatenates the
 // returned rows into a typed relation.
 func (e *Exec) SelectRows(phaseName string, stage int, table, sql string) (*Relation, error) {
-	phase := e.Metrics.Phase(phaseName, stage)
+	phase := e.tablePhase(phaseName, stage, table)
 	results, err := e.selectOnParts(phase, table, sql, nil)
 	if err != nil {
 		return nil, err
@@ -245,7 +452,7 @@ func (e *Exec) SelectRowsLimit(phaseName string, stage int, table, sql string, t
 		per = 1
 	}
 	limited := fmt.Sprintf("%s LIMIT %d", sql, per)
-	phase := e.Metrics.Phase(phaseName, stage)
+	phase := e.tablePhase(phaseName, stage, table)
 	results, err := e.selectOnParts(phase, table, limited, nil)
 	if err != nil {
 		return nil, err
@@ -263,7 +470,7 @@ func (e *Exec) SelectRowsLimit(phaseName string, stage int, table, sql string, t
 // single-row results column-wise using the given aggregate functions
 // (SUM and COUNT merge by addition, MIN/MAX by comparison).
 func (e *Exec) SelectAgg(phaseName string, stage int, table, sql string, merge []sqlparse.AggFunc) (Row, error) {
-	phase := e.Metrics.Phase(phaseName, stage)
+	phase := e.tablePhase(phaseName, stage, table)
 	results, err := e.selectOnParts(phase, table, sql, nil)
 	if err != nil {
 		return nil, err
@@ -297,26 +504,38 @@ func (e *Exec) SelectAgg(phaseName string, stage int, table, sql string, merge [
 	return out, nil
 }
 
+// headerProbe is TableHeader's initial ranged-GET size.
+const headerProbe = 4096
+
 // TableHeader reads a table's column names with a small ranged GET against
-// the first partition (the partitions all share a header row).
+// the first partition (the partitions all share a header row). Header rows
+// longer than the probe retry with a doubled range until a newline turns
+// up or the object is exhausted (a header-only object with no trailing
+// newline is accepted whole).
 func (e *Exec) TableHeader(phaseName string, stage int, table string) ([]string, error) {
 	keys, err := e.parts(table)
 	if err != nil {
 		return nil, err
 	}
-	const headerProbe = 4096
-	data, err := e.db.Client.GetRange(e.db.Bucket, keys[0], 0, headerProbe-1)
-	if err != nil {
-		return nil, err
+	backend := e.db.backendFor(table)
+	phase := e.tablePhase(phaseName, stage, table)
+	for probe := int64(headerProbe); ; probe *= 2 {
+		data, err := backend.GetRange(e.ctx, e.db.bucket, keys[0], 0, probe-1)
+		if err != nil {
+			return nil, err
+		}
+		phase.AddGetRequest(int64(len(data)))
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			header, _, err := csvx.Decode(data[:nl+1], true)
+			return header, err
+		}
+		if int64(len(data)) < probe {
+			// The whole object fit in the probe and holds no newline: it
+			// is a single (unterminated) header line.
+			header, _, err := csvx.Decode(data, true)
+			return header, err
+		}
 	}
-	phase := e.Metrics.Phase(phaseName, stage)
-	phase.AddGetRequest(int64(len(data)))
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, fmt.Errorf("engine: no header row within first %d bytes of %s", headerProbe, keys[0])
-	}
-	header, _, err := csvx.Decode(data[:nl+1], true)
-	return header, err
 }
 
 // selectReqStats converts select-engine stats into the cost model's

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/sqlparse"
 	"pushdowndb/internal/store"
 	"pushdowndb/internal/value"
@@ -15,12 +16,12 @@ import (
 
 const testBucket = "test"
 
-// newTestDB builds a store with two tables:
+// newTestStore builds a store with the shared test tables:
 //
 //	events(k INT, g INT, v FLOAT)  — 1000 rows, g in [0,10), partitioned x4
 //	cust(ck INT, bal FLOAT)        — 100 rows, partitioned x2
 //	ords(ok INT, ck INT, price FLOAT) — 400 rows, partitioned x4
-func newTestDB(t *testing.T) (*DB, *store.Store) {
+func newTestStore(t *testing.T) *store.Store {
 	t.Helper()
 	st := store.New()
 	rng := rand.New(rand.NewSource(12345))
@@ -59,8 +60,25 @@ func newTestDB(t *testing.T) (*DB, *store.Store) {
 	if err := PartitionTable(st, testBucket, "ords", []string{"ok", "ck", "price"}, ords, 4); err != nil {
 		t.Fatal(err)
 	}
+	return st
+}
 
-	return Open(s3api.NewInProc(st), testBucket), st
+// openTestDB opens a DB over st with one in-process backend built with the
+// given options.
+func openTestDB(t *testing.T, st *store.Store, bopts ...s3api.InProcOption) *DB {
+	t.Helper()
+	db, err := Open(testBucket, WithBackend("s3sim", s3api.NewInProc(st, bopts...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// newTestDB builds the shared test store and opens a default DB over it.
+func newTestDB(t *testing.T) (*DB, *store.Store) {
+	t.Helper()
+	st := newTestStore(t)
+	return openTestDB(t, st), st
 }
 
 func sortedRows(rel *Relation) []string {
@@ -324,8 +342,11 @@ func TestJoinAlgorithmsAgree(t *testing.T) {
 }
 
 func TestBloomJoinBitwise(t *testing.T) {
-	db, _ := newTestDB(t)
-	db.Caps.AllowBloomContains = true
+	st := newTestStore(t)
+	// BLOOM_CONTAINS needs a backend advertising the Suggestion-3
+	// capability.
+	db := openTestDB(t, st, s3api.WithCapabilities(
+		selectengine.Capabilities{AllowBloomContains: true}))
 	js := joinSpec()
 	js.Bitwise = true
 	e := db.NewExec()
@@ -427,8 +448,9 @@ func TestGroupByAlgorithmsAgree(t *testing.T) {
 }
 
 func TestHybridGroupByPartialGroupBy(t *testing.T) {
-	db, _ := newTestDB(t)
-	db.Caps.AllowGroupBy = true
+	st := newTestStore(t)
+	db := openTestDB(t, st, s3api.WithCapabilities(
+		selectengine.Capabilities{AllowGroupBy: true}))
 	e := db.NewExec()
 	got, err := e.HybridGroupBy("events", "g", groupAggs(),
 		HybridGroupByOptions{S3Groups: 3, SampleFraction: 0.05, UsePartialGroupBy: true})

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -14,48 +15,51 @@ import (
 	"pushdowndb/internal/store"
 )
 
-// flakyClient injects failures into selected operations to verify the
+// flakyBackend injects failures into selected operations to verify the
 // engine propagates storage errors instead of hanging or corrupting
 // results.
-type flakyClient struct {
-	s3api.Client
+type flakyBackend struct {
+	s3api.Backend
 	failSelects   int32 // fail the first N Select calls
 	failGets      int32
 	failGetRanges bool
 }
 
-func (f *flakyClient) Select(bucket, key string, req selectengine.Request) (*selectengine.Result, error) {
+func (f *flakyBackend) Select(ctx context.Context, bucket, key string, req selectengine.Request) (*selectengine.Result, error) {
 	if atomic.AddInt32(&f.failSelects, -1) >= 0 {
 		return nil, fmt.Errorf("injected select failure on %s", key)
 	}
-	return f.Client.Select(bucket, key, req)
+	return f.Backend.Select(ctx, bucket, key, req)
 }
 
-func (f *flakyClient) Get(bucket, key string) ([]byte, error) {
+func (f *flakyBackend) Get(ctx context.Context, bucket, key string) ([]byte, error) {
 	if atomic.AddInt32(&f.failGets, -1) >= 0 {
 		return nil, fmt.Errorf("injected get failure on %s", key)
 	}
-	return f.Client.Get(bucket, key)
+	return f.Backend.Get(ctx, bucket, key)
 }
 
-func (f *flakyClient) GetRanges(bucket, key string, ranges [][2]int64) ([][]byte, error) {
+func (f *flakyBackend) GetRanges(ctx context.Context, bucket, key string, ranges [][2]int64) ([][]byte, error) {
 	if f.failGetRanges {
 		return nil, fmt.Errorf("injected multi-range failure on %s", key)
 	}
-	return f.Client.GetRanges(bucket, key, ranges)
+	return f.Backend.GetRanges(ctx, bucket, key, ranges)
 }
 
-func flakyDB(t *testing.T, mutate func(*flakyClient)) *DB {
+func flakyDB(t *testing.T, mutate func(*flakyBackend)) *DB {
 	t.Helper()
-	db, _ := newTestDB(t)
-	fc := &flakyClient{Client: db.Client}
+	st := newTestStore(t)
+	fc := &flakyBackend{Backend: s3api.NewInProc(st)}
 	mutate(fc)
-	db.Client = fc
+	db, err := Open(testBucket, WithBackend("flaky", fc))
+	if err != nil {
+		t.Fatal(err)
+	}
 	return db
 }
 
 func TestSelectFailurePropagates(t *testing.T) {
-	db := flakyDB(t, func(f *flakyClient) { f.failSelects = 1 })
+	db := flakyDB(t, func(f *flakyBackend) { f.failSelects = 1 })
 	_, err := db.NewExec().S3SideFilter("events", "v < 0", "*")
 	if err == nil || !strings.Contains(err.Error(), "injected select failure") {
 		t.Fatalf("err = %v", err)
@@ -63,7 +67,7 @@ func TestSelectFailurePropagates(t *testing.T) {
 }
 
 func TestGetFailurePropagates(t *testing.T) {
-	db := flakyDB(t, func(f *flakyClient) { f.failGets = 2 })
+	db := flakyDB(t, func(f *flakyBackend) { f.failGets = 2 })
 	_, err := db.NewExec().ServerSideFilter("events", "v < 0", "")
 	if err == nil || !strings.Contains(err.Error(), "injected get failure") {
 		t.Fatalf("err = %v", err)
@@ -71,7 +75,7 @@ func TestGetFailurePropagates(t *testing.T) {
 }
 
 func TestMultiRangeFailurePropagates(t *testing.T) {
-	db := flakyDB(t, func(f *flakyClient) { f.failGetRanges = true })
+	db := flakyDB(t, func(f *flakyBackend) { f.failGetRanges = true })
 	_, err := db.NewExec().IndexFilter("events", "v", "value <= -40",
 		IndexFilterOptions{MultiRange: true})
 	if err == nil || !strings.Contains(err.Error(), "injected multi-range failure") {
@@ -80,24 +84,24 @@ func TestMultiRangeFailurePropagates(t *testing.T) {
 }
 
 func TestJoinFailurePropagates(t *testing.T) {
-	db := flakyDB(t, func(f *flakyClient) { f.failSelects = 1 })
+	db := flakyDB(t, func(f *flakyBackend) { f.failSelects = 1 })
 	_, err := db.NewExec().BloomJoin(joinSpec())
 	if err == nil {
 		t.Fatal("bloom join should surface the injected failure")
 	}
 	// Baseline join uses plain GETs; injected GET failures surface too.
-	db2 := flakyDB(t, func(f *flakyClient) { f.failGets = 1 })
+	db2 := flakyDB(t, func(f *flakyBackend) { f.failGets = 1 })
 	if _, err := db2.NewExec().BaselineJoin(joinSpec()); err == nil {
 		t.Fatal("baseline join should surface the injected failure")
 	}
 }
 
 func TestGroupByFailurePropagates(t *testing.T) {
-	db := flakyDB(t, func(f *flakyClient) { f.failSelects = 3 })
+	db := flakyDB(t, func(f *flakyBackend) { f.failSelects = 3 })
 	if _, err := db.NewExec().S3SideGroupBy("events", "g", groupAggs(), ""); err == nil {
 		t.Fatal("s3-side group-by should surface the injected failure")
 	}
-	db2 := flakyDB(t, func(f *flakyClient) { f.failSelects = 6 })
+	db2 := flakyDB(t, func(f *flakyBackend) { f.failSelects = 6 })
 	if _, err := db2.NewExec().HybridGroupBy("events", "g", groupAggs(),
 		HybridGroupByOptions{}); err == nil {
 		t.Fatal("hybrid group-by should surface the injected failure")
@@ -187,7 +191,7 @@ func eventsDB(t *testing.T, parts int) *DB {
 	if err := PartitionTable(st, testBucket, "events", []string{"k", "g", "v"}, events, parts); err != nil {
 		t.Fatal(err)
 	}
-	return Open(s3api.NewInProc(st), testBucket)
+	return openTestDB(t, st)
 }
 
 // TestSerialModeMatchesParallel pins MaxScanParallel=1 (the paper's serial

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -71,7 +72,7 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 
 	// Phase 1: push the predicate to the index table via S3 Select.
 	stage1 := e.NextStage()
-	idxPhase := e.Metrics.Phase("index lookup", stage1)
+	idxPhase := e.tablePhase("index lookup", stage1, idxTable)
 	sql := "SELECT first_byte_offset, last_byte_offset FROM S3Object WHERE " + indexedPredicate
 	idxResults, err := e.selectOnParts(idxPhase, idxTable, sql, nil)
 	if err != nil {
@@ -87,10 +88,11 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 
 	// Phase 2: fetch each matching row by byte range.
 	stage2 := e.NextStage()
-	fetch := e.Metrics.Phase("row fetch", stage2)
+	fetch := e.tablePhase("row fetch", stage2, table)
+	backend := e.db.backendFor(table)
 	out := &Relation{Cols: header}
 	partRows := make([][][]string, len(dataKeys))
-	err = e.forEachPart(dataKeys, func(i int, key string) error {
+	err = e.forEachPart(dataKeys, func(ctx context.Context, i int, key string) error {
 		res := idxResults[i]
 		ranges := make([][2]int64, 0, len(res.Rows))
 		for _, r := range res.Rows {
@@ -107,7 +109,7 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 		var frags [][]byte
 		if opts.MultiRange {
 			var err error
-			frags, err = e.db.Client.GetRanges(e.db.Bucket, key, ranges)
+			frags, err = backend.GetRanges(ctx, e.db.bucket, key, ranges)
 			if err != nil {
 				return err
 			}
@@ -119,7 +121,7 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 		} else {
 			frags = make([][]byte, len(ranges))
 			for j, rg := range ranges {
-				frag, err := e.db.Client.GetRange(e.db.Bucket, key, rg[0], rg[1])
+				frag, err := backend.GetRange(ctx, e.db.bucket, key, rg[0], rg[1])
 				if err != nil {
 					return err
 				}

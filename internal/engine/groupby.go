@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -300,11 +301,13 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 	if err != nil {
 		return nil, err
 	}
-	phase1 := e.Metrics.Phase("sample", stage1)
+	backend := e.db.backendFor(table)
+	caps := backend.Capabilities()
+	phase1 := e.tablePhase("sample", stage1, table)
 	counts := map[string]int64{}
 	var mu sync.Mutex
-	err = e.forEachPart(keys, func(i int, key string) error {
-		size, err := e.db.Client.Size(e.db.Bucket, key)
+	err = e.forEachPart(keys, func(ctx context.Context, i int, key string) error {
+		size, err := backend.Size(ctx, e.db.bucket, key)
 		if err != nil {
 			return err
 		}
@@ -312,10 +315,10 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 		if end < 1 {
 			end = 1
 		}
-		res, err := e.db.Client.Select(e.db.Bucket, key, selectengine.Request{
+		res, err := backend.Select(ctx, e.db.bucket, key, selectengine.Request{
 			SQL:          "SELECT " + groupCol + " FROM S3Object",
 			HasHeader:    true,
-			Capabilities: e.db.Caps,
+			Capabilities: caps,
 			ScanRange:    &selectengine.ScanRange{Start: 0, End: end},
 		})
 		if err != nil {

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pushdowndb/internal/colformat"
 	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/s3api"
 	"pushdowndb/internal/store"
 	"pushdowndb/internal/value"
 )
@@ -18,6 +20,13 @@ import (
 // header row) under table/partNNNN.csv, mirroring how PushdownDB lays out
 // S3 data for parallel loading.
 func PartitionTable(st *store.Store, bucket, table string, header []string, rows [][]string, parts int) error {
+	return PartitionTableTo(context.Background(), s3api.NewInProc(st), bucket, table, header, rows, parts)
+}
+
+// PartitionTableTo writes rows as partition objects through any backend
+// that accepts writes (s3api.Putter) — the loading path for backends that
+// are not a *store.Store, e.g. localfs.
+func PartitionTableTo(ctx context.Context, p s3api.Putter, bucket, table string, header []string, rows [][]string, parts int) error {
 	if parts < 1 {
 		parts = 1
 	}
@@ -25,9 +34,8 @@ func PartitionTable(st *store.Store, bucket, table string, header []string, rows
 	if per == 0 {
 		per = 1
 	}
-	for p := 0; p < parts; p++ {
-		lo := p * per
-		hi := lo + per
+	for i := 0; i < parts; i++ {
+		lo, hi := i*per, (i+1)*per
 		if lo > len(rows) {
 			lo = len(rows)
 		}
@@ -35,7 +43,9 @@ func PartitionTable(st *store.Store, bucket, table string, header []string, rows
 			hi = len(rows)
 		}
 		data := csvx.Encode(header, rows[lo:hi])
-		st.Put(bucket, store.PartitionKey(table, p), data)
+		if err := p.Put(ctx, bucket, store.PartitionKey(table, i), data); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -12,7 +12,6 @@ import (
 	"pushdowndb/internal/value"
 )
 
-func mustClient(st *store.Store) s3api.Client { return s3api.NewInProc(st) }
 
 func TestPartitionTableSplitsEvenly(t *testing.T) {
 	st := store.New()
@@ -57,7 +56,10 @@ func TestPartitionTableMorePartsThanRows(t *testing.T) {
 	if len(parts) != 8 {
 		t.Fatalf("parts = %d", len(parts))
 	}
-	db := Open(mustClient(st), "b")
+	db, err := Open("b", WithBackend("s3sim", s3api.NewInProc(st)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	rel, err := db.NewExec().SelectRows("s", 0, "t", "SELECT * FROM S3Object")
 	if err != nil || len(rel.Rows) != 1 {
 		t.Fatalf("scan over sparse partitions: %v %v", rel, err)
@@ -121,7 +123,10 @@ func TestPartitionTableColumnar(t *testing.T) {
 	if err := PartitionTableColumnar(st, "b", "t", schema, rows, 3, 4, true); err != nil {
 		t.Fatal(err)
 	}
-	db := Open(mustClient(st), "b")
+	db, err := Open("b", WithBackend("s3sim", s3api.NewInProc(st)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	rel, err := db.NewExec().SelectRows("s", 0, "t", "SELECT x FROM S3Object WHERE x >= 15")
 	if err != nil {
 		t.Fatal(err)

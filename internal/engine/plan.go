@@ -50,7 +50,10 @@ const planSeed = 1
 type TableScan struct {
 	Table string
 	Alias string // optional alias from the FROM clause
-	Cols  []string
+	// Backend names the storage backend the table's partitions live on
+	// (its profile is baked into Stats and prices this scan's strategies).
+	Backend string
+	Cols    []string
 	// Filter is the conjunction of the query's single-table predicates
 	// over this table, qualifier-stripped so it can be pushed to S3.
 	Filter sqlparse.Expr
@@ -560,18 +563,24 @@ func (p *QueryPlan) computeProjections() error {
 // tableStats fills sc.Stats from the DB's stats cache or, on a miss, a
 // pushed-down probe: COUNT(*) plus (when the table has a filter) a
 // SUM(CASE WHEN filter THEN 1 ELSE 0 END) filtered-cardinality estimate,
-// both evaluated storage-side in a single scan.
+// both evaluated storage-side in a single scan. The table's backend
+// profile is stamped onto the stats so every strategy estimate prices the
+// scan at that backend's bandwidth, latency and rates.
 func (e *Exec) tableStats(sc *TableScan, stage int) error {
 	filter := exprStr(sc.Filter)
-	key := e.db.Bucket + "\x00" + sc.Table + "\x00" + filter
+	backendName, backend := e.db.BackendFor(sc.Table)
+	sc.Backend = backendName
+	key := backendName + "\x00" + e.db.bucket + "\x00" + sc.Table + "\x00" + filter
 	e.db.statsMu.Lock()
 	if st, ok := e.db.statsCache[key]; ok {
 		e.db.statsMu.Unlock()
-		// FilterNodes and ProjCols depend on this query's projection, not
-		// just the probe, so they are recomputed on every plan rather
-		// than cached.
+		// FilterNodes, ProjCols and Profile depend on this query's
+		// projection and the backend's current self-description, not just
+		// the probe, so they are recomputed on every plan rather than
+		// cached.
 		st.FilterNodes = scanFilterNodes(sc.Project, filter)
 		st.ProjCols = len(sc.Project)
+		st.Profile = backend.Profile()
 		sc.Stats, sc.CachedStats = st, true
 		return nil
 	}
@@ -581,7 +590,7 @@ func (e *Exec) tableStats(sc *TableScan, stage int) error {
 	if filter != "" {
 		sql = "SELECT COUNT(*), SUM(CASE WHEN " + filter + " THEN 1 ELSE 0 END) FROM S3Object"
 	}
-	phase := e.Metrics.Phase("plan probe "+sc.Table, stage)
+	phase := e.tablePhase("plan probe "+sc.Table, stage, sc.Table)
 	results, err := e.selectOnParts(phase, sc.Table, sql, nil)
 	if err != nil {
 		return fmt.Errorf("engine: planning probe for %s: %w", sc.Table, err)
@@ -615,6 +624,7 @@ func (e *Exec) tableStats(sc *TableScan, stage int) error {
 	e.db.statsMu.Unlock()
 	st.FilterNodes = scanFilterNodes(sc.Project, filter)
 	st.ProjCols = len(sc.Project)
+	st.Profile = backend.Profile()
 	sc.Stats = st
 	return nil
 }
@@ -725,8 +735,12 @@ func (p *QueryPlan) String() string {
 		if sc.CachedStats {
 			cached = ", cached stats"
 		}
-		fmt.Fprintf(&b, "  [%d rows, %d after filter%s]\n",
-			sc.Stats.Rows, sc.Stats.FilteredRows, cached)
+		backend := ""
+		if sc.Backend != "" {
+			backend = ", on " + sc.Backend
+		}
+		fmt.Fprintf(&b, "  [%d rows, %d after filter%s%s]\n",
+			sc.Stats.Rows, sc.Stats.FilteredRows, cached, backend)
 	}
 	for i, st := range p.Steps {
 		fmt.Fprintf(&b, "  join %d: %s.%s = %s.%s  (~%d rows)\n",

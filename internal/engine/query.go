@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,11 +17,17 @@ import (
 // (plan.go), which picks a Section-V join strategy per join; the chosen
 // plan is available from Exec.QueryPlan.
 func (db *DB) Query(sql string) (*Relation, *Exec, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with cancellation: canceling ctx aborts the
+// query's storage fan-outs promptly.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Relation, *Exec, error) {
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	e := db.NewExec()
+	e := db.NewExecContext(ctx)
 	var rel *Relation
 	if len(sel.Joins) > 0 {
 		var plan *QueryPlan

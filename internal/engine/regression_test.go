@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestOrderByColumnDroppedByProjection(t *testing.T) {
 	if err := PartitionTable(st, testBucket, "people", []string{"name", "age", "score"}, rows, 2); err != nil {
 		t.Fatal(err)
 	}
-	db := Open(s3api.NewInProc(st), testBucket)
+	db := openTestDB(t, st)
 
 	// The projection drops age, but ORDER BY references it; the scan
 	// pushed age down, and the sort must run before the projection.
@@ -132,7 +133,22 @@ func newGroupValueDB(t *testing.T, vals []string) *DB {
 	if err := PartitionTable(st, testBucket, "zips", []string{"zip", "v"}, rows, 3); err != nil {
 		t.Fatal(err)
 	}
-	return Open(s3api.NewInProc(st), testBucket)
+	return openTestDB(t, st)
+}
+
+// newGroupValueDBCaps is newGroupValueDB with select capabilities on the
+// backend.
+func newGroupValueDBCaps(t *testing.T, vals []string, caps selectengine.Capabilities) *DB {
+	t.Helper()
+	st := store.New()
+	var rows [][]string
+	for i := 0; i < 240; i++ {
+		rows = append(rows, []string{vals[i%len(vals)], fmt.Sprint(i % 10)})
+	}
+	if err := PartitionTable(st, testBucket, "zips", []string{"zip", "v"}, rows, 3); err != nil {
+		t.Fatal(err)
+	}
+	return openTestDB(t, st, s3api.WithCapabilities(caps))
 }
 
 func zipAggs() []GroupAgg {
@@ -198,8 +214,10 @@ func TestGroupByNullGroups(t *testing.T) {
 		sameRows(t, fmt.Sprintf("hybrid S3Groups=%d", s3groups), want, hybrid)
 	}
 
-	// Suggestion-4 partial group-by path, same NULL-group requirement.
-	db.Caps.AllowGroupBy = true
+	// Suggestion-4 partial group-by path, same NULL-group requirement,
+	// against a backend advertising the capability.
+	db = newGroupValueDBCaps(t, []string{"", "10001", "10002", "10003", ""},
+		selectengine.Capabilities{AllowGroupBy: true})
 	partial, err := db.NewExec().HybridGroupBy("zips", "zip", zipAggs(),
 		HybridGroupByOptions{S3Groups: 2, SampleFraction: 0.5, UsePartialGroupBy: true})
 	if err != nil {
@@ -210,15 +228,15 @@ func TestGroupByNullGroups(t *testing.T) {
 
 // --- BloomJoin stage attribution (join.go) ---
 
-// stageStealingClient allocates a stage on the Exec after every Select,
+// stageStealingBackend allocates a stage on the Exec after every Select,
 // simulating concurrent operator work on the same query execution.
-type stageStealingClient struct {
-	s3api.Client
+type stageStealingBackend struct {
+	s3api.Backend
 	e *Exec
 }
 
-func (c *stageStealingClient) Select(bucket, key string, req selectengine.Request) (*selectengine.Result, error) {
-	res, err := c.Client.Select(bucket, key, req)
+func (c *stageStealingBackend) Select(ctx context.Context, bucket, key string, req selectengine.Request) (*selectengine.Result, error) {
+	res, err := c.Backend.Select(ctx, bucket, key, req)
 	if c.e != nil {
 		c.e.NextStage()
 	}
@@ -230,12 +248,15 @@ func (c *stageStealingClient) Select(bucket, key string, req selectengine.Reques
 // allocates stages on the same Exec mid-join (the old stageNow() read
 // "latest stage - 1" and misattributed it).
 func TestBloomJoinStageUnderConcurrentStages(t *testing.T) {
-	db, _ := newTestDB(t)
-	stealer := &stageStealingClient{Client: db.Client}
-	db.Client = stealer
+	st := newTestStore(t)
+	stealer := &stageStealingBackend{Backend: s3api.NewInProc(st)}
+	db, err := Open(testBucket, WithBackend("stealer", stealer))
+	if err != nil {
+		t.Fatal(err)
+	}
 	e := db.NewExec()
 	stealer.e = e
-	_, err := e.BloomJoin(JoinSpec{
+	_, err = e.BloomJoin(JoinSpec{
 		LeftTable: "cust", RightTable: "ords",
 		LeftKey: "ck", RightKey: "ck",
 		LeftFilter: "bal <= 0",

@@ -121,9 +121,10 @@ func (e *Exec) approxRowCount(stage int, table string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	backend := e.db.backendFor(table)
 	var totalBytes int64
 	for _, k := range keys {
-		n, err := e.db.Client.Size(e.db.Bucket, k)
+		n, err := backend.Size(e.ctx, e.db.bucket, k)
 		if err != nil {
 			return 0, err
 		}

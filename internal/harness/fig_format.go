@@ -60,7 +60,7 @@ func RunFig11(env *Env) (*Result, error) {
 func AllFigures(env *Env) ([]*Result, error) {
 	runs := []func(*Env) (*Result, error){
 		RunFig1, RunFig2, RunFig3, RunFig4, RunFig5, RunFig6, RunFig7,
-		RunFig8, RunFig9, RunFig10, RunFig11, RunParallel,
+		RunFig8, RunFig9, RunFig10, RunFig11, RunParallel, RunBackends,
 	}
 	var out []*Result
 	for _, run := range runs {

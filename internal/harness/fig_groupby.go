@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/sqlparse"
 )
 
@@ -173,11 +175,13 @@ func sameGroupTotals(rels ...*engine.Relation) error {
 // RunFig6PartialGroupBy is the Suggestion-4 ablation: hybrid group-by with
 // the CASE encoding vs a real partial GROUP BY pushed to the storage side.
 func RunFig6PartialGroupBy(env *Env) (*Result, error) {
-	db, err := env.GroupTable(1.1)
+	// The partial-group-by path needs a storage side advertising the
+	// Suggestion-4 capability.
+	db, err := env.GroupTable(1.1, s3api.WithCapabilities(
+		selectengine.Capabilities{AllowGroupBy: true}))
 	if err != nil {
 		return nil, err
 	}
-	db.Caps.AllowGroupBy = true
 	res := &Result{
 		ID:     "Fig6-S4",
 		Title:  "Hybrid group-by: CASE encoding vs partial GROUP BY (Suggestion 4)",

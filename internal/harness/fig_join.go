@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/selectengine"
 )
 
 // The paper's Listing-2 evaluation query:
@@ -148,11 +150,13 @@ func RunFig4(env *Env) (*Result, error) {
 // predicate (the paper's encoding) vs the BLOOM_CONTAINS bitwise form at
 // the same FPR.
 func RunFig4Bitwise(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+	// The bitwise predicate needs a storage side that supports
+	// BLOOM_CONTAINS: ask for a backend advertising the capability.
+	db, err := env.TPCH(s3api.WithCapabilities(
+		selectengine.Capabilities{AllowBloomContains: true}))
 	if err != nil {
 		return nil, err
 	}
-	db.Caps.AllowBloomContains = true
 	res := &Result{
 		ID:     "Fig4-S3",
 		Title:  "Bloom predicate encoding: '0'/'1' string vs bitwise (Suggestion 3)",

@@ -81,19 +81,22 @@ const paperPartitions = 32
 
 // scaledDB wraps a store in a DB reporting paper-scale virtual time and
 // cost: dataRatio = paperBytes/actualBytes, and the partition ratio maps
-// this run's partition count onto the paper's 32.
-func (env *Env) scaledDB(st *store.Store, bucket string, dataRatio float64) *engine.DB {
-	db := engine.Open(s3api.NewInProc(st), bucket)
-	db.Sim = cloudsim.Scale{
-		DataRatio: dataRatio,
-		PartRatio: float64(paperPartitions) / float64(env.Scale.Partitions),
-	}
-	return db
+// this run's partition count onto the paper's 32. The in-process backend
+// simulates in-region S3 (cloudsim.S3Profile); bopts configure it, e.g.
+// enabling Section-X select capabilities or swapping the profile.
+func (env *Env) scaledDB(st *store.Store, bucket string, dataRatio float64, bopts ...s3api.InProcOption) (*engine.DB, error) {
+	return engine.Open(bucket,
+		engine.WithBackend("s3sim", s3api.NewInProc(st, bopts...)),
+		engine.WithScale(cloudsim.Scale{
+			DataRatio: dataRatio,
+			PartRatio: float64(paperPartitions) / float64(env.Scale.Partitions),
+		}))
 }
 
 // TPCH returns a DB over the TPC-H dataset (with the Fig. 1 index tables),
-// with virtual time reported at PaperSF.
-func (env *Env) TPCH() (*engine.DB, error) {
+// with virtual time reported at PaperSF. Backend options configure the
+// simulated S3 backend (capabilities, profile).
+func (env *Env) TPCH(bopts ...s3api.InProcOption) (*engine.DB, error) {
 	env.mu.Lock()
 	defer env.mu.Unlock()
 	if env.tpchStore == nil {
@@ -112,14 +115,14 @@ func (env *Env) TPCH() (*engine.DB, error) {
 		env.tpchDataset = ds
 	}
 	ratio := env.Scale.PaperSF / env.Scale.TPCHSF
-	return env.scaledDB(env.tpchStore, env.tpchDataset.Bucket, ratio), nil
+	return env.scaledDB(env.tpchStore, env.tpchDataset.Bucket, ratio, bopts...)
 }
 
 const paperGroupTableBytes = 10 << 30 // the 10 GB synthetic table
 
 // GroupTable returns a DB over the synthetic group-by table: uniform
 // (Fig. 5) when theta < 0, Zipf-skewed otherwise (Figs. 6-7).
-func (env *Env) GroupTable(theta float64) (*engine.DB, error) {
+func (env *Env) GroupTable(theta float64, bopts ...s3api.InProcOption) (*engine.DB, error) {
 	key := "uniform"
 	if theta >= 0 {
 		key = fmt.Sprintf("skew%.1f", theta)
@@ -144,7 +147,7 @@ func (env *Env) GroupTable(theta float64) (*engine.DB, error) {
 		env.mu.Unlock()
 	}
 	ratio := float64(paperGroupTableBytes) / float64(st.TableSize("synth", "groups"))
-	return env.scaledDB(st, "synth", ratio), nil
+	return env.scaledDB(st, "synth", ratio, bopts...)
 }
 
 // FloatTables returns a DB over the Fig. 11 tables: for each column count,
@@ -174,7 +177,7 @@ func (env *Env) FloatTables(cols int) (*engine.DB, error) {
 	}
 	paperBytes := float64(cols) * 100e6
 	ratio := paperBytes / float64(st.TableSize("fmt", "fcsv"))
-	return env.scaledDB(st, "fmt", ratio), nil
+	return env.scaledDB(st, "fmt", ratio)
 }
 
 // Point is one measured configuration of an experiment.

@@ -26,8 +26,16 @@ func TestEngineOverHTTPMatchesInProc(t *testing.T) {
 	srv := httptest.NewServer(s3http.NewServer(st))
 	defer srv.Close()
 
-	inprocDB := engine.Open(s3api.NewInProc(st), ds.Bucket)
-	httpDB := engine.Open(s3http.NewClient(srv.URL, srv.Client()), ds.Bucket)
+	inprocDB, err := engine.Open(ds.Bucket,
+		engine.WithBackend("inproc", s3api.NewInProc(st)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpDB, err := engine.Open(ds.Bucket,
+		engine.WithBackend("s3http", s3http.NewClient(srv.URL, srv.Client())))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	t.Run("TPCHQueries", func(t *testing.T) {
 		for _, q := range tpch.Queries() {

@@ -1,0 +1,45 @@
+package localfs_test
+
+import (
+	"context"
+	"testing"
+
+	"pushdowndb/internal/localfs"
+	"pushdowndb/internal/s3api/conformancetest"
+)
+
+func TestLocalFSConformance(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) conformancetest.Env {
+		b := localfs.New(t.TempDir())
+		return conformancetest.Env{
+			Backend: b,
+			Put: func(bucket, key string, data []byte) {
+				if err := b.Put(context.Background(), bucket, key, data); err != nil {
+					t.Fatalf("seed put %s/%s: %v", bucket, key, err)
+				}
+			},
+		}
+	})
+}
+
+func TestLocalFSRejectsEscapingKeys(t *testing.T) {
+	b := localfs.New(t.TempDir())
+	ctx := context.Background()
+	for _, key := range []string{"../outside", "a/../../b", "/abs", ""} {
+		if err := b.Put(ctx, "bkt", key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) should be rejected", key)
+		}
+		if _, err := b.Get(ctx, "bkt", key); err == nil {
+			t.Errorf("Get(%q) should be rejected", key)
+		}
+	}
+	// Buckets cannot escape the root either.
+	for _, bucket := range []string{"..", ".", "", "a/b", `a\b`} {
+		if err := b.Put(ctx, bucket, "k", []byte("x")); err == nil {
+			t.Errorf("Put(bucket %q) should be rejected", bucket)
+		}
+		if _, err := b.Get(ctx, bucket, "k"); err == nil {
+			t.Errorf("Get(bucket %q) should be rejected", bucket)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package s3api_test
+
+import (
+	"testing"
+
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/s3api/conformancetest"
+	"pushdowndb/internal/store"
+)
+
+func TestInProcConformance(t *testing.T) {
+	conformancetest.Run(t, func(t *testing.T) conformancetest.Env {
+		st := store.New()
+		return conformancetest.Env{
+			Backend: s3api.NewInProc(st),
+			Put:     func(bucket, key string, data []byte) { st.Put(bucket, key, data) },
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package conformancetest is the shared behavioural suite every
+// s3api.Backend implementation must pass. Each backend package runs it
+// from its own tests (s3api, s3http, localfs), so the engine can rely on
+// identical Get/GetRange/GetRanges/Select/List/Size semantics — including
+// structured error kinds and context handling — whichever store a table
+// lives on.
+package conformancetest
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/selectengine"
+)
+
+// Env is one backend under test: the backend plus a loader for seeding
+// objects (which may bypass the backend, e.g. writing straight into the
+// store behind an HTTP server).
+type Env struct {
+	Backend s3api.Backend
+	// Put seeds an object; the suite calls it before exercising reads.
+	Put func(bucket, key string, data []byte)
+}
+
+// Maker builds a fresh Env for one subtest.
+type Maker func(t *testing.T) Env
+
+// Run exercises the full conformance suite against the backend mk builds.
+func Run(t *testing.T, mk Maker) {
+	t.Run("GetRoundTrip", func(t *testing.T) { testGetRoundTrip(t, mk(t)) })
+	t.Run("EmptyObject", func(t *testing.T) { testEmptyObject(t, mk(t)) })
+	t.Run("MissingKeyKinds", func(t *testing.T) { testMissingKeyKinds(t, mk(t)) })
+	t.Run("Ranges", func(t *testing.T) { testRanges(t, mk(t)) })
+	t.Run("MultiRanges", func(t *testing.T) { testMultiRanges(t, mk(t)) })
+	t.Run("Select", func(t *testing.T) { testSelect(t, mk(t)) })
+	t.Run("ListAndSize", func(t *testing.T) { testListAndSize(t, mk(t)) })
+	t.Run("CanceledContext", func(t *testing.T) { testCanceledContext(t, mk(t)) })
+	t.Run("SelfDescription", func(t *testing.T) { testSelfDescription(t, mk(t)) })
+}
+
+func ctxb() context.Context { return context.Background() }
+
+// wantKind asserts err is a structured *s3api.Error of the given kind with
+// the object coordinates filled in.
+func wantKind(t *testing.T, err error, kind s3api.Kind, op string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: expected a %s error, got nil", op, kind)
+	}
+	var se *s3api.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("%s: error %v (%T) is not a *s3api.Error", op, err, err)
+	}
+	if se.Kind != kind {
+		t.Errorf("%s: kind = %s, want %s (err: %v)", op, se.Kind, kind, err)
+	}
+	if se.Op == "" || se.Bucket == "" {
+		t.Errorf("%s: error is missing Op/Bucket context: %+v", op, se)
+	}
+}
+
+func testGetRoundTrip(t *testing.T, env Env) {
+	env.Put("b", "dir/k.bin", []byte("payload"))
+	got, err := env.Backend.Get(ctxb(), "b", "dir/k.bin")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	n, err := env.Backend.Size(ctxb(), "b", "dir/k.bin")
+	if err != nil || n != 7 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+}
+
+func testEmptyObject(t *testing.T, env Env) {
+	env.Put("b", "empty", nil)
+	got, err := env.Backend.Get(ctxb(), "b", "empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Get(empty) = %q, %v", got, err)
+	}
+	n, err := env.Backend.Size(ctxb(), "b", "empty")
+	if err != nil || n != 0 {
+		t.Fatalf("Size(empty) = %d, %v", n, err)
+	}
+	// No byte of an empty object is addressable: every range is invalid.
+	_, err = env.Backend.GetRange(ctxb(), "b", "empty", 0, 0)
+	wantKind(t, err, s3api.KindInvalidRange, "GetRange(empty)")
+}
+
+func testMissingKeyKinds(t *testing.T, env Env) {
+	env.Put("b", "exists", []byte("x"))
+	_, err := env.Backend.Get(ctxb(), "b", "missing")
+	wantKind(t, err, s3api.KindNotFound, "Get(missing key)")
+	_, err = env.Backend.Get(ctxb(), "nobucket", "k")
+	wantKind(t, err, s3api.KindNotFound, "Get(missing bucket)")
+	_, err = env.Backend.GetRange(ctxb(), "b", "missing", 0, 1)
+	wantKind(t, err, s3api.KindNotFound, "GetRange(missing)")
+	_, err = env.Backend.GetRanges(ctxb(), "b", "missing", [][2]int64{{0, 0}})
+	wantKind(t, err, s3api.KindNotFound, "GetRanges(missing)")
+	_, err = env.Backend.Size(ctxb(), "b", "missing")
+	wantKind(t, err, s3api.KindNotFound, "Size(missing)")
+	_, err = env.Backend.Select(ctxb(), "b", "missing",
+		selectengine.Request{SQL: "SELECT * FROM S3Object"})
+	wantKind(t, err, s3api.KindNotFound, "Select(missing)")
+}
+
+func testRanges(t *testing.T, env Env) {
+	env.Put("b", "k", []byte("0123456789"))
+	got, err := env.Backend.GetRange(ctxb(), "b", "k", 2, 4)
+	if err != nil || string(got) != "234" {
+		t.Fatalf("GetRange = %q, %v", got, err)
+	}
+	// The last byte clamps to the object end.
+	got, err = env.Backend.GetRange(ctxb(), "b", "k", 8, 100)
+	if err != nil || string(got) != "89" {
+		t.Fatalf("GetRange(clamped) = %q, %v", got, err)
+	}
+	// A first offset at/past the end is unsatisfiable.
+	_, err = env.Backend.GetRange(ctxb(), "b", "k", 10, 12)
+	wantKind(t, err, s3api.KindInvalidRange, "GetRange(past end)")
+	_, err = env.Backend.GetRange(ctxb(), "b", "k", -1, 3)
+	wantKind(t, err, s3api.KindInvalidRange, "GetRange(negative)")
+	_, err = env.Backend.GetRange(ctxb(), "b", "k", 5, 3)
+	wantKind(t, err, s3api.KindInvalidRange, "GetRange(inverted)")
+}
+
+func testMultiRanges(t *testing.T, env Env) {
+	env.Put("b", "k", []byte("abcdefghij"))
+	parts, err := env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{0, 1}, {5, 6}, {9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("ab"), []byte("fg"), []byte("j")}
+	if !reflect.DeepEqual(parts, want) {
+		t.Errorf("GetRanges = %q, want %q", parts, want)
+	}
+	// Single range through the same API.
+	parts, err = env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{2, 4}})
+	if err != nil || len(parts) != 1 || string(parts[0]) != "cde" {
+		t.Errorf("single-range GetRanges = %q, %v", parts, err)
+	}
+	// One bad range fails the whole request.
+	_, err = env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{0, 1}, {50, 60}})
+	wantKind(t, err, s3api.KindInvalidRange, "GetRanges(one bad)")
+}
+
+func testSelect(t *testing.T, env Env) {
+	data := csvx.Encode([]string{"k", "v"}, [][]string{{"1", "10"}, {"2", "20"}, {"3", "30"}})
+	env.Put("b", "t.csv", data)
+	res, err := env.Backend.Select(ctxb(), "b", "t.csv", selectengine.Request{
+		SQL: "SELECT k FROM S3Object WHERE v >= 20", HasHeader: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != "2" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Stats.BytesScanned != int64(len(data)) {
+		t.Errorf("scan stats wrong: %+v", res.Stats)
+	}
+	// Unsupported SQL surfaces a structured (non-not-found) error.
+	_, err = env.Backend.Select(ctxb(), "b", "t.csv", selectengine.Request{
+		SQL: "SELECT k FROM S3Object ORDER BY k", HasHeader: true,
+	})
+	if err == nil {
+		t.Fatal("ORDER BY must be rejected by the select engine")
+	}
+	var se *s3api.Error
+	if !errors.As(err, &se) || se.Kind == s3api.KindNotFound {
+		t.Errorf("select rejection should be a structured non-not-found error, got %v", err)
+	}
+	// A request claiming a capability the backend does not advertise is
+	// clamped and rejected as unsupported — identically on every backend.
+	// (These suites run backends with default, extension-free caps.)
+	_, err = env.Backend.Select(ctxb(), "b", "t.csv", selectengine.Request{
+		SQL: "SELECT k, SUM(v) FROM S3Object GROUP BY k", HasHeader: true,
+		Capabilities: selectengine.Capabilities{AllowGroupBy: true},
+	})
+	wantKind(t, err, s3api.KindUnsupported, "Select(unadvertised GROUP BY)")
+}
+
+func testListAndSize(t *testing.T, env Env) {
+	env.Put("b", "t/part0001.csv", []byte("defg"))
+	env.Put("b", "t/part0000.csv", []byte("abc"))
+	env.Put("b", "u/part0000.csv", []byte("x"))
+	keys, err := env.Backend.List(ctxb(), "b", "t/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"t/part0000.csv", "t/part0001.csv"}) {
+		t.Errorf("List = %v (must be sorted and prefix-filtered)", keys)
+	}
+	// Missing buckets and unmatched prefixes list empty, not an error.
+	keys, err = env.Backend.List(ctxb(), "nobucket", "")
+	if err != nil || len(keys) != 0 {
+		t.Errorf("List(missing bucket) = %v, %v; want empty", keys, err)
+	}
+	keys, err = env.Backend.List(ctxb(), "b", "zzz")
+	if err != nil || len(keys) != 0 {
+		t.Errorf("List(unmatched prefix) = %v, %v; want empty", keys, err)
+	}
+	n, err := env.Backend.Size(ctxb(), "b", "t/part0001.csv")
+	if err != nil || n != 4 {
+		t.Errorf("Size = %d, %v", n, err)
+	}
+}
+
+func testCanceledContext(t *testing.T, env Env) {
+	env.Put("b", "k", []byte("data"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := env.Backend.Get(ctx, "b", "k"); err == nil {
+		t.Error("Get with canceled context must fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Get should wrap context.Canceled, got %v", err)
+	}
+	if _, err := env.Backend.Select(ctx, "b", "k",
+		selectengine.Request{SQL: "SELECT * FROM S3Object"}); err == nil {
+		t.Error("Select with canceled context must fail")
+	}
+}
+
+func testSelfDescription(t *testing.T, env Env) {
+	p := env.Backend.Profile()
+	if !p.Defined() {
+		t.Error("backend must advertise a defined (named) profile")
+	}
+	if p.NetworkBytesPerSec <= 0 || p.RequestRTTSec <= 0 {
+		t.Errorf("profile must carry positive performance terms: %+v", p)
+	}
+	_ = env.Backend.Capabilities() // must not panic; flags are backend policy
+}

@@ -1,69 +1,82 @@
 package s3api
 
 import (
-	"reflect"
+	"context"
+	"errors"
 	"testing"
 
+	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/store"
 )
 
-func newClient(t *testing.T) (*store.Store, *InProc) {
-	t.Helper()
+// The behavioural surface (Get/GetRange/GetRanges/Select/List/Size, error
+// kinds, context handling) is covered by the shared suite in
+// conformance_test.go; these tests pin InProc-specific construction and
+// error classification details.
+
+func TestInProcSelfDescription(t *testing.T) {
 	st := store.New()
-	return st, NewInProc(st)
-}
+	plain := NewInProc(st)
+	if caps := plain.Capabilities(); caps.AllowGroupBy || caps.AllowBloomContains {
+		t.Errorf("default capabilities must be off (2020 AWS): %+v", caps)
+	}
+	if p := plain.Profile(); p != cloudsim.S3Profile() {
+		t.Errorf("default profile = %+v, want S3Profile", p)
+	}
 
-func TestInProcGet(t *testing.T) {
-	st, c := newClient(t)
-	st.Put("b", "k", []byte("payload"))
-	got, err := c.Get("b", "k")
-	if err != nil || string(got) != "payload" {
-		t.Fatalf("Get = %q, %v", got, err)
+	custom := NewInProc(st,
+		WithCapabilities(selectengine.Capabilities{AllowGroupBy: true}),
+		WithProfile(cloudsim.CrossRegionS3Profile()))
+	if !custom.Capabilities().AllowGroupBy {
+		t.Error("WithCapabilities not applied")
 	}
-	if _, err := c.Get("b", "missing"); err == nil {
-		t.Error("missing key should error")
-	}
-}
-
-func TestInProcRanges(t *testing.T) {
-	st, c := newClient(t)
-	st.Put("b", "k", []byte("0123456789"))
-	got, err := c.GetRange("b", "k", 2, 4)
-	if err != nil || string(got) != "234" {
-		t.Fatalf("GetRange = %q, %v", got, err)
-	}
-	parts, err := c.GetRanges("b", "k", [][2]int64{{0, 0}, {9, 9}})
-	if err != nil || string(parts[0]) != "0" || string(parts[1]) != "9" {
-		t.Fatalf("GetRanges = %q, %v", parts, err)
+	if custom.Profile().Name != "s3-cross-region" {
+		t.Errorf("WithProfile not applied: %+v", custom.Profile())
 	}
 }
 
-func TestInProcSelect(t *testing.T) {
-	st, c := newClient(t)
-	st.Put("b", "t.csv", csvx.Encode([]string{"a"}, [][]string{{"1"}, {"2"}, {"3"}}))
-	res, err := c.Select("b", "t.csv", selectengine.Request{
-		SQL: "SELECT a FROM S3Object WHERE a >= 2", HasHeader: true,
+func TestInProcErrorClassification(t *testing.T) {
+	st := store.New()
+	c := NewInProc(st)
+	ctx := context.Background()
+	st.Put("b", "t.csv", csvx.Encode([]string{"a"}, [][]string{{"1"}}))
+
+	_, err := c.Get(ctx, "b", "missing")
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("Get error %v is not *Error", err)
+	}
+	if se.Kind != KindNotFound || se.Op != "get" || se.Bucket != "b" || se.Key != "missing" {
+		t.Errorf("error context = %+v", se)
+	}
+	if !IsNotFound(err) {
+		t.Error("IsNotFound should see through the wrap")
+	}
+	if !errors.Is(err, store.ErrNotFound) {
+		t.Error("the store sentinel should still unwrap")
+	}
+
+	_, err = c.Select(ctx, "b", "t.csv", selectengine.Request{
+		SQL: "SELECT a FROM S3Object ORDER BY a", HasHeader: true,
 	})
-	if err != nil || len(res.Rows) != 2 {
-		t.Fatalf("Select = %v, %v", res, err)
+	if KindOf(err) != KindBadRequest {
+		t.Errorf("select rejection kind = %q, want bad_request (%v)", KindOf(err), err)
 	}
-	if _, err := c.Select("b", "nope", selectengine.Request{SQL: "SELECT * FROM S3Object"}); err == nil {
-		t.Error("missing object should error")
+	if KindOf(errors.New("plain")) != "" {
+		t.Error("KindOf(non-storage error) must be empty")
 	}
 }
 
-func TestInProcListSize(t *testing.T) {
-	st, c := newClient(t)
-	st.Put("b", "t/part0000.csv", []byte("xy"))
-	st.Put("b", "t/part0001.csv", []byte("z"))
-	keys, err := c.List("b", "t/")
-	if err != nil || !reflect.DeepEqual(keys, []string{"t/part0000.csv", "t/part0001.csv"}) {
-		t.Fatalf("List = %v, %v", keys, err)
-	}
-	n, err := c.Size("b", "t/part0000.csv")
-	if err != nil || n != 2 {
-		t.Fatalf("Size = %d, %v", n, err)
+func TestInProcCanceledContextKind(t *testing.T) {
+	st := store.New()
+	st.Put("b", "k", []byte("x"))
+	c := NewInProc(st)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Get(ctx, "b", "k")
+	if KindOf(err) != KindCanceled || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled Get = %v (kind %q)", err, KindOf(err))
 	}
 }

@@ -1,65 +1,56 @@
 package s3http
 
 import (
+	"context"
 	"net/http/httptest"
 	"reflect"
 	"testing"
 
+	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/s3api"
 	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/store"
 )
 
-func newPair(t *testing.T) (*store.Store, *Client) {
+// The shared backend behaviour (reads, error kinds, context handling) is
+// covered by conformance_test.go; these tests pin wire-protocol details.
+
+func ctxb() context.Context { return context.Background() }
+
+func newPair(t *testing.T, opts ...ServerOption) (*store.Store, *Client) {
 	t.Helper()
 	st := store.New()
-	srv := httptest.NewServer(NewServer(st))
+	srv := httptest.NewServer(NewServer(st, opts...))
 	t.Cleanup(srv.Close)
 	return st, NewClient(srv.URL, srv.Client())
 }
 
 func TestPutGetOverHTTP(t *testing.T) {
 	_, c := newPair(t)
-	if err := c.Put("b", "dir/key.csv", []byte("hello")); err != nil {
+	if err := c.Put(ctxb(), "b", "dir/key.csv", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("b", "dir/key.csv")
+	got, err := c.Get(ctxb(), "b", "dir/key.csv")
 	if err != nil || string(got) != "hello" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}
-	if _, err := c.Get("b", "missing"); err == nil {
-		t.Error("missing object should error")
-	}
 }
 
-func TestRangeOverHTTP(t *testing.T) {
+func TestErrorKindsSurviveTheWire(t *testing.T) {
 	st, c := newPair(t)
 	st.Put("b", "k", []byte("0123456789"))
-	got, err := c.GetRange("b", "k", 3, 6)
-	if err != nil || string(got) != "3456" {
-		t.Fatalf("GetRange = %q, %v", got, err)
+	_, err := c.Get(ctxb(), "b", "missing")
+	if s3api.KindOf(err) != s3api.KindNotFound {
+		t.Errorf("missing key kind = %q (%v)", s3api.KindOf(err), err)
 	}
-	if _, err := c.GetRange("b", "k", 50, 60); err == nil {
-		t.Error("unsatisfiable range should error")
+	_, err = c.GetRange(ctxb(), "b", "k", 50, 60)
+	if s3api.KindOf(err) != s3api.KindInvalidRange {
+		t.Errorf("bad range kind = %q (%v)", s3api.KindOf(err), err)
 	}
-}
-
-func TestMultiRangeOverHTTP(t *testing.T) {
-	st, c := newPair(t)
-	st.Put("b", "k", []byte("abcdefghij"))
-	parts, err := c.GetRanges("b", "k", [][2]int64{{0, 1}, {5, 6}, {9, 9}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := [][]byte{[]byte("ab"), []byte("fg"), []byte("j")}
-	if !reflect.DeepEqual(parts, want) {
-		t.Errorf("parts = %q", parts)
-	}
-	// Single range through the same API.
-	parts, err = c.GetRanges("b", "k", [][2]int64{{2, 4}})
-	if err != nil || string(parts[0]) != "cde" {
-		t.Errorf("single-range GetRanges = %q, %v", parts, err)
+	_, err = c.Size(ctxb(), "b", "missing")
+	if s3api.KindOf(err) != s3api.KindNotFound {
+		t.Errorf("missing HEAD kind = %q (%v)", s3api.KindOf(err), err)
 	}
 }
 
@@ -67,7 +58,7 @@ func TestSelectOverHTTP(t *testing.T) {
 	st, c := newPair(t)
 	data := csvx.Encode([]string{"k", "v"}, [][]string{{"1", "10"}, {"2", "20"}, {"3", "30"}})
 	st.Put("b", "t.csv", data)
-	res, err := c.Select("b", "t.csv", selectengine.Request{
+	res, err := c.Select(ctxb(), "b", "t.csv", selectengine.Request{
 		SQL:       "SELECT k FROM S3Object WHERE v >= 20",
 		HasHeader: true,
 	})
@@ -80,11 +71,12 @@ func TestSelectOverHTTP(t *testing.T) {
 	if res.Stats.BytesScanned != int64(len(data)) {
 		t.Errorf("stats lost over the wire: %+v", res.Stats)
 	}
-	// Errors propagate.
-	if _, err := c.Select("b", "t.csv", selectengine.Request{
+	// Errors propagate with a structured kind.
+	_, err = c.Select(ctxb(), "b", "t.csv", selectengine.Request{
 		SQL: "SELECT k FROM S3Object ORDER BY k", HasHeader: true,
-	}); err == nil {
-		t.Error("ORDER BY rejection should propagate over HTTP")
+	})
+	if s3api.KindOf(err) != s3api.KindBadRequest {
+		t.Errorf("ORDER BY rejection kind = %q (%v)", s3api.KindOf(err), err)
 	}
 }
 
@@ -93,7 +85,7 @@ func TestSelectScanRangeOverHTTP(t *testing.T) {
 	data := csvx.Encode([]string{"k"}, [][]string{{"1"}, {"2"}, {"3"}, {"4"}})
 	st.Put("b", "t.csv", data)
 	ranges, _ := csvx.RowRanges(data, true)
-	res, err := c.Select("b", "t.csv", selectengine.Request{
+	res, err := c.Select(ctxb(), "b", "t.csv", selectengine.Request{
 		SQL:       "SELECT k FROM S3Object",
 		HasHeader: true,
 		ScanRange: &selectengine.ScanRange{Start: ranges[2][0], End: int64(len(data))},
@@ -106,30 +98,47 @@ func TestSelectScanRangeOverHTTP(t *testing.T) {
 	}
 }
 
-func TestListAndSizeOverHTTP(t *testing.T) {
-	st, c := newPair(t)
-	st.Put("b", "t/part0000.csv", []byte("abc"))
-	st.Put("b", "t/part0001.csv", []byte("defg"))
-	st.Put("b", "u/part0000.csv", []byte("x"))
-	keys, err := c.List("b", "t/")
-	if err != nil {
-		t.Fatal(err)
+func TestDescribeEndpoint(t *testing.T) {
+	// A server with capabilities and a custom profile is self-describing:
+	// the client learns both over the wire.
+	_, c := newPair(t,
+		WithCapabilities(selectengine.Capabilities{AllowGroupBy: true}),
+		WithProfile(cloudsim.CrossRegionS3Profile()))
+	if !c.Capabilities().AllowGroupBy {
+		t.Error("client should learn the server's capabilities from ?describe")
 	}
-	if !reflect.DeepEqual(keys, []string{"t/part0000.csv", "t/part0001.csv"}) {
-		t.Errorf("keys = %v", keys)
+	if c.Profile().Name != "s3-cross-region" {
+		t.Errorf("client profile = %+v, want the server's", c.Profile())
 	}
-	n, err := c.Size("b", "t/part0001.csv")
-	if err != nil || n != 4 {
-		t.Errorf("Size = %d, %v", n, err)
+	// A plain server describes the defaults.
+	_, plain := newPair(t)
+	if plain.Capabilities().AllowGroupBy {
+		t.Error("plain server must not advertise extensions")
 	}
-	if _, err := c.Size("b", "missing"); err == nil {
-		t.Error("missing size should error")
+	if plain.Profile() != cloudsim.S3Profile() {
+		t.Errorf("plain profile = %+v, want S3Profile", plain.Profile())
+	}
+}
+
+func TestServerEnforcesItsCapabilities(t *testing.T) {
+	// Even if a client hand-crafts a request claiming an extension, a
+	// server that does not allow it rejects the select.
+	st, c := newPair(t) // no capabilities
+	st.Put("b", "t.csv", csvx.Encode([]string{"g", "v"}, [][]string{{"a", "1"}, {"a", "2"}}))
+	_, err := c.Select(ctxb(), "b", "t.csv", selectengine.Request{
+		SQL:          "SELECT g, SUM(v) FROM S3Object GROUP BY g",
+		HasHeader:    true,
+		Capabilities: selectengine.Capabilities{AllowGroupBy: true}, // a lie
+	})
+	if err == nil {
+		t.Fatal("server without AllowGroupBy must reject a GROUP BY select")
 	}
 }
 
 func TestClientSatisfiesInterface(t *testing.T) {
-	var _ s3api.Client = (*Client)(nil)
-	var _ s3api.Client = (*s3api.InProc)(nil)
+	var _ s3api.Backend = (*Client)(nil)
+	var _ s3api.Backend = (*s3api.InProc)(nil)
+	var _ s3api.Putter = (*Client)(nil)
 }
 
 func TestHTTPAndInProcAgree(t *testing.T) {
@@ -139,8 +148,8 @@ func TestHTTPAndInProcAgree(t *testing.T) {
 	st.Put("b", "t.csv", data)
 
 	req := selectengine.Request{SQL: "SELECT a, b FROM S3Object WHERE a = 2", HasHeader: true}
-	r1, err1 := inproc.Select("b", "t.csv", req)
-	r2, err2 := httpClient.Select("b", "t.csv", req)
+	r1, err1 := inproc.Select(ctxb(), "b", "t.csv", req)
+	r2, err2 := httpClient.Select(ctxb(), "b", "t.csv", req)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -150,12 +159,11 @@ func TestHTTPAndInProcAgree(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	_, c := newPair(t)
-	// Bad range header format.
-	st2 := store.New()
-	st2.Put("b", "k", []byte("xyz"))
-	srv := httptest.NewServer(NewServer(st2))
+	st := store.New()
+	st.Put("b", "k", []byte("xyz"))
+	srv := httptest.NewServer(NewServer(st))
 	defer srv.Close()
+	// Empty bucket path without ?describe is a bad request.
 	resp, err := srv.Client().Get(srv.URL + "/")
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +172,9 @@ func TestBadRequests(t *testing.T) {
 	if resp.StatusCode != 400 {
 		t.Errorf("empty bucket path status = %d", resp.StatusCode)
 	}
-	_ = c
+	if kind := resp.Header.Get("X-Pushdowndb-Error-Kind"); kind != string(s3api.KindBadRequest) {
+		t.Errorf("error kind header = %q", kind)
+	}
 }
 
 func TestParseRanges(t *testing.T) {

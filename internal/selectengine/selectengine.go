@@ -13,6 +13,7 @@
 package selectengine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -35,6 +36,22 @@ type Capabilities struct {
 	// the SUBSTRING-over-'0'/'1'-string encoding the paper uses.
 	AllowBloomContains bool
 }
+
+// Intersect returns the capabilities allowed by both sets. Storage
+// backends use it to clamp a request's asked-for extensions to what they
+// actually execute.
+func (c Capabilities) Intersect(o Capabilities) Capabilities {
+	return Capabilities{
+		AllowGroupBy:       c.AllowGroupBy && o.AllowGroupBy,
+		AllowBloomContains: c.AllowBloomContains && o.AllowBloomContains,
+	}
+}
+
+// ErrUnsupported marks a rejection caused by a capability the select
+// engine was not granted (a Section-X extension that is switched off),
+// as opposed to malformed SQL. Capability rejections wrap it so backends
+// can classify them (s3api.KindUnsupported) without string matching.
+var ErrUnsupported = errors.New("capability not enabled")
 
 // Request is one S3 Select invocation.
 type Request struct {
@@ -108,7 +125,7 @@ func validate(sel *sqlparse.Select, caps Capabilities) error {
 		return fmt.Errorf("selectengine: ORDER BY is not supported by S3 Select")
 	}
 	if len(sel.GroupBy) > 0 && !caps.AllowGroupBy {
-		return fmt.Errorf("selectengine: GROUP BY is not supported by S3 Select (enable Capabilities.AllowGroupBy for the Suggestion-4 extension)")
+		return fmt.Errorf("selectengine: GROUP BY is not supported by S3 Select (enable Capabilities.AllowGroupBy for the Suggestion-4 extension): %w", ErrUnsupported)
 	}
 	hasAgg := sel.HasAggregates()
 	if hasAgg && len(sel.GroupBy) == 0 {
@@ -123,7 +140,7 @@ func validate(sel *sqlparse.Select, caps Capabilities) error {
 	}
 	if !caps.AllowBloomContains {
 		if containsCallNamed(sel, "BLOOM_CONTAINS") {
-			return fmt.Errorf("selectengine: BLOOM_CONTAINS requires Capabilities.AllowBloomContains (Suggestion 3)")
+			return fmt.Errorf("selectengine: BLOOM_CONTAINS requires Capabilities.AllowBloomContains (Suggestion 3): %w", ErrUnsupported)
 		}
 	}
 	return nil

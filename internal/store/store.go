@@ -9,10 +9,21 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+)
+
+// Sentinel error classes. Store errors wrap one of these so callers (the
+// s3api backends) can map them to structured error kinds without parsing
+// messages.
+var (
+	// ErrNotFound marks a missing bucket or key.
+	ErrNotFound = errors.New("not found")
+	// ErrInvalidRange marks an unsatisfiable byte range (HTTP 416).
+	ErrInvalidRange = errors.New("range not satisfiable")
 )
 
 // Store is an in-memory object store.
@@ -92,8 +103,8 @@ func (s *Store) GetRange(bucket, key string, first, last int64) ([]byte, error) 
 		return nil, err
 	}
 	if first < 0 || first >= int64(len(data)) || last < first {
-		return nil, fmt.Errorf("store: range [%d,%d] not satisfiable for %s/%s (len %d)",
-			first, last, bucket, key, len(data))
+		return nil, fmt.Errorf("store: range [%d,%d] for %s/%s (len %d): %w",
+			first, last, bucket, key, len(data), ErrInvalidRange)
 	}
 	if last >= int64(len(data)) {
 		last = int64(len(data)) - 1
@@ -115,8 +126,8 @@ func (s *Store) GetRanges(bucket, key string, ranges [][2]int64) ([][]byte, erro
 	for i, r := range ranges {
 		first, last := r[0], r[1]
 		if first < 0 || first >= int64(len(data)) || last < first {
-			return nil, fmt.Errorf("store: range [%d,%d] not satisfiable for %s/%s",
-				first, last, bucket, key)
+			return nil, fmt.Errorf("store: range [%d,%d] for %s/%s: %w",
+				first, last, bucket, key, ErrInvalidRange)
 		}
 		if last >= int64(len(data)) {
 			last = int64(len(data)) - 1
@@ -156,11 +167,11 @@ func (s *Store) Buckets() []string {
 func (s *Store) lookup(bucket, key string) ([]byte, error) {
 	b, ok := s.buckets[bucket]
 	if !ok {
-		return nil, fmt.Errorf("store: no such bucket %q", bucket)
+		return nil, fmt.Errorf("store: no such bucket %q: %w", bucket, ErrNotFound)
 	}
 	data, ok := b[key]
 	if !ok {
-		return nil, fmt.Errorf("store: no such key %q in bucket %q", key, bucket)
+		return nil, fmt.Errorf("store: no such key %q in bucket %q: %w", key, bucket, ErrNotFound)
 	}
 	return data, nil
 }

@@ -19,7 +19,11 @@ func testDB(t *testing.T, sf float64) *engine.DB {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return engine.Open(s3api.NewInProc(st), ds.Bucket)
+	db, err := engine.Open(ds.Bucket, engine.WithBackend("s3sim", s3api.NewInProc(st)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
 }
 
 func TestSizesFor(t *testing.T) {
