@@ -35,7 +35,7 @@ func main() {
 		"Fig7": harness.RunFig7, "Fig8": harness.RunFig8, "Fig9": harness.RunFig9,
 		"Fig10": harness.RunFig10, "Fig11": harness.RunFig11,
 		"Planner": harness.RunPlanner, "Parallel": harness.RunParallel,
-		"Backends": harness.RunBackends,
+		"Backends": harness.RunBackends, "Cache": harness.RunCache,
 	}
 
 	switch {
@@ -50,7 +50,7 @@ func main() {
 	case *fig != "":
 		run, ok := runs[*fig]
 		if !ok {
-			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends)", *fig))
+			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache)", *fig))
 		}
 		r, err := run(env)
 		if err != nil {

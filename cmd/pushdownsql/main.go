@@ -50,6 +50,7 @@ func main() {
 		fsroot  = flag.String("fsroot", "", "localfs backend root directory (default: a temp dir)")
 		sim     = flag.Float64("sim", 1, "simulate the data at N× its actual size for the virtual clock, cost model and join planner")
 		workers = flag.Int("workers", 1, "worker goroutines for server-side operators (capped at the cost model's cores); the virtual clock and the join planner both price row work at this parallelism")
+		cacheMB = flag.Int("cache-mb", 0, "select-result cache budget in MiB (0 = off): repeated scans are served from the compute tier with zero storage requests, and the planner prices resident scans as cache hits")
 	)
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
@@ -117,6 +118,9 @@ func main() {
 	if *sim != 1 {
 		opts = append(opts, engine.WithScale(cloudsim.Scale{DataRatio: *sim, PartRatio: 1}))
 	}
+	if *cacheMB > 0 {
+		opts = append(opts, engine.WithResultCache(int64(*cacheMB)<<20))
+	}
 	db, err := engine.Open("local", opts...)
 	if err != nil {
 		fatal(err)
@@ -135,6 +139,10 @@ func main() {
 	}
 	fmt.Print(rel)
 	fmt.Printf("\nvirtual runtime: %.3fs   cost: %s\n", e.RuntimeSeconds(), e.Cost())
+	if hits, bytes := e.Metrics.CacheTotals(); hits > 0 {
+		fmt.Printf("result cache: %d scan(s) served locally (%.1f MB not re-bought from storage)\n",
+			hits, float64(bytes)/1e6)
+	}
 }
 
 func fatal(err error) {

@@ -174,6 +174,8 @@ type Phase struct {
 	scanBytes         int64 // S3 Select bytes scanned
 	selectReturnBytes int64 // S3 Select bytes returned
 	getBytes          int64 // plain GET bytes returned
+	cacheHits         int64 // select responses served from the result cache
+	cacheReturnBytes  int64 // response bytes served from the result cache
 	s3MaxStreamSec    float64
 	serverExtraSec    float64
 	serverRows        int64
@@ -210,6 +212,18 @@ func (p *Phase) AddSelectRequest(r SelectReq) {
 	if t > p.s3MaxStreamSec {
 		p.s3MaxStreamSec = t
 	}
+}
+
+// AddCacheHit records one S3 Select response served from the compute-tier
+// result cache instead of the backend: no storage request is issued, no
+// bytes cross the network and nothing is billed — the server only re-parses
+// the cached response bytes at local bandwidth. This is what makes a warm
+// cached scan the cheapest scan of all in the cost model.
+func (p *Phase) AddCacheHit(returnedBytes int64) {
+	p.mu.Lock()
+	p.cacheHits++
+	p.cacheReturnBytes += returnedBytes
+	p.mu.Unlock()
 }
 
 // AddGetRequest records one bulk GET (a whole partition or a batched
@@ -263,6 +277,8 @@ func (p *Phase) snapshot() phaseTotals {
 		scanBytes:         p.scanBytes,
 		selectReturnBytes: p.selectReturnBytes,
 		getBytes:          p.getBytes,
+		cacheHits:         p.cacheHits,
+		cacheReturnBytes:  p.cacheReturnBytes,
 		s3MaxStreamSec:    p.s3MaxStreamSec,
 		serverExtraSec:    p.serverExtraSec,
 		serverRows:        p.serverRows,
@@ -275,6 +291,8 @@ type phaseTotals struct {
 	scanBytes         int64
 	selectReturnBytes int64
 	getBytes          int64
+	cacheHits         int64
+	cacheReturnBytes  int64
 	s3MaxStreamSec    float64
 	serverExtraSec    float64
 	serverRows        int64
@@ -291,8 +309,10 @@ type phaseTotals struct {
 func (t phaseTotals) seconds(cfg Config, scale Scale) float64 {
 	dr := scale.DataRatio
 	transfer := float64(t.selectReturnBytes+t.getBytes) * dr / cfg.NetworkBytesPerSec
+	// Cache-served response bytes never touch the network or the storage
+	// side; they only pay the (parallelizable) select-response parse.
 	parallel := float64(t.getBytes)*dr/cfg.BulkParseBytesPerSec +
-		float64(t.selectReturnBytes)*dr/cfg.SelectParseBytesPerSec +
+		float64(t.selectReturnBytes+t.cacheReturnBytes)*dr/cfg.SelectParseBytesPerSec +
 		float64(t.serverRows)*dr*cfg.RowWorkSecPerRow
 	server := parallel/float64(cfg.WorkerBudget()) +
 		float64(t.requests)*scale.PartRatio*cfg.RequestCPUSec +
@@ -379,6 +399,21 @@ func (m *Metrics) Totals() (requests, scanBytes, selectReturnBytes, getBytes int
 		scanBytes += t.scanBytes
 		selectReturnBytes += t.selectReturnBytes
 		getBytes += t.getBytes
+	}
+	return
+}
+
+// CacheTotals sums result-cache activity across phases: how many select
+// responses were served from the compute-tier cache and how many response
+// bytes that avoided re-buying from storage. Cache hits are deliberately
+// absent from Totals' request count — they issue no storage request.
+func (m *Metrics) CacheTotals() (hits, returnedBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.phases {
+		t := p.snapshot()
+		hits += t.cacheHits
+		returnedBytes += t.cacheReturnBytes
 	}
 	return
 }

@@ -29,6 +29,17 @@ type PlanTableStats struct {
 	// price baseline-cheapest on a fast free store and Bloom-cheapest on a
 	// slow metered one.
 	Profile Profile
+	// CachedFrac is the fraction of the table's partitions whose *plain
+	// pushed scan* (this query's selection + projection, no extra
+	// predicates) is resident in the compute-tier result cache. Strategies
+	// that push exactly that scan — the filtered scan and the Bloom build
+	// side — price the resident partitions as cache hits (no request, no
+	// scan, no transfer; decode only). Bloom *probe* scans embed a Bloom
+	// predicate the cache can only hold if the identical query already ran,
+	// so they are conservatively priced cold; plain-GET loads never touch
+	// the select cache. This asymmetry is what lets an already-resident
+	// probe side flip the planner from a Bloom probe to a filtered scan.
+	CachedFrac float64
 }
 
 // Selectivity is the fraction of rows passing the table's filter.
@@ -120,15 +131,18 @@ func EstimateBaselineJoin(cfg Config, scale Scale, pricing Pricing, build, probe
 func EstimateBloomJoin(cfg Config, scale Scale, pricing Pricing, build, probe PlanTableStats, matchFrac, fpr float64) PlanEstimate {
 	m := NewMetricsScaled(cfg, scale)
 
-	// Stage 0: build-side scan with pushdown.
+	// Stage 0: build-side scan with pushdown (the table's plain scan, so a
+	// resident result cache applies).
 	bp := m.PhaseProfile("bloom build", 0, build.Profile)
-	addScan(bp, build, build.Selectivity(), build.FilterNodes)
+	addScan(bp, build, build.Selectivity(), build.FilterNodes, build.CachedFrac)
 	bp.AddServerRows(build.FilteredRows * 2) // hash table + filter insert
 
-	// Stage 1: probe-side scan with the Bloom predicate pushed down.
+	// Stage 1: probe-side scan with the Bloom predicate pushed down. The
+	// predicate makes the pushed SQL query-specific, so it is priced cold
+	// regardless of probe.CachedFrac.
 	pp := m.PhaseProfile("bloom probe", 1, probe.Profile)
 	retFrac := probe.Selectivity() * math.Min(1, matchFrac+fpr)
-	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr))
+	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr), 0)
 
 	// Local hash join over the surviving rows.
 	j := m.Phase("hash join", 1)
@@ -143,7 +157,7 @@ func EstimateBloomJoin(cfg Config, scale Scale, pricing Pricing, build, probe Pl
 func EstimateScanJoin(cfg Config, scale Scale, pricing Pricing, buildRows int64, probe PlanTableStats) PlanEstimate {
 	m := NewMetricsScaled(cfg, scale)
 	ph := m.PhaseProfile("filtered scan", 0, probe.Profile)
-	addScan(ph, probe, probe.Selectivity(), probe.FilterNodes)
+	addScan(ph, probe, probe.Selectivity(), probe.FilterNodes, probe.CachedFrac)
 	j := m.Phase("hash join", 0)
 	j.AddServerRows(buildRows + probe.FilteredRows)
 	return estimate(m, pricing)
@@ -159,7 +173,8 @@ func EstimateBloomProbe(cfg Config, scale Scale, pricing Pricing, buildRows int6
 	bp.AddServerRows(buildRows) // filter insert over the intermediate
 	pp := m.PhaseProfile("bloom probe", 1, probe.Profile)
 	retFrac := probe.Selectivity() * math.Min(1, matchFrac+fpr)
-	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr))
+	// Bloom-predicate SQL is query-specific: priced cold (see CachedFrac).
+	addScan(pp, probe, retFrac, probe.FilterNodes+bloomPredicateNodes(fpr), 0)
 	j := m.Phase("hash join", 1)
 	j.AddServerRows(buildRows + int64(retFrac*float64(probe.Rows)))
 	return estimate(m, pricing)
@@ -167,13 +182,24 @@ func EstimateBloomProbe(cfg Config, scale Scale, pricing Pricing, buildRows int6
 
 // addScan records a full-table S3 Select scan over s returning retFrac of
 // its rows (narrowed by the pushed projection), with nodes per-row
-// expression work, one request per partition.
-func addScan(ph *Phase, s PlanTableStats, retFrac float64, nodes int64) {
+// expression work, one request per partition. cachedFrac of the partitions
+// are priced as result-cache hits (decode only, nothing billed); callers
+// pass s.CachedFrac when the strategy pushes the table's plain scan and 0
+// when the pushed SQL differs from what the cache could hold.
+func addScan(ph *Phase, s PlanTableStats, retFrac float64, nodes int64, cachedFrac float64) {
 	parts := s.parts()
+	cached := int(math.Round(cachedFrac * float64(parts)))
+	if cached > parts {
+		cached = parts
+	}
 	perBytes := s.Bytes / int64(parts)
 	perRows := s.Rows / int64(parts)
 	perRet := int64(retFrac * s.projFrac() * float64(s.Bytes) / float64(parts))
 	for i := 0; i < parts; i++ {
+		if i < cached {
+			ph.AddCacheHit(perRet)
+			continue
+		}
 		ph.AddSelectRequest(SelectReq{
 			ScanBytes:     perBytes,
 			ReturnedBytes: perRet,

@@ -86,3 +86,86 @@ func TestBloomPredicateNodesMonotonic(t *testing.T) {
 		t.Error("bad FPR should fall back to a positive default")
 	}
 }
+
+// --- result-cache-aware estimates ---
+
+func TestCachedFracMakesFilteredScanCheaper(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	_, probe := planStats(0)
+	cold := EstimateScanJoin(cfg, paperScale(), pricing, 500, probe)
+	probe.CachedFrac = 1
+	warm := EstimateScanJoin(cfg, paperScale(), pricing, 500, probe)
+	if !warm.Cheaper(cold) || warm.USD >= cold.USD || warm.Seconds >= cold.Seconds {
+		t.Errorf("fully resident scan must be strictly cheaper: warm %+v vs cold %+v", warm, cold)
+	}
+	// Partial residency lands in between.
+	probe.CachedFrac = 0.5
+	half := EstimateScanJoin(cfg, paperScale(), pricing, 500, probe)
+	if !half.Cheaper(cold) || !warm.Cheaper(half) {
+		t.Errorf("partial residency must price between cold %+v and warm %+v: %+v", cold, warm, half)
+	}
+}
+
+func TestCachedScanPaysNoRequestScanTransfer(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	_, probe := planStats(0)
+	probe.Profile = CrossRegionS3Profile() // every billed component non-zero
+	probe.CachedFrac = 1
+	m := NewMetricsScaled(cfg, paperScale())
+	ph := m.PhaseProfile("scan", 0, probe.Profile)
+	addScan(ph, probe, 1, 0, probe.CachedFrac)
+	c := m.Cost(pricing)
+	if c.RequestUSD != 0 || c.ScanUSD != 0 || c.TransferUSD != 0 {
+		t.Errorf("cache hits billed storage components: %+v", c)
+	}
+	if hits, bytes := m.CacheTotals(); hits != int64(probe.Partitions) || bytes == 0 {
+		t.Errorf("cache totals = %d hits / %d bytes, want %d hits", hits, bytes, probe.Partitions)
+	}
+	if m.RuntimeSeconds() <= 0 {
+		t.Error("cached scans still take decode time on the virtual clock")
+	}
+}
+
+func TestCachedFracFlipsChainStrategy(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	// A transfer-dominated probe on a metered cross-region link, with a
+	// moderately selective intermediate: cold, the Bloom probe's smaller
+	// return wins; with the plain scan resident, the filtered scan is free
+	// of storage cost and must win.
+	probe := PlanTableStats{
+		Bytes: 4 << 20, Rows: 8000, FilteredRows: 8000,
+		Cols: 3, Partitions: 4, ProjCols: 1,
+		Profile: CrossRegionS3Profile(),
+	}
+	const buildRows, matchFrac = 4000, 0.5
+	coldScan := EstimateScanJoin(cfg, paperScale(), pricing, buildRows, probe)
+	bloom := EstimateBloomProbe(cfg, paperScale(), pricing, buildRows, probe, matchFrac, 0.01)
+	if !bloom.Cheaper(coldScan) {
+		t.Fatalf("cold: bloom %+v should beat filtered %+v (transfer-dominated setup)", bloom, coldScan)
+	}
+	probe.CachedFrac = 1
+	warmScan := EstimateScanJoin(cfg, paperScale(), pricing, buildRows, probe)
+	warmBloom := EstimateBloomProbe(cfg, paperScale(), pricing, buildRows, probe, matchFrac, 0.01)
+	if !warmScan.Cheaper(warmBloom) {
+		t.Errorf("warm: resident filtered scan %+v should beat bloom %+v (bloom probes are priced cold)",
+			warmScan, warmBloom)
+	}
+}
+
+func TestBloomBuildSideUsesCachedFrac(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	build, probe := planStats(15)
+	cold := EstimateBloomJoin(cfg, paperScale(), pricing, build, probe, build.Selectivity(), 0.01)
+	build.CachedFrac = 1
+	warm := EstimateBloomJoin(cfg, paperScale(), pricing, build, probe, build.Selectivity(), 0.01)
+	if warm.USD >= cold.USD {
+		t.Errorf("resident build scan must lower the bloom estimate: warm %+v vs cold %+v", warm, cold)
+	}
+	// The probe side is priced cold even when marked resident (the pushed
+	// bloom predicate is query-specific).
+	probe.CachedFrac = 1
+	same := EstimateBloomJoin(cfg, paperScale(), pricing, build, probe, build.Selectivity(), 0.01)
+	if same.USD != warm.USD || same.Seconds != warm.Seconds {
+		t.Errorf("probe CachedFrac leaked into the bloom probe estimate: %+v vs %+v", same, warm)
+	}
+}

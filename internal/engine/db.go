@@ -13,6 +13,7 @@ import (
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/expr"
+	"pushdowndb/internal/rescache"
 	"pushdowndb/internal/s3api"
 	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/sqlparse"
@@ -50,6 +51,11 @@ type DB struct {
 	// stats instead of re-issuing COUNT(*) probes.
 	statsMu    sync.Mutex
 	statsCache map[string]cloudsim.PlanTableStats
+
+	// resultCache caches S3 Select responses across queries (WithResultCache;
+	// nil = caching off). Hits skip the backend entirely and are metered as
+	// free decodes (cloudsim.Phase.AddCacheHit).
+	resultCache *rescache.Cache
 }
 
 // Option configures Open.
@@ -133,6 +139,22 @@ func WithMaxScanParallel(n int) Option {
 	}
 }
 
+// WithResultCache enables the compute-tier select-result cache with the
+// given byte budget: S3 Select responses are cached per (backend, bucket,
+// partition, canonical select expression) and repeated scans are served
+// locally — no storage request, nothing billed, only the response re-parse
+// on the virtual clock. The planner sees residency through
+// cloudsim.PlanTableStats.CachedFrac and can flip join strategy when a
+// probe side is already resident. A budget <= 0 leaves caching off.
+func WithResultCache(budgetBytes int64) Option {
+	return func(db *DB) error {
+		if budgetBytes > 0 {
+			db.resultCache = rescache.New(budgetBytes)
+		}
+		return nil
+	}
+}
+
 // Open returns a DB over the named bucket with the paper's default cost
 // model and pricing. At least one backend must be registered via
 // WithBackend; the table catalog and the default backend must reference
@@ -200,12 +222,52 @@ func (db *DB) profileFor(table string) cloudsim.Profile {
 	return db.backendFor(table).Profile()
 }
 
-// InvalidateStats drops the planner's cached table statistics (call after
-// loading or mutating tables).
+// InvalidateStats drops everything the DB has cached across queries: the
+// planner's table statistics AND all cached select results. This is the
+// invalidation contract: loading, reloading or mutating any table must be
+// followed by InvalidateStats (or the targeted InvalidateTable) before the
+// next query, otherwise the planner may plan from stale cardinalities and —
+// with WithResultCache enabled — scans may serve rows of the old table
+// bytes. Invalidation also voids cache fills that are in flight when it
+// runs (generation counters in rescache), so a racing query cannot
+// resurrect pre-reload rows.
 func (db *DB) InvalidateStats() {
 	db.statsMu.Lock()
 	db.statsCache = nil
 	db.statsMu.Unlock()
+	if db.resultCache != nil {
+		db.resultCache.InvalidateAll()
+	}
+}
+
+// InvalidateTable drops the cached planner statistics and cached select
+// results of one table only (same contract as InvalidateStats, scoped to
+// the table whose objects changed). The name is case-sensitive, exactly as
+// queries reference it: partition objects live under "<table>/part..." and
+// both caches key by that same spelling. Index tables are separate tables:
+// invalidate them separately if rebuilt.
+func (db *DB) InvalidateTable(table string) {
+	db.statsMu.Lock()
+	for k := range db.statsCache {
+		// Stats keys are backend\x00bucket\x00table\x00filter.
+		parts := strings.SplitN(k, "\x00", 4)
+		if len(parts) == 4 && parts[2] == table {
+			delete(db.statsCache, k)
+		}
+	}
+	db.statsMu.Unlock()
+	if db.resultCache != nil {
+		db.resultCache.InvalidatePrefix(db.bucket, table+"/part")
+	}
+}
+
+// ResultCacheStats snapshots the select-result cache's counters; ok is
+// false when the DB was opened without WithResultCache.
+func (db *DB) ResultCacheStats() (s rescache.Stats, ok bool) {
+	if db.resultCache == nil {
+		return rescache.Stats{}, false
+	}
+	return db.resultCache.Stats(), true
 }
 
 // Exec is the context of a single query execution: a cancellation context,
@@ -220,6 +282,12 @@ type Exec struct {
 	// plan is the join plan Query built for this execution (nil for
 	// single-table queries and explicit operator calls).
 	plan *QueryPlan
+
+	// partsMemo caches partition listings per table for this execution, so
+	// planning (header probes, statistics, cache-residency checks) and the
+	// execution scans share one List call per table instead of re-listing.
+	partsMu   sync.Mutex
+	partsMemo map[string][]string
 
 	mu    sync.Mutex
 	stage int
@@ -274,8 +342,17 @@ func (e *Exec) tablePhase(name string, stage int, table string) *cloudsim.Phase 
 	return e.Metrics.PhaseProfile(name, stage, e.db.profileFor(table))
 }
 
-// parts lists the partition objects of a table on its backend.
+// parts lists the partition objects of a table on its backend, memoized
+// for the lifetime of this execution (tables must not change mid-query —
+// the invalidation contract requires InvalidateStats/InvalidateTable
+// between a mutation and the next query anyway).
 func (e *Exec) parts(table string) ([]string, error) {
+	e.partsMu.Lock()
+	if keys, ok := e.partsMemo[table]; ok {
+		e.partsMu.Unlock()
+		return keys, nil
+	}
+	e.partsMu.Unlock()
 	keys, err := e.db.backendFor(table).List(e.ctx, e.db.bucket, table+"/part")
 	if err != nil {
 		return nil, err
@@ -285,6 +362,12 @@ func (e *Exec) parts(table string) ([]string, error) {
 		return nil, fmt.Errorf("engine: table %q has no partitions in bucket %q on backend %q",
 			table, e.db.bucket, name)
 	}
+	e.partsMu.Lock()
+	if e.partsMemo == nil {
+		e.partsMemo = map[string][]string{}
+	}
+	e.partsMemo[table] = keys
+	e.partsMu.Unlock()
 	return keys, nil
 }
 
@@ -395,13 +478,14 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 
 // selectOnParts runs the same S3 Select SQL against every partition of the
 // table on its backend (with the backend's advertised capabilities) and
-// returns the per-partition results, recording request metrics.
+// returns the per-partition results, recording request metrics. Requests
+// are served through the DB's result cache when one is configured.
 func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate func(i int, req *selectengine.Request)) ([]*selectengine.Result, error) {
 	keys, err := e.parts(table)
 	if err != nil {
 		return nil, err
 	}
-	backend := e.db.backendFor(table)
+	backendName, backend := e.db.BackendFor(table)
 	caps := backend.Capabilities()
 	results := make([]*selectengine.Result, len(keys))
 	err = e.forEachPart(keys, func(ctx context.Context, i int, key string) error {
@@ -409,11 +493,10 @@ func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate fu
 		if mutate != nil {
 			mutate(i, &req)
 		}
-		res, err := backend.Select(ctx, e.db.bucket, key, req)
+		res, err := e.doSelect(ctx, phase, backendName, backend, key, req)
 		if err != nil {
 			return fmt.Errorf("engine: select on %s: %w", key, err)
 		}
-		phase.AddSelectRequest(selectReqStats(res.Stats))
 		results[i] = res
 		return nil
 	})
@@ -421,6 +504,54 @@ func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate fu
 		return nil, err
 	}
 	return results, nil
+}
+
+// doSelect issues one S3 Select against an object, consulting the result
+// cache first. A hit skips the backend and is metered as a free local
+// decode; a miss runs the request, meters it normally and fills the cache
+// at the generation snapshotted before the request (so a fill racing a
+// table invalidation is discarded). Cached results are shared across
+// queries — callers must not mutate them.
+func (e *Exec) doSelect(ctx context.Context, phase *cloudsim.Phase, backendName string, backend s3api.Backend, key string, req selectengine.Request) (*selectengine.Result, error) {
+	c := e.db.resultCache
+	if c == nil {
+		res, err := backend.Select(ctx, e.db.bucket, key, req)
+		if err != nil {
+			return nil, err
+		}
+		phase.AddSelectRequest(selectReqStats(res.Stats))
+		return res, nil
+	}
+	ck := rescache.Key{
+		Backend: backendName, Bucket: e.db.bucket, Object: key,
+		Query: selectCacheQuery(req),
+	}
+	if res, ok := c.Get(ck); ok {
+		phase.AddCacheHit(res.Stats.BytesReturned)
+		return res, nil
+	}
+	gen := c.Generation(e.db.bucket, key)
+	res, err := backend.Select(ctx, e.db.bucket, key, req)
+	if err != nil {
+		return nil, err
+	}
+	phase.AddSelectRequest(selectReqStats(res.Stats))
+	c.Put(ck, gen, res)
+	return res, nil
+}
+
+// selectCacheQuery renders the canonical cache fingerprint of a select
+// request: the SQL plus every request parameter that changes the response
+// (header mode, capability flags, scan range).
+func selectCacheQuery(req selectengine.Request) string {
+	var b strings.Builder
+	b.WriteString(req.SQL)
+	fmt.Fprintf(&b, "\x00h=%t\x00g=%t\x00b=%t",
+		req.HasHeader, req.Capabilities.AllowGroupBy, req.Capabilities.AllowBloomContains)
+	if req.ScanRange != nil {
+		fmt.Fprintf(&b, "\x00r=%d-%d", req.ScanRange.Start, req.ScanRange.End)
+	}
+	return b.String()
 }
 
 // SelectRows runs sql on every partition of table and concatenates the
@@ -536,6 +667,59 @@ func (e *Exec) TableHeader(phaseName string, stage int, table string) ([]string,
 			return header, err
 		}
 	}
+}
+
+// cachedScanFrac reports what fraction of a table's partitions have the
+// given pushed scan SQL resident in the result cache (0 with caching off).
+// Used by Explain, which has no execution context; the planning path goes
+// through Exec.cachedScanFrac to reuse the execution's memoized listing.
+// Residency is peeked without promoting entries.
+func (db *DB) cachedScanFrac(ctx context.Context, table, sql string) float64 {
+	c := db.resultCache
+	if c == nil || c.Len() == 0 {
+		// Empty cache: skip the listing round trip entirely.
+		return 0
+	}
+	keys, err := db.backendFor(table).List(ctx, db.bucket, table+"/part")
+	if err != nil {
+		return 0
+	}
+	return db.cachedFracForKeys(table, keys, sql)
+}
+
+// cachedScanFrac is the Exec-side residency check: it shares the
+// execution's partition-listing memo, so planning adds no extra List call.
+func (e *Exec) cachedScanFrac(table, sql string) float64 {
+	c := e.db.resultCache
+	if c == nil || c.Len() == 0 {
+		// Empty cache: skip even the (memoized) listing — this runs on
+		// every plan of every table, including fully cold first queries.
+		return 0
+	}
+	keys, err := e.parts(table)
+	if err != nil {
+		return 0
+	}
+	return e.db.cachedFracForKeys(table, keys, sql)
+}
+
+// cachedFracForKeys counts how many of the given partition objects hold
+// the table's pushed scan SQL in the result cache.
+func (db *DB) cachedFracForKeys(table string, keys []string, sql string) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	backendName, backend := db.BackendFor(table)
+	q := selectCacheQuery(selectengine.Request{
+		SQL: sql, HasHeader: true, Capabilities: backend.Capabilities(),
+	})
+	hits := 0
+	for _, k := range keys {
+		if db.resultCache.Contains(rescache.Key{Backend: backendName, Bucket: db.bucket, Object: k, Query: q}) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(keys))
 }
 
 // selectReqStats converts select-engine stats into the cost model's

@@ -301,7 +301,7 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 	if err != nil {
 		return nil, err
 	}
-	backend := e.db.backendFor(table)
+	backendName, backend := e.db.BackendFor(table)
 	caps := backend.Capabilities()
 	phase1 := e.tablePhase("sample", stage1, table)
 	counts := map[string]int64{}
@@ -315,7 +315,7 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 		if end < 1 {
 			end = 1
 		}
-		res, err := backend.Select(ctx, e.db.bucket, key, selectengine.Request{
+		res, err := e.doSelect(ctx, phase1, backendName, backend, key, selectengine.Request{
 			SQL:          "SELECT " + groupCol + " FROM S3Object",
 			HasHeader:    true,
 			Capabilities: caps,
@@ -324,7 +324,6 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 		if err != nil {
 			return err
 		}
-		phase1.AddSelectRequest(selectReqStats(res.Stats))
 		mu.Lock()
 		for _, r := range res.Rows {
 			counts[r[0]]++

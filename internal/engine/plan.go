@@ -574,13 +574,14 @@ func (e *Exec) tableStats(sc *TableScan, stage int) error {
 	e.db.statsMu.Lock()
 	if st, ok := e.db.statsCache[key]; ok {
 		e.db.statsMu.Unlock()
-		// FilterNodes, ProjCols and Profile depend on this query's
-		// projection and the backend's current self-description, not just
-		// the probe, so they are recomputed on every plan rather than
-		// cached.
+		// FilterNodes, ProjCols, Profile and CachedFrac depend on this
+		// query's projection, the backend's current self-description and
+		// the result cache's current contents, not just the probe, so they
+		// are recomputed on every plan rather than cached.
 		st.FilterNodes = scanFilterNodes(sc.Project, filter)
 		st.ProjCols = len(sc.Project)
 		st.Profile = backend.Profile()
+		st.CachedFrac = e.cachedScanFrac(sc.Table, projectionSQL(sc.Project, filter))
 		sc.Stats, sc.CachedStats = st, true
 		return nil
 	}
@@ -625,6 +626,7 @@ func (e *Exec) tableStats(sc *TableScan, stage int) error {
 	st.FilterNodes = scanFilterNodes(sc.Project, filter)
 	st.ProjCols = len(sc.Project)
 	st.Profile = backend.Profile()
+	st.CachedFrac = e.cachedScanFrac(sc.Table, projectionSQL(sc.Project, filter))
 	sc.Stats = st
 	return nil
 }
@@ -734,6 +736,9 @@ func (p *QueryPlan) String() string {
 		cached := ""
 		if sc.CachedStats {
 			cached = ", cached stats"
+		}
+		if sc.Stats.CachedFrac > 0 {
+			cached += fmt.Sprintf(", cached scan %.0f%%", 100*sc.Stats.CachedFrac)
 		}
 		backend := ""
 		if sc.Backend != "" {

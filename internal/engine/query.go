@@ -340,9 +340,23 @@ func (db *DB) Explain(sql string) (string, error) {
 		return plan.String(), nil
 	}
 	var b strings.Builder
+	// With a result cache configured, report how much of the pushed scan is
+	// already resident ("cached scan") so a warm repeat's near-zero storage
+	// bill is visible before running.
+	cachedScan := func(pushedSQL string) string {
+		frac := db.cachedScanFrac(context.Background(), sel.Table, pushedSQL)
+		if frac <= 0 {
+			return ""
+		}
+		return fmt.Sprintf("  [cached scan %.0f%%]", 100*frac)
+	}
 	simple := len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 && !sel.HasAggregates()
 	if simple {
-		fmt.Fprintf(&b, "S3 Select (full pushdown): %s\n", sel.String())
+		pushed := &sqlparse.Select{
+			Items: sel.Items, Table: "S3Object",
+			Where: sel.Where, Limit: sel.Limit,
+		}
+		fmt.Fprintf(&b, "S3 Select (full pushdown): %s%s\n", sel.String(), cachedScan(pushed.String()))
 		return b.String(), nil
 	}
 	cols := queryColumns(sel)
@@ -350,10 +364,11 @@ func (db *DB) Explain(sql string) (string, error) {
 	if len(cols) > 0 {
 		proj = strings.Join(cols, ", ")
 	}
-	fmt.Fprintf(&b, "S3 Select (selection+projection pushdown): SELECT %s FROM S3Object", proj)
+	pushedSQL := "SELECT " + proj + " FROM S3Object"
 	if sel.Where != nil {
-		fmt.Fprintf(&b, " WHERE %s", sel.Where.String())
+		pushedSQL += " WHERE " + sel.Where.String()
 	}
+	fmt.Fprintf(&b, "S3 Select (selection+projection pushdown): %s%s", pushedSQL, cachedScan(pushedSQL))
 	b.WriteByte('\n')
 	if len(sel.GroupBy) > 0 {
 		fmt.Fprintf(&b, "server: GROUP BY %s\n", renderExprs(sel.GroupBy))

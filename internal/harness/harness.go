@@ -83,20 +83,29 @@ const paperPartitions = 32
 // cost: dataRatio = paperBytes/actualBytes, and the partition ratio maps
 // this run's partition count onto the paper's 32. The in-process backend
 // simulates in-region S3 (cloudsim.S3Profile); bopts configure it, e.g.
-// enabling Section-X select capabilities or swapping the profile.
-func (env *Env) scaledDB(st *store.Store, bucket string, dataRatio float64, bopts ...s3api.InProcOption) (*engine.DB, error) {
-	return engine.Open(bucket,
+// enabling Section-X select capabilities or swapping the profile; eopts add
+// engine options (e.g. engine.WithResultCache for the Cache figure).
+func (env *Env) scaledDB(st *store.Store, bucket string, dataRatio float64, eopts []engine.Option, bopts ...s3api.InProcOption) (*engine.DB, error) {
+	opts := []engine.Option{
 		engine.WithBackend("s3sim", s3api.NewInProc(st, bopts...)),
 		engine.WithScale(cloudsim.Scale{
 			DataRatio: dataRatio,
 			PartRatio: float64(paperPartitions) / float64(env.Scale.Partitions),
-		}))
+		}),
+	}
+	opts = append(opts, eopts...)
+	return engine.Open(bucket, opts...)
 }
 
 // TPCH returns a DB over the TPC-H dataset (with the Fig. 1 index tables),
 // with virtual time reported at PaperSF. Backend options configure the
 // simulated S3 backend (capabilities, profile).
 func (env *Env) TPCH(bopts ...s3api.InProcOption) (*engine.DB, error) {
+	return env.TPCHWith(nil, bopts...)
+}
+
+// TPCHWith is TPCH with additional engine options.
+func (env *Env) TPCHWith(eopts []engine.Option, bopts ...s3api.InProcOption) (*engine.DB, error) {
 	env.mu.Lock()
 	defer env.mu.Unlock()
 	if env.tpchStore == nil {
@@ -115,7 +124,7 @@ func (env *Env) TPCH(bopts ...s3api.InProcOption) (*engine.DB, error) {
 		env.tpchDataset = ds
 	}
 	ratio := env.Scale.PaperSF / env.Scale.TPCHSF
-	return env.scaledDB(env.tpchStore, env.tpchDataset.Bucket, ratio, bopts...)
+	return env.scaledDB(env.tpchStore, env.tpchDataset.Bucket, ratio, eopts, bopts...)
 }
 
 const paperGroupTableBytes = 10 << 30 // the 10 GB synthetic table
@@ -147,7 +156,7 @@ func (env *Env) GroupTable(theta float64, bopts ...s3api.InProcOption) (*engine.
 		env.mu.Unlock()
 	}
 	ratio := float64(paperGroupTableBytes) / float64(st.TableSize("synth", "groups"))
-	return env.scaledDB(st, "synth", ratio, bopts...)
+	return env.scaledDB(st, "synth", ratio, nil, bopts...)
 }
 
 // FloatTables returns a DB over the Fig. 11 tables: for each column count,
@@ -177,7 +186,7 @@ func (env *Env) FloatTables(cols int) (*engine.DB, error) {
 	}
 	paperBytes := float64(cols) * 100e6
 	ratio := paperBytes / float64(st.TableSize("fmt", "fcsv"))
-	return env.scaledDB(st, "fmt", ratio)
+	return env.scaledDB(st, "fmt", ratio, nil)
 }
 
 // Point is one measured configuration of an experiment.

@@ -1,0 +1,277 @@
+// Package rescache caches S3 Select responses across queries. The paper
+// pays the storage service's request/scan/transfer rates on every query,
+// so repeated analytical queries re-buy the same pushed-down work; the
+// follow-up "Enhancing Computation Pushdown for Cloud OLAP Databases"
+// caches pushdown results at the compute tier and makes cached responses
+// the cheapest scan of all. This package is that compute-tier cache: an
+// LRU over per-(backend, bucket, object, select-expression) responses,
+// bounded by a byte budget, with generation counters per (bucket, object)
+// so a table reload can atomically invalidate everything cached for its
+// partitions — including fills that were in flight when the reload
+// happened.
+//
+// Cached *selectengine.Result values are shared between the cache and
+// every reader; they are treated as immutable after insertion.
+package rescache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"pushdowndb/internal/selectengine"
+)
+
+// Key identifies one cached select response: the object coordinates the
+// response was computed from, plus the canonical query string (SQL and
+// request flags — header mode, scan range, capabilities) that produced it.
+type Key struct {
+	// Backend is the registered backend name the request ran against (the
+	// same object bytes may legitimately live on several backends).
+	Backend string
+	// Bucket and Object locate the scanned object.
+	Bucket, Object string
+	// Query is the canonical request fingerprint: the select SQL plus any
+	// request parameters that change the response (engine.selectCacheQuery
+	// builds it).
+	Query string
+}
+
+type entry struct {
+	key  Key
+	gen  uint64
+	res  *selectengine.Result
+	size int64
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits, Misses int64
+	Puts         int64
+	// Evictions counts entries dropped to fit the byte budget;
+	// Invalidations counts entries dropped by generation bumps.
+	Evictions, Invalidations int64
+	Entries                  int
+	UsedBytes, BudgetBytes   int64
+}
+
+// Cache is a byte-budgeted LRU of select responses. All methods are safe
+// for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used; values are *entry
+	entries map[Key]*list.Element
+	// gens maps bucket\x00object to its current generation. An entry is
+	// valid only while its recorded generation matches; Invalidate* bumps
+	// generations, which also voids fills that started before the bump.
+	gens map[string]uint64
+
+	hits, misses, puts, evictions, invalidations int64
+}
+
+// New returns a cache holding at most budgetBytes of response payload.
+// A budget <= 0 yields a cache that never stores anything (every Put is
+// dropped), which keeps call sites branch-free.
+func New(budgetBytes int64) *Cache {
+	return &Cache{
+		budget:  budgetBytes,
+		ll:      list.New(),
+		entries: map[Key]*list.Element{},
+		gens:    map[string]uint64{},
+	}
+}
+
+func genKey(bucket, object string) string { return bucket + "\x00" + object }
+
+// Generation returns the current generation of (bucket, object), creating
+// it at zero if unseen. Fill paths snapshot the generation *before* issuing
+// the storage request and pass it to Put, so a response that raced with an
+// invalidation is discarded instead of resurrecting stale rows.
+func (c *Cache) Generation(bucket, object string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gk := genKey(bucket, object)
+	if _, ok := c.gens[gk]; !ok {
+		// Materialize the zero generation so a later InvalidatePrefix sees
+		// (and bumps) this object even before any Put lands.
+		c.gens[gk] = 0
+	}
+	return c.gens[gk]
+}
+
+// Get returns the cached response for k, promoting it to most recently
+// used. Entries whose object generation moved since insertion are dropped
+// and reported as misses.
+func (c *Cache) Get(k Key) (*selectengine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*entry)
+	if ent.gen != c.gens[genKey(k.Bucket, k.Object)] {
+		c.removeLocked(el)
+		c.invalidations++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.res, true
+}
+
+// Contains reports whether k is resident and current, without promoting it
+// or touching the hit/miss counters — the planner uses it to estimate hit
+// ratios without distorting LRU order.
+func (c *Cache) Contains(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return false
+	}
+	return el.Value.(*entry).gen == c.gens[genKey(k.Bucket, k.Object)]
+}
+
+// Put stores res under k if gen still matches the object's current
+// generation (see Generation). Responses larger than the whole budget are
+// not cached; older entries are evicted LRU-first to fit the budget.
+func (c *Cache) Put(k Key, gen uint64, res *selectengine.Result) {
+	// The key is charged too: Bloom-probe fingerprints carry pushed
+	// predicates up to the select engine's 256 KB expression limit, which
+	// can dwarf a small response payload.
+	size := resultSize(res) + keySize(k)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return
+	}
+	if gen != c.gens[genKey(k.Bucket, k.Object)] {
+		return // invalidated while the fill was in flight
+	}
+	if el, ok := c.entries[k]; ok {
+		// Same key re-filled (e.g. two concurrent misses): keep the newer
+		// response, which was produced at the same generation.
+		c.removeLocked(el)
+	}
+	ent := &entry{key: k, gen: gen, res: res, size: size}
+	c.entries[k] = c.ll.PushFront(ent)
+	c.used += size
+	c.puts++
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+// removeLocked unlinks el from the LRU and the index. Caller holds mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	ent := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+	c.used -= ent.size
+}
+
+// InvalidatePrefix voids every cached response for objects of bucket whose
+// key starts with prefix: resident entries are dropped immediately and the
+// objects' generations are bumped so in-flight fills for them cannot land.
+// A table reload invalidates with the table's partition prefix.
+func (c *Cache) InvalidatePrefix(bucket, prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gp := genKey(bucket, prefix)
+	for gk := range c.gens {
+		if strings.HasPrefix(gk, gp) {
+			c.gens[gk]++
+		}
+	}
+	var drop []*list.Element
+	for k, el := range c.entries {
+		if k.Bucket == bucket && strings.HasPrefix(k.Object, prefix) {
+			drop = append(drop, el)
+			// The object may never have gone through Generation(); bump it
+			// so pre-bump fills racing this invalidation are rejected.
+			if _, seen := c.gens[genKey(k.Bucket, k.Object)]; !seen {
+				c.gens[genKey(k.Bucket, k.Object)]++
+			}
+		}
+	}
+	for _, el := range drop {
+		c.removeLocked(el)
+		c.invalidations++
+	}
+}
+
+// InvalidateAll voids the entire cache (and any in-flight fills).
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for gk := range c.gens {
+		c.gens[gk]++
+	}
+	for _, el := range c.entries {
+		ent := el.Value.(*entry)
+		gk := genKey(ent.key.Bucket, ent.key.Object)
+		if _, seen := c.gens[gk]; !seen {
+			c.gens[gk] = 1
+		}
+	}
+	c.invalidations += int64(c.ll.Len())
+	c.ll.Init()
+	c.entries = map[Key]*list.Element{}
+	c.used = 0
+}
+
+// Len returns the number of resident entries (cheaper than Stats when the
+// caller only needs to know whether the cache holds anything at all).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Puts: c.puts,
+		Evictions: c.evictions, Invalidations: c.invalidations,
+		Entries: c.ll.Len(), UsedBytes: c.used, BudgetBytes: c.budget,
+	}
+}
+
+// keySize approximates the footprint of a cache key (the Query string —
+// the full pushed SQL — dominates).
+func keySize(k Key) int64 {
+	return int64(len(k.Backend) + len(k.Bucket) + len(k.Object) + len(k.Query))
+}
+
+// resultSize approximates the memory footprint of a cached response:
+// string payloads plus per-row and per-field slice/header overheads.
+func resultSize(r *selectengine.Result) int64 {
+	const (
+		entryOverhead = 128
+		rowOverhead   = 24
+		fieldOverhead = 16
+	)
+	n := int64(entryOverhead)
+	for _, col := range r.Columns {
+		n += int64(len(col)) + fieldOverhead
+	}
+	for _, row := range r.Rows {
+		n += rowOverhead
+		for _, f := range row {
+			n += int64(len(f)) + fieldOverhead
+		}
+	}
+	return n
+}

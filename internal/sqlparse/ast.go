@@ -23,9 +23,36 @@ type Column struct {
 
 func (c *Column) String() string {
 	if c.Qualifier != "" {
-		return c.Qualifier + "." + c.Name
+		return quoteIdent(c.Qualifier) + "." + quoteIdent(c.Name)
 	}
-	return c.Name
+	return quoteIdent(c.Name)
+}
+
+// quoteIdent renders an identifier, double-quoting it when the bare text
+// would not re-lex as the same identifier (specials or spaces, a leading
+// digit, or a keyword collision). Identifier text cannot contain a double
+// quote — the lexer has no escape for one — so plain wrapping round-trips.
+func quoteIdent(s string) string {
+	if isPlainIdent(s) {
+		return s
+	}
+	return `"` + s + `"`
+}
+
+func isPlainIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		case i > 0 && c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return !keywords[strings.ToUpper(s)]
 }
 
 // Literal is a constant value.
@@ -224,7 +251,7 @@ func (c *Call) String() string {
 		}
 	}
 	var b strings.Builder
-	b.WriteString(c.Name + "(")
+	b.WriteString(quoteIdent(c.Name) + "(")
 	for i, a := range c.Args {
 		if i > 0 {
 			b.WriteString(", ")
@@ -268,7 +295,7 @@ type SelectItem struct {
 
 func (s SelectItem) String() string {
 	if s.Alias != "" {
-		return s.Expr.String() + " AS " + s.Alias
+		return s.Expr.String() + " AS " + quoteIdent(s.Alias)
 	}
 	return s.Expr.String()
 }
@@ -318,18 +345,18 @@ func (s *Select) String() string {
 		}
 		b.WriteString(it.String())
 	}
-	b.WriteString(" FROM " + s.Table)
+	b.WriteString(" FROM " + quoteIdent(s.Table))
 	if s.Alias != "" {
-		b.WriteString(" AS " + s.Alias)
+		b.WriteString(" AS " + quoteIdent(s.Alias))
 	}
 	for _, j := range s.Joins {
 		if j.Comma {
-			b.WriteString(", " + j.Table)
+			b.WriteString(", " + quoteIdent(j.Table))
 		} else {
-			b.WriteString(" JOIN " + j.Table)
+			b.WriteString(" JOIN " + quoteIdent(j.Table))
 		}
 		if j.Alias != "" {
-			b.WriteString(" AS " + j.Alias)
+			b.WriteString(" AS " + quoteIdent(j.Alias))
 		}
 		if j.Cond != nil {
 			b.WriteString(" ON " + j.Cond.String())

@@ -527,7 +527,13 @@ func (p *parser) parseUnary() (Expr, error) {
 			case value.KindInt:
 				return &Literal{Val: value.Int(-lit.Val.AsInt())}, nil
 			case value.KindFloat:
-				return &Literal{Val: value.Float(-lit.Val.AsFloat())}, nil
+				f := -lit.Val.AsFloat()
+				if f == 0 {
+					// Normalize -0.0: it would print as "-0", which re-parses
+					// as the integer 0 (so printing would not round-trip).
+					f = 0
+				}
+				return &Literal{Val: value.Float(f)}, nil
 			}
 		}
 		return &Unary{Op: "-", X: x}, nil
