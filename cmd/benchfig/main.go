@@ -36,6 +36,7 @@ func main() {
 		"Fig10": harness.RunFig10, "Fig11": harness.RunFig11,
 		"Planner": harness.RunPlanner, "Parallel": harness.RunParallel,
 		"Backends": harness.RunBackends, "Cache": harness.RunCache,
+		"Index": harness.RunIndex,
 	}
 
 	switch {
@@ -50,7 +51,7 @@ func main() {
 	case *fig != "":
 		run, ok := runs[*fig]
 		if !ok {
-			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache)", *fig))
+			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache, Index)", *fig))
 		}
 		r, err := run(env)
 		if err != nil {

@@ -121,6 +121,14 @@ type Config struct {
 	// RowWorkSecPerRow is the node-aggregate cost of one unit of row work
 	// (hash build/probe, heap push, group update).
 	RowWorkSecPerRow float64
+	// RangedGetSecPerRange is the per-discontiguous-range overhead of a
+	// batched multi-range GET (Suggestion 1): storage-side seek and
+	// response framing plus server-side part reassembly, paid per range
+	// even when thousands of ranges share one HTTP request. This is what
+	// makes the IndexScan strategy degrade as its predicate loosens — the
+	// range count scales with matched rows — while staying far below
+	// RequestCPUSec, the cost of a whole per-row request.
+	RangedGetSecPerRange float64
 }
 
 // WorkerBudget is the effective server-side parallelism: Workers clamped
@@ -151,6 +159,7 @@ func DefaultConfig() Config {
 		SelectParseBytesPerSec:  80e6,
 		RequestCPUSec:           0.0005,
 		RowWorkSecPerRow:        2e-7,
+		RangedGetSecPerRange:    2e-5,
 	}
 }
 
@@ -171,6 +180,7 @@ type Phase struct {
 	mu                sync.Mutex
 	requests          int64 // bulk requests (scans, whole/partition GETs)
 	rowFetchRequests  int64 // per-row GETs (index strategy): these scale with data
+	rangedRanges      int64 // discontiguous ranges inside batched multi-range GETs
 	scanBytes         int64 // S3 Select bytes scanned
 	selectReturnBytes int64 // S3 Select bytes returned
 	getBytes          int64 // plain GET bytes returned
@@ -253,6 +263,28 @@ func (p *Phase) AddRowFetchRequest(n int64) {
 	}
 }
 
+// AddRangedGetRequest records one batched multi-range GET returning n
+// bytes across nRanges discontiguous byte ranges (the IndexScan strategy's
+// fetch, Suggestion 1). The batch envelope is a bulk request — like a
+// partition GET, it does not scale with the data ratio — while every range
+// inside it pays RangedGetSecPerRange on both the storage stream (seek +
+// framing) and the server (part reassembly), scaled with the data: the
+// range count is exactly what grows with matching rows.
+func (p *Phase) AddRangedGetRequest(n, nRanges int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requests++
+	p.rangedRanges += nRanges
+	p.getBytes += n
+	pp := p.scale.perPartition()
+	t := p.cfg.RequestRTTSec +
+		float64(n)*pp/p.cfg.NetworkBytesPerSec +
+		float64(nRanges)*pp*p.cfg.RangedGetSecPerRange
+	if t > p.s3MaxStreamSec {
+		p.s3MaxStreamSec = t
+	}
+}
+
 // AddServerRows records n units of server-side row work.
 func (p *Phase) AddServerRows(n int64) {
 	p.mu.Lock()
@@ -274,6 +306,7 @@ func (p *Phase) snapshot() phaseTotals {
 	return phaseTotals{
 		requests:          p.requests,
 		rowFetchRequests:  p.rowFetchRequests,
+		rangedRanges:      p.rangedRanges,
 		scanBytes:         p.scanBytes,
 		selectReturnBytes: p.selectReturnBytes,
 		getBytes:          p.getBytes,
@@ -288,6 +321,7 @@ func (p *Phase) snapshot() phaseTotals {
 type phaseTotals struct {
 	requests          int64
 	rowFetchRequests  int64
+	rangedRanges      int64
 	scanBytes         int64
 	selectReturnBytes int64
 	getBytes          int64
@@ -317,6 +351,7 @@ func (t phaseTotals) seconds(cfg Config, scale Scale) float64 {
 	server := parallel/float64(cfg.WorkerBudget()) +
 		float64(t.requests)*scale.PartRatio*cfg.RequestCPUSec +
 		float64(t.rowFetchRequests)*dr*cfg.RequestCPUSec +
+		float64(t.rangedRanges)*dr*cfg.RangedGetSecPerRange +
 		t.serverExtraSec
 	return math.Max(t.s3MaxStreamSec, math.Max(transfer, server))
 }

@@ -180,6 +180,147 @@ func EstimateBloomProbe(cfg Config, scale Scale, pricing Pricing, buildRows int6
 	return estimate(m, pricing)
 }
 
+// IndexScanStats describes a secondary index as a planning input: the
+// index objects' total size, how many rows the indexable predicate keeps,
+// the predicate's per-row expression work on the index scan, and the
+// range-batching cap execution will use.
+type IndexScanStats struct {
+	// IndexBytes is the total size of the per-partition index objects.
+	IndexBytes int64
+	// MatchedRows is how many data rows the indexed predicate selects
+	// (from the same pushed probe that fills PlanTableStats).
+	MatchedRows int64
+	// PredNodes is the per-row expression node count of the predicate
+	// pushed to the index objects.
+	PredNodes int64
+	// MaxRangesPerGet caps how many coalesced ranges one multi-range GET
+	// carries (0 = engine default of 256).
+	MaxRangesPerGet int
+}
+
+func (x IndexScanStats) maxRanges() int {
+	if x.MaxRangesPerGet <= 0 {
+		return 256
+	}
+	return x.MaxRangesPerGet
+}
+
+// ExpectedCoalescedRanges estimates how many discontiguous byte ranges
+// survive adjacent-row coalescing when matched of rows uniformly scattered
+// rows are selected: the expected Bernoulli run count matched×(1−p).
+// Clustered data coalesces better than this, so the estimate is
+// conservative against the index strategy.
+func ExpectedCoalescedRanges(matched, rows int64) int64 {
+	if matched <= 0 {
+		return 0
+	}
+	if rows <= 0 || matched >= rows {
+		return 1
+	}
+	p := float64(matched) / float64(rows)
+	est := int64(math.Ceil(float64(matched) * (1 - p)))
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// EstimateIndexScan prices the paper's Section IV-A index strategy through
+// the manifest-backed subsystem: push the indexable predicate to the
+// per-partition index objects with S3 Select, coalesce the returned byte
+// ranges, fetch them with batched multi-range GETs, and re-filter the
+// candidate rows on the server. The replay mirrors the execution path's
+// metering exactly (index select per partition, one header probe, one
+// AddRangedGetRequest per batch, one local-filter pass over the fetched
+// candidates).
+func EstimateIndexScan(cfg Config, scale Scale, pricing Pricing, s PlanTableStats, idx IndexScanStats) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+	addIndexScan(m, s, idx)
+	return estimate(m, pricing)
+}
+
+// EstimateIndexScanJoin prices joining an already-materialized intermediate
+// relation (buildRows rows) against a base table accessed through its
+// secondary index — the IndexScan alternative to EstimateScanJoin for the
+// probe side of a chain join.
+func EstimateIndexScanJoin(cfg Config, scale Scale, pricing Pricing, buildRows int64, s PlanTableStats, idx IndexScanStats) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+	addIndexScan(m, s, idx)
+	j := m.Phase("hash join", 1)
+	j.AddServerRows(buildRows + s.FilteredRows)
+	return estimate(m, pricing)
+}
+
+// addIndexScan replays the IndexScan request pattern into m (stages 0/1).
+func addIndexScan(m *Metrics, s PlanTableStats, idx IndexScanStats) {
+	parts := int64(s.parts())
+
+	// Stage 0: predicate pushed to the index objects. The index rows are
+	// value + two offsets, so three cells per data row; the returned bytes
+	// are the offset pairs of the matched rows.
+	ip := m.PhaseProfile("index select", 0, s.Profile)
+	idxRowBytes := int64(1)
+	if s.Rows > 0 {
+		idxRowBytes = max(int64(1), idx.IndexBytes/s.Rows)
+	}
+	perScan := idx.IndexBytes / parts
+	perRows := s.Rows / parts
+	perRet := idx.MatchedRows / parts * idxRowBytes
+	for i := int64(0); i < parts; i++ {
+		ip.AddSelectRequest(SelectReq{
+			ScanBytes:     perScan,
+			ReturnedBytes: perRet,
+			Rows:          perRows,
+			ExprNodes:     idx.PredNodes,
+			Cells:         perRows * 3,
+		})
+	}
+	ip.AddGetRequest(4096) // header probe on the data table
+
+	// Stage 1: batched multi-range fetch of the matching data rows, then a
+	// local pass re-applying the filter over the fetched candidates (gap
+	// coalescing may pull in neighbouring rows).
+	fp := m.PhaseProfile("index fetch", 1, s.Profile)
+	ranges := ExpectedCoalescedRanges(idx.MatchedRows, s.Rows)
+	perPartRanges := (ranges + parts - 1) / parts
+	fetchBytes := int64(float64(s.Bytes) * float64(idx.MatchedRows) / math.Max(1, float64(s.Rows)))
+	if perPartRanges > 0 {
+		batches := (perPartRanges + int64(idx.maxRanges()) - 1) / int64(idx.maxRanges())
+		perBatchBytes := fetchBytes / parts / batches
+		perBatchRanges := perPartRanges / batches
+		for i := int64(0); i < parts; i++ {
+			for b := int64(0); b < batches; b++ {
+				fp.AddRangedGetRequest(perBatchBytes, perBatchRanges)
+			}
+		}
+	}
+	fp.AddServerRows(idx.MatchedRows)
+}
+
+// EstimateFilteredScan prices a table's plain pushed scan on its own: one
+// S3 Select per partition with selection+projection pushed down, resident
+// partitions served from the result cache. This is the single-table
+// comparator the access-path planner weighs IndexScan against.
+func EstimateFilteredScan(cfg Config, scale Scale, pricing Pricing, s PlanTableStats) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+	ph := m.PhaseProfile("filtered scan", 0, s.Profile)
+	addScan(ph, s, s.Selectivity(), s.FilterNodes, s.CachedFrac)
+	return estimate(m, pricing)
+}
+
+// EstimateBaselineScan prices the server-side baseline for one table: every
+// partition fetched whole with plain GETs and the filter evaluated locally.
+func EstimateBaselineScan(cfg Config, scale Scale, pricing Pricing, s PlanTableStats) PlanEstimate {
+	m := NewMetricsScaled(cfg, scale)
+	ph := m.PhaseProfile("load", 0, s.Profile)
+	per := s.Bytes / int64(s.parts())
+	for i := 0; i < s.parts(); i++ {
+		ph.AddGetRequest(per)
+	}
+	ph.AddServerRows(s.Rows)
+	return estimate(m, pricing)
+}
+
 // addScan records a full-table S3 Select scan over s returning retFrac of
 // its rows (narrowed by the pushed projection), with nodes per-row
 // expression work, one request per partition. cachedFrac of the partitions

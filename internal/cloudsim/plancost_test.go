@@ -169,3 +169,92 @@ func TestBloomBuildSideUsesCachedFrac(t *testing.T) {
 		t.Errorf("probe CachedFrac leaked into the bloom probe estimate: %+v vs %+v", same, warm)
 	}
 }
+
+// --- index-scan estimates ---
+
+// lineitemStats is a TPC-H lineitem-shaped table (paper scale via
+// paperScale): ~7 GB equivalent, 16 columns, uniformly scattered values in
+// the indexed column.
+func lineitemStats(matched int64) (PlanTableStats, IndexScanStats) {
+	s := PlanTableStats{
+		Bytes: 1500 << 10, Rows: 12000, FilteredRows: matched,
+		Cols: 16, Partitions: 4, FilterNodes: 3,
+		Profile: S3Profile(),
+	}
+	idx := IndexScanStats{
+		IndexBytes:  360 << 10, // value + two offsets per row
+		MatchedRows: matched,
+		PredNodes:   3,
+	}
+	return s, idx
+}
+
+func TestIndexScanCrossesOverWithSelectivity(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	// 1% selectivity: the index resolves the predicate with a small scan
+	// over the index objects and a handful of ranged fetches — strictly
+	// cheaper than scanning the whole table through S3 Select.
+	s, idx := lineitemStats(120)
+	indexed := EstimateIndexScan(cfg, paperScale(), pricing, s, idx)
+	filtered := EstimateFilteredScan(cfg, paperScale(), pricing, s)
+	if indexed.USD >= filtered.USD || !indexed.Cheaper(filtered) {
+		t.Errorf("1%% selectivity: index %+v should beat filtered scan %+v", indexed, filtered)
+	}
+	// 50% selectivity: millions of scattered ranges dominate; the filtered
+	// scan must win strictly.
+	s, idx = lineitemStats(6000)
+	indexed = EstimateIndexScan(cfg, paperScale(), pricing, s, idx)
+	filtered = EstimateFilteredScan(cfg, paperScale(), pricing, s)
+	if filtered.USD >= indexed.USD || !filtered.Cheaper(indexed) {
+		t.Errorf("50%% selectivity: filtered scan %+v should beat index %+v", filtered, indexed)
+	}
+}
+
+func TestEstimateBaselineScanTransferDominated(t *testing.T) {
+	cfg, pricing := DefaultConfig(), DefaultPricing()
+	s, _ := lineitemStats(12000)
+	base := EstimateBaselineScan(cfg, paperScale(), pricing, s)
+	filtered := EstimateFilteredScan(cfg, paperScale(), pricing, s)
+	if base.Seconds <= 0 || base.USD <= 0 {
+		t.Fatalf("baseline estimate must be positive: %+v", base)
+	}
+	// With everything surviving the filter, both strategies move the whole
+	// table; the baseline avoids the scan charge but parses in bulk.
+	if base.USD >= filtered.USD+filtered.USD {
+		t.Errorf("unselective baseline %+v wildly above filtered %+v", base, filtered)
+	}
+}
+
+func TestExpectedCoalescedRanges(t *testing.T) {
+	if n := ExpectedCoalescedRanges(0, 1000); n != 0 {
+		t.Errorf("no matches should need no ranges, got %d", n)
+	}
+	if n := ExpectedCoalescedRanges(1000, 1000); n != 1 {
+		t.Errorf("full selection coalesces to one range, got %d", n)
+	}
+	low := ExpectedCoalescedRanges(10, 100000)
+	if low < 9 || low > 10 {
+		t.Errorf("sparse matches barely coalesce: got %d for 10 matches", low)
+	}
+	half := ExpectedCoalescedRanges(50000, 100000)
+	if half >= 50000 || half <= 0 {
+		t.Errorf("half selection must coalesce meaningfully: got %d", half)
+	}
+}
+
+func TestAddRangedGetRequestScalesWithRanges(t *testing.T) {
+	cfg := DefaultConfig()
+	few := NewMetricsScaled(cfg, paperScale())
+	few.Phase("fetch", 0).AddRangedGetRequest(1<<20, 10)
+	many := NewMetricsScaled(cfg, paperScale())
+	many.Phase("fetch", 0).AddRangedGetRequest(1<<20, 10000)
+	if many.RuntimeSeconds() <= few.RuntimeSeconds() {
+		t.Errorf("more ranges in a batch must cost more time: %v vs %v",
+			many.RuntimeSeconds(), few.RuntimeSeconds())
+	}
+	// The batch is one data-scaled request in the totals.
+	req, _, _, getBytes := few.Totals()
+	if req != 1 || getBytes != 1<<20 {
+		t.Errorf("totals = %d requests / %d bytes, want 1 / %d", req, getBytes, 1<<20)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/expr"
+	"pushdowndb/internal/index"
 	"pushdowndb/internal/rescache"
 	"pushdowndb/internal/s3api"
 	"pushdowndb/internal/selectengine"
@@ -47,10 +48,17 @@ type DB struct {
 	MaxScanParallel int
 
 	// statsCache holds planner table statistics keyed by
-	// backend/bucket/table/filter, so repeated queries plan from cached
-	// stats instead of re-issuing COUNT(*) probes.
+	// backend/bucket/table/filter/index-predicate, so repeated queries plan
+	// from cached stats instead of re-issuing COUNT(*) probes.
 	statsMu    sync.Mutex
-	statsCache map[string]cloudsim.PlanTableStats
+	statsCache map[string]cachedStats
+
+	// idxMu guards idxMemo, the per-table cache of validated index
+	// manifests (see indexManifest). Keyed by lower(table); an empty
+	// manifest records "no indexes" so unindexed tables cost one catalog
+	// read per DB, not one per query.
+	idxMu   sync.Mutex
+	idxMemo map[string]*index.Manifest
 
 	// resultCache caches S3 Select responses across queries (WithResultCache;
 	// nil = caching off). Hits skip the backend entirely and are metered as
@@ -155,6 +163,20 @@ func WithResultCache(budgetBytes int64) Option {
 	}
 }
 
+// WithResultCacheAdmission is WithResultCache with the second-touch
+// admission policy: a select result is only cached when the same request
+// misses twice, so one-off exploratory scans pass through a small ghost-key
+// set instead of evicting entries the workload actually repeats.
+// ResultCacheStats reports admissions vs rejections.
+func WithResultCacheAdmission(budgetBytes int64) Option {
+	return func(db *DB) error {
+		if budgetBytes > 0 {
+			db.resultCache = rescache.New(budgetBytes, rescache.WithSecondTouchAdmission())
+		}
+		return nil
+	}
+}
+
 // Open returns a DB over the named bucket with the paper's default cost
 // model and pricing. At least one backend must be registered via
 // WithBackend; the table catalog and the default backend must reference
@@ -202,10 +224,21 @@ func (db *DB) BackendNames() []string {
 	return append([]string{db.defaultName}, names...)
 }
 
+// baseTable maps an object-namespace name to the catalog table owning it:
+// index pseudo-tables ("t/_index/col") resolve to "t", so index objects
+// always live — and are priced — on their data table's backend.
+func baseTable(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
 // BackendFor resolves the backend a table's objects live on: the catalog
-// entry if present, the default backend otherwise.
+// entry if present, the default backend otherwise. Index pseudo-tables
+// resolve through their data table.
 func (db *DB) BackendFor(table string) (string, s3api.Backend) {
-	if name, ok := db.catalog[strings.ToLower(table)]; ok {
+	if name, ok := db.catalog[strings.ToLower(baseTable(table))]; ok {
 		return name, db.backends[name]
 	}
 	return db.defaultName, db.backends[db.defaultName]
@@ -235,29 +268,40 @@ func (db *DB) InvalidateStats() {
 	db.statsMu.Lock()
 	db.statsCache = nil
 	db.statsMu.Unlock()
+	db.idxMu.Lock()
+	db.idxMemo = nil
+	db.idxMu.Unlock()
 	if db.resultCache != nil {
 		db.resultCache.InvalidateAll()
 	}
 }
 
-// InvalidateTable drops the cached planner statistics and cached select
-// results of one table only (same contract as InvalidateStats, scoped to
-// the table whose objects changed). The name is case-sensitive, exactly as
-// queries reference it: partition objects live under "<table>/part..." and
-// both caches key by that same spelling. Index tables are separate tables:
-// invalidate them separately if rebuilt.
+// InvalidateTable drops the cached planner statistics, cached select
+// results and the in-memory index-manifest view of one table only (same
+// contract as InvalidateStats, scoped to the table whose objects changed).
+// The name is case-sensitive, exactly as queries reference it: partition
+// objects live under "<table>/part..." and the caches key by that same
+// spelling; index artifacts under "<table>/_index/..." are covered too, so
+// a reloaded table cannot serve byte ranges through a pre-reload index —
+// the manifest is re-read and entries whose recorded data-partition sizes
+// no longer match are dropped until CREATE INDEX rebuilds them.
 func (db *DB) InvalidateTable(table string) {
 	db.statsMu.Lock()
 	for k := range db.statsCache {
-		// Stats keys are backend\x00bucket\x00table\x00filter.
+		// Stats keys are backend\x00bucket\x00table\x00filter[\x00...];
+		// index pseudo-tables ("table/_index/col") invalidate with their
+		// data table.
 		parts := strings.SplitN(k, "\x00", 4)
-		if len(parts) == 4 && parts[2] == table {
+		if len(parts) == 4 && baseTable(parts[2]) == table {
 			delete(db.statsCache, k)
 		}
 	}
 	db.statsMu.Unlock()
+	db.idxMu.Lock()
+	delete(db.idxMemo, strings.ToLower(table))
+	db.idxMu.Unlock()
 	if db.resultCache != nil {
-		db.resultCache.InvalidatePrefix(db.bucket, table+"/part")
+		db.resultCache.InvalidatePrefix(db.bucket, table+"/")
 	}
 }
 
@@ -283,6 +327,11 @@ type Exec struct {
 	// single-table queries and explicit operator calls).
 	plan *QueryPlan
 
+	// access is the single-table access-path decision (nil when the query
+	// was a join, ran through explicit operators, or its table had no
+	// usable secondary index).
+	access *AccessPlan
+
 	// partsMemo caches partition listings per table for this execution, so
 	// planning (header probes, statistics, cache-residency checks) and the
 	// execution scans share one List call per table instead of re-listing.
@@ -296,6 +345,10 @@ type Exec struct {
 // QueryPlan returns the join plan this execution ran (nil when the query
 // was single-table or driven through the explicit operator APIs).
 func (e *Exec) QueryPlan() *QueryPlan { return e.plan }
+
+// Access returns the single-table access-path plan this execution ran
+// (nil when no secondary index was considered).
+func (e *Exec) Access() *AccessPlan { return e.access }
 
 // NewExec starts a query execution context with background cancellation.
 func (db *DB) NewExec() *Exec { return db.NewExecContext(context.Background()) }

@@ -2,8 +2,6 @@ package engine
 
 import (
 	"context"
-	"fmt"
-	"strconv"
 
 	"pushdowndb/internal/csvx"
 )
@@ -57,52 +55,31 @@ type IndexFilterOptions struct {
 // index table's "value" column, e.g. "value <= 100".
 func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFilterOptions) (*Relation, error) {
 	idxTable := IndexTableName(table, column)
-	dataKeys, err := e.parts(table)
-	if err != nil {
-		return nil, err
-	}
-	idxKeys, err := e.parts(idxTable)
-	if err != nil {
-		return nil, err
-	}
-	if len(idxKeys) != len(dataKeys) {
-		return nil, fmt.Errorf("engine: index table %s has %d partitions, data table %s has %d",
-			idxTable, len(idxKeys), table, len(dataKeys))
-	}
 
-	// Phase 1: push the predicate to the index table via S3 Select.
+	// Phase 1: push the predicate to the index table via S3 Select. The
+	// header comes from a tiny ranged GET (we never load whole partitions
+	// in this strategy).
 	stage1 := e.NextStage()
 	idxPhase := e.tablePhase("index lookup", stage1, idxTable)
-	sql := "SELECT first_byte_offset, last_byte_offset FROM S3Object WHERE " + indexedPredicate
-	idxResults, err := e.selectOnParts(idxPhase, idxTable, sql, nil)
+	dataKeys, partRanges, err := e.indexRangeProbe(idxPhase, table, idxTable, indexedPredicate)
 	if err != nil {
 		return nil, err
 	}
-
-	// The header comes from a tiny ranged GET (we never load whole
-	// partitions in this strategy).
 	header, err := e.TableHeader("index lookup", stage1, table)
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase 2: fetch each matching row by byte range.
+	// Phase 2: fetch each matching row by byte range — deliberately
+	// without the IndexScan path's coalescing/batching, so the figure can
+	// compare per-row GETs against the single multi-range GET.
 	stage2 := e.NextStage()
 	fetch := e.tablePhase("row fetch", stage2, table)
 	backend := e.db.backendFor(table)
 	out := &Relation{Cols: header}
 	partRows := make([][][]string, len(dataKeys))
 	err = e.forEachPart(dataKeys, func(ctx context.Context, i int, key string) error {
-		res := idxResults[i]
-		ranges := make([][2]int64, 0, len(res.Rows))
-		for _, r := range res.Rows {
-			first, err1 := strconv.ParseInt(r[0], 10, 64)
-			last, err2 := strconv.ParseInt(r[1], 10, 64)
-			if err1 != nil || err2 != nil {
-				return fmt.Errorf("engine: bad index entry %v", r)
-			}
-			ranges = append(ranges, [2]int64{first, last})
-		}
+		ranges := partRanges[i]
 		if len(ranges) == 0 {
 			return nil
 		}

@@ -1,0 +1,519 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/index"
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+)
+
+// The IndexScan access path (paper Section IV-A, grown into a planner
+// strategy): resolve the indexable part of a table's predicate against the
+// per-partition index objects with one pushed S3 Select each, coalesce the
+// returned byte ranges, fetch them with batched multi-range GETs, and
+// re-apply the full filter over the decoded candidate rows on the server.
+// The re-filter makes gap coalescing safe — a merged range may drag a few
+// unmatched neighbour rows along — and costs one local pass the cost model
+// prices identically (cloudsim.EstimateIndexScan replays this exact
+// request pattern).
+
+// IndexCandidate is a planner-selected index for one table scan: the
+// manifest entry plus the conjunction of the scan's filter conjuncts the
+// index can resolve.
+type IndexCandidate struct {
+	Entry index.Entry
+	// Pred is the AND of the indexable conjuncts, in data-column form.
+	Pred sqlparse.Expr
+	// MatchedRows is how many data rows Pred keeps (stats probe).
+	MatchedRows int64
+}
+
+// indexCandidate inspects a table's validated manifest for an index that
+// can resolve part of the filter. When several indexed columns appear in
+// the filter, the lexically first column wins (deterministic plans).
+func (db *DB) indexCandidate(ctx context.Context, table string, filter sqlparse.Expr) *IndexCandidate {
+	if filter == nil || !hasComparableConjunct(filter) {
+		return nil
+	}
+	man := db.indexManifest(ctx, table)
+	if len(man.Indexes) == 0 {
+		return nil
+	}
+	conjs := sqlparse.Conjuncts(sqlparse.StripQualifiers(filter))
+	cols := make([]string, 0, len(man.Indexes))
+	for col := range man.Indexes {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
+	for _, col := range cols {
+		ent := man.Indexes[col]
+		if pred := sqlparse.AndAll(indexableConjuncts(conjs, ent.Column)); pred != nil {
+			return &IndexCandidate{Entry: ent, Pred: pred}
+		}
+	}
+	return nil
+}
+
+// hasComparableConjunct cheaply pre-screens a filter for any shape an
+// index could possibly serve, so unindexed-looking queries skip the
+// manifest read entirely.
+func hasComparableConjunct(filter sqlparse.Expr) bool {
+	for _, c := range sqlparse.Conjuncts(filter) {
+		switch c.(type) {
+		case *sqlparse.Binary, *sqlparse.Between, *sqlparse.In:
+			return true
+		}
+	}
+	return false
+}
+
+// indexableConjuncts returns the conjuncts an index on column can resolve:
+// comparisons, BETWEEN and IN over exactly that column with literal
+// operands. Everything else stays in the residual filter.
+func indexableConjuncts(conjs []sqlparse.Expr, column string) []sqlparse.Expr {
+	var out []sqlparse.Expr
+	for _, c := range conjs {
+		if isIndexableConjunct(c, column) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func isIndexableConjunct(e sqlparse.Expr, column string) bool {
+	isCol := func(x sqlparse.Expr) bool {
+		c, ok := x.(*sqlparse.Column)
+		return ok && strings.EqualFold(c.Name, column)
+	}
+	isLit := func(x sqlparse.Expr) bool {
+		_, ok := x.(*sqlparse.Literal)
+		return ok
+	}
+	switch t := e.(type) {
+	case *sqlparse.Binary:
+		switch t.Op {
+		case sqlparse.OpEq, sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+		default:
+			return false
+		}
+		return (isCol(t.L) && isLit(t.R)) || (isLit(t.L) && isCol(t.R))
+	case *sqlparse.Between:
+		return !t.Not && isCol(t.X) && isLit(t.Lo) && isLit(t.Hi)
+	case *sqlparse.In:
+		if t.Not || !isCol(t.X) {
+			return false
+		}
+		for _, x := range t.List {
+			if !isLit(x) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// indexValuePred rewrites a data-column predicate into the index objects'
+// schema: every reference to the indexed column becomes the "value"
+// column.
+func indexValuePred(pred sqlparse.Expr) sqlparse.Expr {
+	return sqlparse.Rewrite(pred, func(n sqlparse.Expr) sqlparse.Expr {
+		if _, ok := n.(*sqlparse.Column); ok {
+			return &sqlparse.Column{Name: "value"}
+		}
+		return n
+	})
+}
+
+// indexRangeProbe is hop 1 of every index access path (the manifest-backed
+// IndexScan and the legacy Fig. 1 IndexFilter): it lists the data and
+// index partitions, checks they are aligned, pushes the offsets select
+// against every index object (result-cache aware via selectOnParts) and
+// parses the matching byte ranges, per data partition and in index order.
+func (e *Exec) indexRangeProbe(phase *cloudsim.Phase, table, idxTable, valuePred string) (dataKeys []string, partRanges [][][2]int64, err error) {
+	dataKeys, err = e.parts(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	idxKeys, err := e.parts(idxTable)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(idxKeys) != len(dataKeys) {
+		return nil, nil, fmt.Errorf("engine: index %s has %d partitions, table %s has %d",
+			idxTable, len(idxKeys), table, len(dataKeys))
+	}
+	sql := "SELECT first_byte_offset, last_byte_offset FROM S3Object WHERE " + valuePred
+	results, err := e.selectOnParts(phase, idxTable, sql, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	partRanges = make([][][2]int64, len(results))
+	for i, res := range results {
+		ranges := make([][2]int64, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			if len(r) != 2 {
+				return nil, nil, fmt.Errorf("engine: bad index entry %v in %s", r, idxKeys[i])
+			}
+			first, err1 := strconv.ParseInt(r[0], 10, 64)
+			last, err2 := strconv.ParseInt(r[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, nil, fmt.Errorf("engine: bad index entry %v in %s", r, idxKeys[i])
+			}
+			ranges = append(ranges, [2]int64{first, last})
+		}
+		partRanges[i] = ranges
+	}
+	return dataKeys, partRanges, nil
+}
+
+// indexFetch runs the two-hop index access: the pushed probe against the
+// index objects, then coalesced multi-range fetches of the matching data
+// rows. It returns the candidate relation (full-width rows, superset of
+// the matches — coalescing gaps may add neighbours), the number of
+// multi-range GET requests issued, and the fetch stage (hash joins overlap
+// it). Callers must re-apply their filter over the candidates.
+func (e *Exec) indexFetch(table string, cand *IndexCandidate) (*Relation, int64, int, error) {
+	idxTable := index.Table(table, cand.Entry.Column)
+
+	// Hop 1: predicate pushed to the index objects, plus the data table's
+	// header from a tiny ranged GET.
+	stage1 := e.NextStage()
+	probe := e.tablePhase("index select "+table, stage1, idxTable)
+	dataKeys, partRanges, err := e.indexRangeProbe(probe, table, idxTable, indexValuePred(cand.Pred).String())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	header, err := e.TableHeader("index select "+table, stage1, table)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Hop 2: coalesce each partition's ranges and fetch them in batched
+	// multi-range GETs.
+	stage2 := e.NextStage()
+	fetch := e.tablePhase("index fetch "+table, stage2, table)
+	backend := e.db.backendFor(table)
+	var gets atomic.Int64
+	partRows := make([][][]string, len(dataKeys))
+	err = e.forEachPart(dataKeys, func(ctx context.Context, i int, key string) error {
+		ranges := index.Coalesce(partRanges[i], index.DefaultCoalesceGap)
+		var rows [][]string
+		for _, batch := range index.Batches(ranges, index.DefaultMaxRangesPerGet) {
+			frags, err := backend.GetRanges(ctx, e.db.bucket, key, batch)
+			if err != nil {
+				return err
+			}
+			var total int64
+			for _, f := range frags {
+				total += int64(len(f))
+			}
+			fetch.AddRangedGetRequest(total, int64(len(batch)))
+			gets.Add(1)
+			for _, frag := range frags {
+				_, rs, err := csvx.Decode(frag, false)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, rs...)
+			}
+		}
+		partRows[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	out := &Relation{Cols: header}
+	var candidates int64
+	for _, rows := range partRows {
+		candidates += int64(len(rows))
+		if err := out.Concat(FromStringsN(header, rows, e.workers())); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	out.Cols = header
+	fetch.AddServerRows(candidates)
+	return out, gets.Load(), stage2, nil
+}
+
+// IndexScanFilter is the forced IndexScan operator (harness figures and
+// tests): it resolves predicate over table through the index on column,
+// re-filters the fetched candidates with the full predicate, and projects.
+// It fails when no live index on column exists or when the predicate has
+// no conjunct the index can resolve. The second return value is the number
+// of multi-range GET requests issued.
+func (e *Exec) IndexScanFilter(table, column, predicate, projection string) (*Relation, int64, error) {
+	pred, err := sqlparse.ParseExpr(predicate)
+	if err != nil {
+		return nil, 0, err
+	}
+	man := e.db.indexManifest(e.ctx, table)
+	ent, ok := man.Lookup(column)
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: no live index on %s(%s)", table, column)
+	}
+	ip := sqlparse.AndAll(indexableConjuncts(sqlparse.Conjuncts(sqlparse.StripQualifiers(pred)), ent.Column))
+	if ip == nil {
+		return nil, 0, fmt.Errorf("engine: predicate %q has no conjunct the index on %s(%s) can resolve",
+			predicate, table, column)
+	}
+	cand := &IndexCandidate{Entry: ent, Pred: ip}
+	rel, gets, _, err := e.indexFetch(table, cand)
+	if err != nil {
+		return nil, 0, err
+	}
+	rel, err = FilterLocalN(rel, sqlparse.StripQualifiers(pred).String(), e.workers())
+	if err != nil {
+		return nil, 0, err
+	}
+	if projection != "" && projection != "*" {
+		rel, err = ProjectLocalN(rel, projection, e.workers())
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return rel, gets, nil
+}
+
+// AccessPlan records the planner's access-path decision for a single-table
+// query whose table has a usable secondary index: the three-way choice
+// between the pushed filtered scan, the IndexScan and the server-side
+// baseline load, with the estimates that drove it.
+type AccessPlan struct {
+	Table    string
+	Backend  string
+	Strategy string // StrategyIndexScan, StrategyFiltered or StrategyBaseline
+	Reason   string
+	// Index is the chosen (or rejected-but-considered) index candidate.
+	Index *IndexCandidate
+	// Estimates maps each candidate strategy to its predicted runtime/cost.
+	Estimates map[string]cloudsim.PlanEstimate
+	// EstRanges and EstRangedGets are the predicted coalesced-range and
+	// multi-range-GET counts of the IndexScan strategy.
+	EstRanges, EstRangedGets int64
+	// RangedGets is the number of multi-range GETs actually issued (filled
+	// in by execution when the IndexScan strategy ran).
+	RangedGets int64
+	// Stats is the planning statistics probe's view of the table.
+	Stats       cloudsim.PlanTableStats
+	CachedStats bool
+}
+
+// String renders the access plan for Explain and -explain.
+func (ap *AccessPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "access plan for %s (on %s): %s — %s\n", ap.Table, ap.Backend, ap.Strategy, ap.Reason)
+	if ap.Index != nil {
+		fmt.Fprintf(&b, "  index %s(%s): predicate %s, ~%d matching rows, ~%d ranges in ~%d multi-range GETs\n",
+			ap.Table, ap.Index.Entry.Column, ap.Index.Pred.String(),
+			ap.Index.MatchedRows, ap.EstRanges, ap.EstRangedGets)
+	}
+	names := make([]string, 0, len(ap.Estimates))
+	for name := range ap.Estimates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		est := ap.Estimates[name]
+		fmt.Fprintf(&b, "  est %-10s %8.3fs  $%.6f\n", name+":", est.Seconds, est.USD)
+	}
+	return b.String()
+}
+
+// planAccess decides the access path of a single-table SELECT. It returns
+// nil — and the legacy pushed-scan path runs untouched, with zero extra
+// requests — unless the table has a live index that resolves part of the
+// WHERE clause. When it does, the planner pays for its statistics like the
+// join planner (a header probe plus one pushed COUNT probe per partition,
+// cached on the DB) and weighs IndexScan against the pushed filtered scan
+// and the baseline load.
+func (e *Exec) planAccess(sel *sqlparse.Select) (*AccessPlan, error) {
+	if sel.Where == nil {
+		return nil, nil
+	}
+	table := sel.Table
+	filter := sqlparse.StripQualifiers(sel.Where)
+	cand := e.db.indexCandidate(e.ctx, table, filter)
+	if cand == nil {
+		return nil, nil
+	}
+	backendName, backend := e.db.BackendFor(table)
+
+	stage := e.NextStage()
+	cols, err := e.TableHeader("plan header "+table, stage, table)
+	if err != nil {
+		return nil, err
+	}
+	pushedSQL := pushedScanSQL(sel)
+	st, idxMatched, cached, err := e.probeStats(table, filter.String(), indexProbePred(cand), stage)
+	if err != nil {
+		return nil, err
+	}
+	cand.MatchedRows = idxMatched
+	st.Cols = len(cols)
+	st.FilterNodes = pushedNodes(pushedSQL)
+	st.ProjCols = pushedProjCols(sel, len(cols))
+	st.Profile = backend.Profile()
+	st.CachedFrac = e.cachedScanFrac(table, pushedSQL)
+
+	db := e.db
+	ests := map[string]cloudsim.PlanEstimate{
+		StrategyIndexScan: cloudsim.EstimateIndexScan(db.Cfg, db.Sim, db.Pricing, st, indexScanStats(cand)),
+		StrategyFiltered:  cloudsim.EstimateFilteredScan(db.Cfg, db.Sim, db.Pricing, st),
+		StrategyBaseline:  cloudsim.EstimateBaselineScan(db.Cfg, db.Sim, db.Pricing, st),
+	}
+	strategy := StrategyFiltered
+	for _, s := range []string{StrategyBaseline, StrategyIndexScan} {
+		if ests[s].Cheaper(ests[strategy]) {
+			strategy = s
+		}
+	}
+	ap := &AccessPlan{
+		Table: table, Backend: backendName,
+		Strategy: strategy, Index: cand,
+		Estimates: ests, Stats: st, CachedStats: cached,
+	}
+	ap.EstRanges = cloudsim.ExpectedCoalescedRanges(idxMatched, st.Rows)
+	if ap.EstRanges > 0 {
+		parts := int64(max(st.Partitions, 1))
+		perPart := (ap.EstRanges + parts - 1) / parts
+		ap.EstRangedGets = parts * ((perPart + index.DefaultMaxRangesPerGet - 1) / index.DefaultMaxRangesPerGet)
+	}
+	ap.Reason = fmt.Sprintf("index on %s matches ~%d of %d rows (%.2f%%); %s estimated cheapest",
+		cand.Entry.Column, idxMatched, st.Rows,
+		100*float64(idxMatched)/float64(max(st.Rows, 1)), strategy)
+	return ap, nil
+}
+
+// indexProbePred renders the candidate's predicate for the stats probe.
+func indexProbePred(cand *IndexCandidate) string {
+	if cand == nil {
+		return ""
+	}
+	return cand.Pred.String()
+}
+
+// indexScanStats builds the cost model's view of an index candidate.
+func indexScanStats(cand *IndexCandidate) cloudsim.IndexScanStats {
+	return cloudsim.IndexScanStats{
+		IndexBytes:  cand.Entry.IndexBytes,
+		MatchedRows: cand.MatchedRows,
+		PredNodes: pushedNodes("SELECT first_byte_offset, last_byte_offset FROM S3Object WHERE " +
+			indexValuePred(cand.Pred).String()),
+		MaxRangesPerGet: index.DefaultMaxRangesPerGet,
+	}
+}
+
+// probeStats returns the table's planning statistics plus the row count
+// matching idxPred, probing storage once per partition on a stats-cache
+// miss: COUNT(*) and per-predicate SUM(CASE ...) counts in a single pushed
+// scan. Shape-dependent fields (Cols, FilterNodes, ProjCols, Profile,
+// CachedFrac) are left for the caller.
+func (e *Exec) probeStats(table, filter, idxPred string, stage int) (st cloudsim.PlanTableStats, idxMatched int64, cached bool, err error) {
+	backendName, _ := e.db.BackendFor(table)
+	key := backendName + "\x00" + e.db.bucket + "\x00" + table + "\x00" + filter + "\x00idx=" + idxPred
+	e.db.statsMu.Lock()
+	if cs, ok := e.db.statsCache[key]; ok {
+		e.db.statsMu.Unlock()
+		return cs.stats, cs.idxMatched, true, nil
+	}
+	e.db.statsMu.Unlock()
+
+	sums := []string{"COUNT(*)"}
+	if filter != "" {
+		sums = append(sums, "SUM(CASE WHEN "+filter+" THEN 1 ELSE 0 END)")
+	}
+	if idxPred != "" {
+		sums = append(sums, "SUM(CASE WHEN "+idxPred+" THEN 1 ELSE 0 END)")
+	}
+	sql := "SELECT " + strings.Join(sums, ", ") + " FROM S3Object"
+	phase := e.tablePhase("plan probe "+table, stage, table)
+	results, err := e.selectOnParts(phase, table, sql, nil)
+	if err != nil {
+		return st, 0, false, fmt.Errorf("engine: planning probe for %s: %w", table, err)
+	}
+	var rows, matched, idxm, bytes int64
+	for _, res := range results {
+		if len(res.Rows) != 1 || len(res.Rows[0]) != len(sums) {
+			return st, 0, false, fmt.Errorf("engine: planning probe for %s returned unexpected shape", table)
+		}
+		n, _ := value.FromCSV(res.Rows[0][0]).IntNum()
+		rows += n
+		col := 1
+		if filter != "" {
+			if m, ok := value.FromCSV(res.Rows[0][col]).IntNum(); ok {
+				matched += m
+			}
+			col++
+		}
+		if idxPred != "" {
+			if m, ok := value.FromCSV(res.Rows[0][col]).IntNum(); ok {
+				idxm += m
+			}
+		}
+		bytes += res.Stats.BytesScanned
+	}
+	if filter == "" {
+		matched = rows
+	}
+	if idxPred == "" {
+		idxm = rows
+	}
+	st = cloudsim.PlanTableStats{
+		Bytes: bytes, Rows: rows, FilteredRows: matched,
+		Partitions: len(results),
+	}
+	e.db.statsMu.Lock()
+	if e.db.statsCache == nil {
+		e.db.statsCache = map[string]cachedStats{}
+	}
+	e.db.statsCache[key] = cachedStats{stats: st, idxMatched: idxm}
+	e.db.statsMu.Unlock()
+	return st, idxm, false, nil
+}
+
+// pushedNodes counts the per-row expression work of a pushed SQL string
+// (what selectengine meters at run time); 0 when it does not parse.
+func pushedNodes(sql string) int64 {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0
+	}
+	return selectengine.CountNodes(sel)
+}
+
+// pushedProjCols reports how many columns the legacy pushed scan would
+// return for sel (0 = all, matching PlanTableStats.ProjCols semantics).
+func pushedProjCols(sel *sqlparse.Select, tableCols int) int {
+	cols := queryColumns(sel)
+	if cols == nil || len(cols) >= tableCols {
+		return 0
+	}
+	return len(cols)
+}
+
+// runIndexScanSelect executes a single-table SELECT through the IndexScan
+// access path: fetch candidates, re-apply the full WHERE locally, then run
+// the usual local tail (grouping, ordering, projection, limit).
+func (e *Exec) runIndexScanSelect(sel *sqlparse.Select, ap *AccessPlan) (*Relation, error) {
+	rel, gets, _, err := e.indexFetch(sel.Table, ap.Index)
+	if err != nil {
+		return nil, err
+	}
+	ap.RangedGets = gets
+	rel, err = FilterLocalN(rel, sqlparse.StripQualifiers(sel.Where).String(), e.workers())
+	if err != nil {
+		return nil, err
+	}
+	return e.finishLocal(rel, sel)
+}

@@ -9,7 +9,6 @@ import (
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/sqlparse"
-	"pushdowndb/internal/value"
 )
 
 // Cost-based join planning (the paper's Section V strategies behind a SQL
@@ -35,6 +34,12 @@ const (
 	// pushed down and joins against the materialized intermediate
 	// relation (used for the later joins of a multi-join chain).
 	StrategyFiltered = "filtered"
+	// StrategyIndexScan resolves the table's indexable predicate against
+	// its secondary-index objects and fetches only the matching byte
+	// ranges with batched multi-range GETs (Section IV-A as an access
+	// path). Available to single-table scans and as the probe side of
+	// chain joins whenever a live index matches the pushed filter.
+	StrategyIndexScan = "indexscan"
 )
 
 // planFPR is the Bloom filter target false-positive rate the planner uses
@@ -66,6 +71,10 @@ type TableScan struct {
 	// CachedStats reports whether Stats came from the cache (no probe was
 	// issued for this query).
 	CachedStats bool
+	// Index is the scan's secondary-index candidate: a live index on a
+	// filtered column, with the indexable predicate and its matched-row
+	// count (nil when the table has none).
+	Index *IndexCandidate
 }
 
 // Name returns the scan's display name (alias if present).
@@ -89,6 +98,9 @@ type JoinStep struct {
 	// EstRows is the planner's estimate of this join's output cardinality
 	// (used to cost the next step of the chain).
 	EstRows int64
+	// RangedGets is the number of multi-range GET requests the IndexScan
+	// strategy actually issued (filled in at execution).
+	RangedGets int64
 
 	first              bool // joins two base tables via the JoinSpec operators
 	buildIdx, probeIdx int  // scan indices (first step)
@@ -365,7 +377,9 @@ func (e *Exec) planJoins(sel *sqlparse.Select) (*QueryPlan, error) {
 				100*matchFrac, strategy)
 		} else {
 			// Later joins: the materialized intermediate builds; the
-			// strategy is a plain filtered scan vs a Bloom probe.
+			// strategy is a plain filtered scan vs a Bloom probe vs — when
+			// a live index matches the pushed filter — an IndexScan of the
+			// probe side.
 			matchFrac := 1.0
 			if newScan.Stats.Rows > 0 && prevRows < newScan.Stats.Rows {
 				matchFrac = float64(prevRows) / float64(newScan.Stats.Rows)
@@ -374,9 +388,15 @@ func (e *Exec) planJoins(sel *sqlparse.Select) (*QueryPlan, error) {
 				StrategyFiltered: cloudsim.EstimateScanJoin(db.Cfg, db.Sim, db.Pricing, prevRows, newScan.Stats),
 				StrategyBloom:    cloudsim.EstimateBloomProbe(db.Cfg, db.Sim, db.Pricing, prevRows, newScan.Stats, matchFrac, planFPR),
 			}
+			if newScan.Index != nil {
+				ests[StrategyIndexScan] = cloudsim.EstimateIndexScanJoin(
+					db.Cfg, db.Sim, db.Pricing, prevRows, newScan.Stats, indexScanStats(newScan.Index))
+			}
 			strategy := StrategyFiltered
-			if ests[StrategyBloom].Cheaper(ests[StrategyFiltered]) {
-				strategy = StrategyBloom
+			for _, s := range []string{StrategyBloom, StrategyIndexScan} {
+				if est, ok := ests[s]; ok && est.Cheaper(ests[strategy]) {
+					strategy = s
+				}
 			}
 			step = &JoinStep{
 				BuildName: "(intermediate)", ProbeName: newScan.Name(),
@@ -388,6 +408,10 @@ func (e *Exec) planJoins(sel *sqlparse.Select) (*QueryPlan, error) {
 			step.Reason = fmt.Sprintf(
 				"intermediate has ~%d rows vs %d filtered %s rows; %s estimated cheapest",
 				prevRows, newScan.Stats.FilteredRows, newScan.Name(), strategy)
+			if strategy == StrategyIndexScan {
+				step.Reason += fmt.Sprintf(" (index on %s, ~%d matching rows)",
+					newScan.Index.Entry.Column, newScan.Index.MatchedRows)
+			}
 		}
 		p.Steps = append(p.Steps, step)
 		prevRows = step.EstRows
@@ -560,74 +584,40 @@ func (p *QueryPlan) computeProjections() error {
 	return nil
 }
 
-// tableStats fills sc.Stats from the DB's stats cache or, on a miss, a
-// pushed-down probe: COUNT(*) plus (when the table has a filter) a
-// SUM(CASE WHEN filter THEN 1 ELSE 0 END) filtered-cardinality estimate,
-// both evaluated storage-side in a single scan. The table's backend
-// profile is stamped onto the stats so every strategy estimate prices the
-// scan at that backend's bandwidth, latency and rates.
+// cachedStats is the DB stats-cache entry: the raw probe output plus the
+// row count matching the scan's indexable predicate (0-probe fields like
+// FilterNodes, ProjCols, Profile and CachedFrac are recomputed per plan —
+// they depend on the query's projection, the backend's current
+// self-description and the result cache's contents, not on the probe).
+type cachedStats struct {
+	stats      cloudsim.PlanTableStats
+	idxMatched int64
+}
+
+// tableStats fills sc.Stats (and sc.Index) from the DB's stats cache or,
+// on a miss, a pushed-down probe: COUNT(*) plus SUM(CASE ...) counts for
+// the pushed filter and the indexable predicate, all evaluated
+// storage-side in a single scan. The table's backend profile is stamped
+// onto the stats so every strategy estimate prices the scan at that
+// backend's bandwidth, latency and rates.
 func (e *Exec) tableStats(sc *TableScan, stage int) error {
 	filter := exprStr(sc.Filter)
 	backendName, backend := e.db.BackendFor(sc.Table)
 	sc.Backend = backendName
-	key := backendName + "\x00" + e.db.bucket + "\x00" + sc.Table + "\x00" + filter
-	e.db.statsMu.Lock()
-	if st, ok := e.db.statsCache[key]; ok {
-		e.db.statsMu.Unlock()
-		// FilterNodes, ProjCols, Profile and CachedFrac depend on this
-		// query's projection, the backend's current self-description and
-		// the result cache's current contents, not just the probe, so they
-		// are recomputed on every plan rather than cached.
-		st.FilterNodes = scanFilterNodes(sc.Project, filter)
-		st.ProjCols = len(sc.Project)
-		st.Profile = backend.Profile()
-		st.CachedFrac = e.cachedScanFrac(sc.Table, projectionSQL(sc.Project, filter))
-		sc.Stats, sc.CachedStats = st, true
-		return nil
-	}
-	e.db.statsMu.Unlock()
-
-	sql := "SELECT COUNT(*) FROM S3Object"
-	if filter != "" {
-		sql = "SELECT COUNT(*), SUM(CASE WHEN " + filter + " THEN 1 ELSE 0 END) FROM S3Object"
-	}
-	phase := e.tablePhase("plan probe "+sc.Table, stage, sc.Table)
-	results, err := e.selectOnParts(phase, sc.Table, sql, nil)
+	sc.Index = e.db.indexCandidate(e.ctx, sc.Table, sc.Filter)
+	st, idxMatched, cached, err := e.probeStats(sc.Table, filter, indexProbePred(sc.Index), stage)
 	if err != nil {
-		return fmt.Errorf("engine: planning probe for %s: %w", sc.Table, err)
+		return err
 	}
-	var rows, matched, bytes int64
-	for _, res := range results {
-		if len(res.Rows) != 1 {
-			return fmt.Errorf("engine: planning probe for %s returned %d rows", sc.Table, len(res.Rows))
-		}
-		n, _ := value.FromCSV(res.Rows[0][0]).IntNum()
-		rows += n
-		if filter != "" && len(res.Rows[0]) > 1 {
-			if m, ok := value.FromCSV(res.Rows[0][1]).IntNum(); ok {
-				matched += m
-			}
-		}
-		bytes += res.Stats.BytesScanned
+	if sc.Index != nil {
+		sc.Index.MatchedRows = idxMatched
 	}
-	if filter == "" {
-		matched = rows
-	}
-	st := cloudsim.PlanTableStats{
-		Bytes: bytes, Rows: rows, FilteredRows: matched,
-		Cols: len(sc.Cols), Partitions: len(results),
-	}
-	e.db.statsMu.Lock()
-	if e.db.statsCache == nil {
-		e.db.statsCache = map[string]cloudsim.PlanTableStats{}
-	}
-	e.db.statsCache[key] = st
-	e.db.statsMu.Unlock()
+	st.Cols = len(sc.Cols)
 	st.FilterNodes = scanFilterNodes(sc.Project, filter)
 	st.ProjCols = len(sc.Project)
 	st.Profile = backend.Profile()
 	st.CachedFrac = e.cachedScanFrac(sc.Table, projectionSQL(sc.Project, filter))
-	sc.Stats = st
+	sc.Stats, sc.CachedStats = st, cached
 	return nil
 }
 
@@ -695,6 +685,27 @@ func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relatio
 	var right *Relation
 	var joinStage int
 	var err error
+	if st.Strategy == StrategyIndexScan {
+		// Probe side through the secondary index: fetch the candidate byte
+		// ranges, re-apply the full pushed filter locally, project to what
+		// the query needs.
+		var gets int64
+		right, gets, joinStage, err = e.indexFetch(sc.Table, sc.Index)
+		if err != nil {
+			return nil, err
+		}
+		st.RangedGets = gets
+		right, err = FilterLocalN(right, exprStr(sc.Filter), e.workers())
+		if err != nil {
+			return nil, err
+		}
+		if len(sc.Project) > 0 {
+			right, err = ProjectLocalN(right, strings.Join(sc.Project, ", "), e.workers())
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	if st.Strategy == StrategyBloom {
 		// Building the Bloom filter walks every intermediate row; meter
 		// it to match cloudsim.EstimateBloomProbe's build charge.
@@ -746,6 +757,10 @@ func (p *QueryPlan) String() string {
 		}
 		fmt.Fprintf(&b, "  [%d rows, %d after filter%s%s]\n",
 			sc.Stats.Rows, sc.Stats.FilteredRows, cached, backend)
+		if sc.Index != nil {
+			fmt.Fprintf(&b, "    index on %s: ~%d rows match %s\n",
+				sc.Index.Entry.Column, sc.Index.MatchedRows, sc.Index.Pred.String())
+		}
 	}
 	for i, st := range p.Steps {
 		fmt.Fprintf(&b, "  join %d: %s.%s = %s.%s  (~%d rows)\n",

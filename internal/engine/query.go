@@ -27,8 +27,16 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Relation, *Exec, e
 	if err != nil {
 		return nil, nil, err
 	}
+	return db.runSelectStatement(ctx, sel)
+}
+
+// runSelectStatement executes an already-parsed SELECT.
+func (db *DB) runSelectStatement(ctx context.Context, sel *sqlparse.Select) (*Relation, *Exec, error) {
 	e := db.NewExecContext(ctx)
-	var rel *Relation
+	var (
+		rel *Relation
+		err error
+	)
 	if len(sel.Joins) > 0 {
 		var plan *QueryPlan
 		plan, err = e.planJoins(sel)
@@ -41,6 +49,31 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Relation, *Exec, e
 		rel, err = e.runSelect(sel)
 	}
 	return rel, e, err
+}
+
+// ExecStatement runs any supported SQL statement. SELECTs execute exactly
+// as QueryContext does; CREATE INDEX and DROP INDEX run the catalog
+// operation against the table's storage backend and return a nil relation
+// and execution (index maintenance is dataset preparation, not a metered
+// query).
+func (db *DB) ExecStatement(ctx context.Context, sql string) (*Relation, *Exec, error) {
+	st, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch t := st.(type) {
+	case *sqlparse.Select:
+		return db.runSelectStatement(ctx, t)
+	case *sqlparse.CreateIndex:
+		return nil, nil, db.CreateNamedIndex(ctx, t.Name, t.Table, t.Column)
+	case *sqlparse.DropIndex:
+		if t.Name != "" {
+			return nil, nil, db.DropNamedIndex(ctx, t.Table, t.Name)
+		}
+		return nil, nil, db.DropIndex(ctx, t.Table, t.Column)
+	default:
+		return nil, nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
 }
 
 // Plan parses sql and builds its execution plan without running it. For
@@ -70,39 +103,68 @@ func (db *DB) planParsed(sel *sqlparse.Select) (*QueryPlan, *Exec, error) {
 
 func (e *Exec) runSelect(sel *sqlparse.Select) (*Relation, error) {
 	table := sel.Table
+	// Access-path planning: when the table has a live secondary index that
+	// resolves part of the WHERE clause, weigh IndexScan against the
+	// pushed filtered scan and the baseline load (metered stats probes,
+	// cached on the DB). Unindexed tables skip this entirely.
+	ap, err := e.planAccess(sel)
+	if err != nil {
+		return nil, err
+	}
+	if ap != nil {
+		e.access = ap
+		switch ap.Strategy {
+		case StrategyIndexScan:
+			return e.runIndexScanSelect(sel, ap)
+		case StrategyBaseline:
+			rel, err := e.ServerSideFilter(table, sqlparse.StripQualifiers(sel.Where).String(), "")
+			if err != nil {
+				return nil, err
+			}
+			return e.finishLocal(rel, sel)
+		}
+		// StrategyFiltered: the legacy pushed scan below.
+	}
+
 	simple := len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 && !sel.HasAggregates()
+	rel, err := e.SelectRows("scan "+table, e.NextStage(), table, pushedScanSQL(sel))
+	if err != nil {
+		return nil, err
+	}
 	if simple {
-		// Fully pushable: selection, projection and LIMIT all go to S3.
-		pushed := &sqlparse.Select{
-			Items: sel.Items, Table: "S3Object",
-			Where: sel.Where, Limit: sel.Limit,
-		}
-		rel, err := e.SelectRows("scan "+table, e.NextStage(), table, pushed.String())
-		if err != nil {
-			return nil, err
-		}
+		// Fully pushable: selection, projection and LIMIT all went to S3.
 		if sel.Limit >= 0 {
 			rel = LimitLocal(rel, int(sel.Limit))
 		}
 		return rel, nil
 	}
+	return e.finishLocal(rel, sel)
+}
 
-	// Push selection plus the projection of every referenced column; the
-	// rest of the query runs locally.
+// pushedScanSQL renders the S3 Select SQL the pushed-scan path sends for a
+// single-table query: the whole statement for fully pushable selects,
+// selection plus referenced-column projection otherwise. Explain, the
+// access planner's result-cache residency check and execution all use this
+// one rendering, so they can never disagree about what the cache holds.
+func pushedScanSQL(sel *sqlparse.Select) string {
+	simple := len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 && !sel.HasAggregates()
+	if simple {
+		pushed := &sqlparse.Select{
+			Items: sel.Items, Table: "S3Object",
+			Where: sel.Where, Limit: sel.Limit,
+		}
+		return pushed.String()
+	}
 	cols := queryColumns(sel)
 	proj := "*"
 	if len(cols) > 0 {
 		proj = strings.Join(cols, ", ")
 	}
-	pushedSQL := "SELECT " + proj + " FROM S3Object"
+	sql := "SELECT " + proj + " FROM S3Object"
 	if sel.Where != nil {
-		pushedSQL += " WHERE " + sel.Where.String()
+		sql += " WHERE " + sel.Where.String()
 	}
-	rel, err := e.SelectRows("scan "+table, e.NextStage(), table, pushedSQL)
-	if err != nil {
-		return nil, err
-	}
-	return e.finishLocal(rel, sel)
+	return sql
 }
 
 // finishLocal runs the server-side tail of a query over an already-scanned
@@ -350,26 +412,30 @@ func (db *DB) Explain(sql string) (string, error) {
 		}
 		return fmt.Sprintf("  [cached scan %.0f%%]", 100*frac)
 	}
+	// Access-path planning for indexed tables (issues the planner's metered
+	// header/stats probes, like join Explain does).
+	ap, err := db.NewExec().planAccess(sel)
+	if err != nil {
+		return "", err
+	}
+	if ap != nil {
+		b.WriteString(ap.String())
+	}
 	simple := len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 && !sel.HasAggregates()
-	if simple {
-		pushed := &sqlparse.Select{
-			Items: sel.Items, Table: "S3Object",
-			Where: sel.Where, Limit: sel.Limit,
-		}
-		fmt.Fprintf(&b, "S3 Select (full pushdown): %s%s\n", sel.String(), cachedScan(pushed.String()))
+	pushedSQL := pushedScanSQL(sel)
+	switch {
+	case ap != nil && ap.Strategy == StrategyIndexScan:
+		fmt.Fprintf(&b, "IndexScan: probe index %s(%s), fetch ~%d ranges in ~%d multi-range GETs, re-filter %s locally\n",
+			sel.Table, ap.Index.Entry.Column, ap.EstRanges, ap.EstRangedGets, sel.Where.String())
+	case ap != nil && ap.Strategy == StrategyBaseline:
+		fmt.Fprintf(&b, "server-side baseline: GET every partition of %s, filter %s locally\n",
+			sel.Table, sel.Where.String())
+	case simple:
+		fmt.Fprintf(&b, "S3 Select (full pushdown): %s%s\n", sel.String(), cachedScan(pushedSQL))
 		return b.String(), nil
+	default:
+		fmt.Fprintf(&b, "S3 Select (selection+projection pushdown): %s%s\n", pushedSQL, cachedScan(pushedSQL))
 	}
-	cols := queryColumns(sel)
-	proj := "*"
-	if len(cols) > 0 {
-		proj = strings.Join(cols, ", ")
-	}
-	pushedSQL := "SELECT " + proj + " FROM S3Object"
-	if sel.Where != nil {
-		pushedSQL += " WHERE " + sel.Where.String()
-	}
-	fmt.Fprintf(&b, "S3 Select (selection+projection pushdown): %s%s", pushedSQL, cachedScan(pushedSQL))
-	b.WriteByte('\n')
 	if len(sel.GroupBy) > 0 {
 		fmt.Fprintf(&b, "server: GROUP BY %s\n", renderExprs(sel.GroupBy))
 	} else if sel.HasAggregates() {

@@ -36,6 +36,7 @@ func Run(t *testing.T, mk Maker) {
 	t.Run("MissingKeyKinds", func(t *testing.T) { testMissingKeyKinds(t, mk(t)) })
 	t.Run("Ranges", func(t *testing.T) { testRanges(t, mk(t)) })
 	t.Run("MultiRanges", func(t *testing.T) { testMultiRanges(t, mk(t)) })
+	t.Run("MultiRangeEdges", func(t *testing.T) { testMultiRangeEdges(t, mk(t)) })
 	t.Run("Select", func(t *testing.T) { testSelect(t, mk(t)) })
 	t.Run("ListAndSize", func(t *testing.T) { testListAndSize(t, mk(t)) })
 	t.Run("CanceledContext", func(t *testing.T) { testCanceledContext(t, mk(t)) })
@@ -145,6 +146,53 @@ func testMultiRanges(t *testing.T, env Env) {
 	// One bad range fails the whole request.
 	_, err = env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{0, 1}, {50, 60}})
 	wantKind(t, err, s3api.KindInvalidRange, "GetRanges(one bad)")
+}
+
+// testMultiRangeEdges pins the GetRanges semantics the IndexScan fetch
+// path depends on, identically on every backend: request order preserved
+// (no server-side sorting), adjacent ranges returned as separate parts,
+// per-range EOF clamping, an empty range list succeeding with an empty
+// result, and missing objects classified KindNotFound whatever the range
+// list looks like.
+func testMultiRangeEdges(t *testing.T, env Env) {
+	env.Put("b", "k", []byte("abcdefghij"))
+	// Unsorted ranges come back in request order, not offset order.
+	parts, err := env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{5, 6}, {0, 1}, {8, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("fg"), []byte("ab"), []byte("i")}
+	if !reflect.DeepEqual(parts, want) {
+		t.Errorf("unsorted GetRanges = %q, want %q (request order)", parts, want)
+	}
+	// Adjacent ranges are not merged by the backend: coalescing is the
+	// client's decision.
+	parts, err = env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{0, 1}, {2, 3}})
+	if err != nil || len(parts) != 2 || string(parts[0]) != "ab" || string(parts[1]) != "cd" {
+		t.Errorf("adjacent GetRanges = %q, %v; want separate \"ab\" \"cd\"", parts, err)
+	}
+	// A last offset beyond EOF clamps per range (matching GetRange).
+	parts, err = env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{0, 0}, {8, 100}})
+	if err != nil || len(parts) != 2 || string(parts[1]) != "ij" {
+		t.Errorf("clamped GetRanges = %q, %v; want [\"a\" \"ij\"]", parts, err)
+	}
+	// The same range twice is served twice (the fetch path may retry a
+	// batch; the backend must not dedupe).
+	parts, err = env.Backend.GetRanges(ctxb(), "b", "k", [][2]int64{{2, 4}, {2, 4}})
+	if err != nil || len(parts) != 2 || string(parts[0]) != "cde" || string(parts[1]) != "cde" {
+		t.Errorf("duplicate GetRanges = %q, %v", parts, err)
+	}
+	// An empty range list is a successful no-op on an existing object...
+	parts, err = env.Backend.GetRanges(ctxb(), "b", "k", nil)
+	if err != nil || len(parts) != 0 {
+		t.Errorf("empty GetRanges = %q, %v; want empty success", parts, err)
+	}
+	// ...and KindNotFound on a missing one — the not-found signal must not
+	// depend on how many ranges the probe resolved.
+	_, err = env.Backend.GetRanges(ctxb(), "b", "missing", nil)
+	wantKind(t, err, s3api.KindNotFound, "GetRanges(missing, empty)")
+	_, err = env.Backend.GetRanges(ctxb(), "nobucket", "k", [][2]int64{{0, 1}})
+	wantKind(t, err, s3api.KindNotFound, "GetRanges(missing bucket)")
 }
 
 func testSelect(t *testing.T, env Env) {

@@ -397,6 +397,18 @@ func (c *Client) GetRange(ctx context.Context, bucket, key string, first, last i
 
 // GetRanges implements s3api.Backend (Suggestion-1 extension).
 func (c *Client) GetRanges(ctx context.Context, bucket, key string, ranges [][2]int64) ([][]byte, error) {
+	if len(ranges) == 0 {
+		// No Range header to send; a HEAD keeps the contract that a
+		// missing object is KindNotFound even for an empty request.
+		if _, err := c.Size(ctx, bucket, key); err != nil {
+			kind := s3api.KindOf(err)
+			if kind == "" {
+				kind = s3api.KindInternal
+			}
+			return nil, s3api.NewError("get_ranges", bucket, key, kind, err)
+		}
+		return [][]byte{}, nil
+	}
 	for _, r := range ranges {
 		if err := checkRange("get_ranges", bucket, key, r[0], r[1]); err != nil {
 			return nil, err

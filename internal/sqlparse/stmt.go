@@ -1,0 +1,184 @@
+package sqlparse
+
+import "strings"
+
+// Statement is any parsed SQL statement: *Select, *CreateIndex or
+// *DropIndex. The DDL statements exist for PushdownDB's secondary-index
+// subsystem (CREATE INDEX builds per-partition index objects on the
+// table's storage backend; DROP INDEX retires them from the manifest) and
+// are rejected everywhere a SELECT is required — Parse still returns
+// *Select only.
+type Statement interface {
+	String() string
+	stmt()
+}
+
+func (*Select) stmt()      {}
+func (*CreateIndex) stmt() {}
+func (*DropIndex) stmt()   {}
+
+// CreateIndex is `CREATE INDEX [name] ON table (column)`.
+type CreateIndex struct {
+	Name   string // optional; the engine derives one when empty
+	Table  string
+	Column string
+}
+
+func (c *CreateIndex) String() string {
+	s := "CREATE INDEX "
+	if c.Name != "" {
+		s += quoteIdent(c.Name) + " "
+	}
+	return s + "ON " + quoteIdent(c.Table) + " (" + quoteIdent(c.Column) + ")"
+}
+
+// DropIndex is `DROP INDEX ON table (column)` or `DROP INDEX name ON
+// table`; exactly one of Name and Column is set.
+type DropIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+func (d *DropIndex) String() string {
+	if d.Name != "" {
+		return "DROP INDEX " + quoteIdent(d.Name) + " ON " + quoteIdent(d.Table)
+	}
+	return "DROP INDEX ON " + quoteIdent(d.Table) + " (" + quoteIdent(d.Column) + ")"
+}
+
+// ParseStatement parses one statement of any supported kind. SELECTs parse
+// exactly as Parse does.
+func ParseStatement(src string) (Statement, error) {
+	p := &parser{lex: NewLexer(src), src: src}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var (
+		st  Statement
+		err error
+	)
+	// CREATE/DROP/INDEX are contextual: they dispatch DDL only at the
+	// statement head and stay usable as ordinary identifiers everywhere
+	// else (SELECT "index" needs no quoting).
+	switch {
+	case p.isIdentWord("CREATE"):
+		st, err = p.parseCreateIndex()
+	case p.isIdentWord("DROP"):
+		st, err = p.parseDropIndex()
+	default:
+		st, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Type != TokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.tok)
+	}
+	return st, nil
+}
+
+// isIdentWord reports whether the current token is an identifier spelling
+// word (case-insensitively) — the contextual-keyword check.
+func (p *parser) isIdentWord(word string) bool {
+	return p.tok.Type == TokIdent && strings.EqualFold(p.tok.Text, word)
+}
+
+// expectIdentWord consumes the contextual keyword word.
+func (p *parser) expectIdentWord(word string) error {
+	if !p.isIdentWord(word) {
+		return p.errf("expected %s, got %s", word, p.tok)
+	}
+	return p.advance()
+}
+
+// parseCreateIndex parses `CREATE INDEX [name] ON table (column)` with the
+// CREATE word current.
+func (p *parser) parseCreateIndex() (*CreateIndex, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("INDEX"); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{}
+	if p.tok.Type == TokIdent {
+		ci.Name = p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	var err error
+	if ci.Table, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if ci.Column, err = p.parenColumn(); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+// parseDropIndex parses both DROP INDEX forms with DROP current.
+func (p *parser) parseDropIndex() (*DropIndex, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectIdentWord("INDEX"); err != nil {
+		return nil, err
+	}
+	di := &DropIndex{}
+	var err error
+	if p.tok.Type == TokIdent {
+		di.Name = p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if di.Table, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	if di.Name != "" {
+		return di, nil
+	}
+	if di.Column, err = p.parenColumn(); err != nil {
+		return nil, err
+	}
+	return di, nil
+}
+
+// ident consumes one identifier token.
+func (p *parser) ident(what string) (string, error) {
+	if p.tok.Type != TokIdent {
+		return "", p.errf("expected %s, got %s", what, p.tok)
+	}
+	name := p.tok.Text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// parenColumn consumes `( column )`. Single-column only: the index objects
+// store one value per row.
+func (p *parser) parenColumn() (string, error) {
+	if err := p.expectOp("("); err != nil {
+		return "", err
+	}
+	col, err := p.ident("column name")
+	if err != nil {
+		return "", err
+	}
+	if p.isOp(",") {
+		return "", p.errf("composite indexes are not supported (one column per index)")
+	}
+	if err := p.expectOp(")"); err != nil {
+		return "", err
+	}
+	return col, nil
+}

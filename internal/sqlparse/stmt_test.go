@@ -1,0 +1,126 @@
+package sqlparse
+
+import "testing"
+
+func TestParseCreateIndex(t *testing.T) {
+	cases := []struct {
+		src                 string
+		name, table, column string
+	}{
+		{"CREATE INDEX ix ON t (col)", "ix", "t", "col"},
+		{"create index on orders (o_custkey)", "", "orders", "o_custkey"},
+		{`CREATE INDEX "my ix" ON "my table" ("weird col")`, "my ix", "my table", "weird col"},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		ci, ok := st.(*CreateIndex)
+		if !ok {
+			t.Fatalf("%s parsed as %T", c.src, st)
+		}
+		if ci.Name != c.name || ci.Table != c.table || ci.Column != c.column {
+			t.Errorf("%s = %+v", c.src, ci)
+		}
+		// The printed form must re-parse to the same statement.
+		st2, err := ParseStatement(ci.String())
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", ci.String(), err)
+		}
+		if st2.String() != ci.String() {
+			t.Errorf("round trip drifted: %q vs %q", st2.String(), ci.String())
+		}
+	}
+}
+
+func TestParseDropIndex(t *testing.T) {
+	st, err := ParseStatement("DROP INDEX ix ON t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := st.(*DropIndex)
+	if di.Name != "ix" || di.Table != "t" || di.Column != "" {
+		t.Errorf("named drop = %+v", di)
+	}
+	st, err = ParseStatement("DROP INDEX ON t (col)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	di = st.(*DropIndex)
+	if di.Name != "" || di.Table != "t" || di.Column != "col" {
+		t.Errorf("column drop = %+v", di)
+	}
+	for _, d := range []*DropIndex{
+		{Name: "ix", Table: "t"},
+		{Table: "t", Column: "col"},
+	} {
+		st, err := ParseStatement(d.String())
+		if err != nil || st.String() != d.String() {
+			t.Errorf("round trip of %q: %v, %v", d.String(), st, err)
+		}
+	}
+}
+
+func TestParseStatementSelect(t *testing.T) {
+	st, err := ParseStatement("SELECT a FROM t WHERE b = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*Select); !ok {
+		t.Fatalf("SELECT parsed as %T", st)
+	}
+}
+
+func TestParseIndexStatementErrors(t *testing.T) {
+	bad := []string{
+		"CREATE",
+		"CREATE INDEX",
+		"CREATE INDEX ON t",             // missing column list
+		"CREATE INDEX ix ON t (a, b)",   // composite
+		"CREATE INDEX ix ON t (a) junk", // trailing input
+		"DROP INDEX ON t",               // neither name nor column
+		"DROP TABLE t",
+	}
+	for _, src := range bad {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("%q must not parse", src)
+		}
+	}
+	// Plain Parse keeps rejecting DDL (it only knows SELECT).
+	if _, err := Parse("CREATE INDEX ix ON t (c)"); err == nil {
+		t.Error("Parse must reject CREATE INDEX")
+	}
+}
+
+func TestDDLWordsStayValidIdentifiers(t *testing.T) {
+	// CREATE/DROP/INDEX are contextual (statement-head only), so columns
+	// and tables named after them keep parsing everywhere else — exported
+	// datasets commonly have an "index" column.
+	for _, src := range []string{
+		"SELECT index FROM t",
+		"SELECT index, drop FROM create WHERE index = 5",
+	} {
+		sel, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, err := Parse(sel.String()); err != nil {
+			t.Errorf("%q printed as %q, which does not re-parse: %v", src, sel.String(), err)
+		}
+	}
+	// ParseStatement agrees: a SELECT over an index column is a SELECT.
+	st, err := ParseStatement("SELECT index FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*Select); !ok {
+		t.Fatalf("parsed as %T", st)
+	}
+	// And an index named like a real keyword round-trips quoted.
+	ci := &CreateIndex{Name: "on", Table: "t", Column: "c"}
+	st, err = ParseStatement(ci.String())
+	if err != nil || st.String() != ci.String() {
+		t.Errorf("keyword-named index round trip: %v, %v", st, err)
+	}
+}

@@ -70,3 +70,8 @@ var keywords = map[string]bool{
 	"INNER": true, "ON": true, "LEFT": true, "RIGHT": true, "FULL": true,
 	"OUTER": true, "CROSS": true,
 }
+
+// Note: CREATE, DROP and INDEX are deliberately NOT reserved. They only
+// matter at the very front of a statement (ParseStatement matches them
+// contextually), and reserving them would break queries over tables with
+// an "index" column — a common name in exported datasets.
