@@ -36,7 +36,7 @@ func main() {
 		"Fig10": harness.RunFig10, "Fig11": harness.RunFig11,
 		"Planner": harness.RunPlanner, "Parallel": harness.RunParallel,
 		"Backends": harness.RunBackends, "Cache": harness.RunCache,
-		"Index": harness.RunIndex,
+		"Index": harness.RunIndex, "Serve": harness.RunServe,
 	}
 
 	switch {
@@ -51,7 +51,7 @@ func main() {
 	case *fig != "":
 		run, ok := runs[*fig]
 		if !ok {
-			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache, Index)", *fig))
+			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache, Index, Serve)", *fig))
 		}
 		r, err := run(env)
 		if err != nil {

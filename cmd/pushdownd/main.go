@@ -1,0 +1,183 @@
+// Command pushdownd serves PushdownDB over HTTP: one long-lived engine —
+// with its planner statistics, secondary-index memos and select-result
+// cache — shared by every client, behind admission control, per-tenant
+// concurrency lanes and simulated-dollar quotas.
+//
+//	pushdownd -demo                          # tiny TPC-H dataset, in-proc S3
+//	pushdownd -table orders=./orders.csv     # your own CSVs
+//	pushdownd -backend localfs -fsroot /data -bucket local
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "...", "tenant": "alice"} → rows + virtual
+//	               runtime + simulated dollar cost, or a structured error
+//	               ({"error":{"kind":"over_quota",...}})
+//	GET  /stats    shared result-cache stats and per-tenant cost totals
+//	GET  /healthz  liveness (reports "draining" during shutdown)
+//
+// SIGINT/SIGTERM starts a graceful drain: new queries are refused with
+// kind "shutting_down" while in-flight queries run to completion.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/localfs"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/server"
+	"pushdowndb/internal/store"
+	"pushdowndb/internal/tpch"
+)
+
+type tableFlags []string
+
+func (t *tableFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tableFlags) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	var (
+		tables      tableFlags
+		addr        = flag.String("addr", "127.0.0.1:8123", "listen address")
+		demo        = flag.Bool("demo", false, "load a small TPC-H dataset (in-proc simulated S3) instead of -table files")
+		demoSF      = flag.Float64("demo-sf", 0.01, "TPC-H scale factor for -demo")
+		backend     = flag.String("backend", "inproc", "storage backend: inproc (simulated in-region S3) or localfs")
+		fsroot      = flag.String("fsroot", "", "localfs root directory; may already hold objects from a previous run")
+		bucket      = flag.String("bucket", "local", "bucket queries read from")
+		parts       = flag.Int("parts", 4, "partitions per loaded table")
+		cacheMB     = flag.Int("cache-mb", 64, "shared select-result cache budget in MiB (0 = off)")
+		maxClients  = flag.Int("max-clients", 32, "queries executing concurrently before arrivals queue")
+		queueDepth  = flag.Int("queue", 0, "bounded admission queue depth (0 = 4x max-clients); overflow is refused with kind \"overloaded\"")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request wall-clock budget; overruns cancel the engine mid-flight")
+		tenantLanes = flag.Int("tenant-lanes", 0, "max concurrent queries per tenant (0 = unlimited)")
+		tenantUSD   = flag.Float64("tenant-budget", 0, "simulated-dollar budget per tenant (0 = unmetered); overruns are refused with kind \"over_quota\"")
+		auditPath   = flag.String("audit", "", "append a JSON line per query/rejection here (\"-\" = stderr)")
+	)
+	flag.Var(&tables, "table", "name=path.csv (repeatable)")
+	flag.Parse()
+
+	ctx := context.Background()
+	var (
+		be     s3api.Backend
+		putter s3api.Putter
+	)
+	switch *backend {
+	case "inproc":
+		inproc := s3api.NewInProc(store.New())
+		be, putter = inproc, inproc
+	case "localfs":
+		root := *fsroot
+		if root == "" {
+			dir, err := os.MkdirTemp("", "pushdownd-localfs-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			root = dir
+		}
+		fs := localfs.New(root)
+		be, putter = fs, fs
+		fmt.Fprintf(os.Stderr, "pushdownd: localfs backend rooted at %s\n", root)
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (want inproc or localfs)", *backend))
+	}
+
+	if *demo {
+		if *backend != "inproc" {
+			fatal(fmt.Errorf("-demo needs the inproc backend"))
+		}
+		*bucket = "tpch"
+		st := store.New()
+		if _, err := tpch.LoadWithIndexes(st, tpch.Dataset{
+			SF: *demoSF, Seed: 42, Bucket: *bucket, Partitions: *parts,
+		}); err != nil {
+			fatal(err)
+		}
+		inproc := s3api.NewInProc(st)
+		be, putter = inproc, inproc
+		fmt.Fprintf(os.Stderr, "pushdownd: demo TPC-H dataset loaded at SF %g\n", *demoSF)
+	}
+	for _, spec := range tables {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -table %q, want name=path", spec))
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		header, rows, err := csvx.Decode(data, true)
+		if err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", path, err))
+		}
+		if err := engine.PartitionTableTo(ctx, putter, *bucket, name, header, rows, *parts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pushdownd: loaded %s: %d rows, %d partitions\n", name, len(rows), *parts)
+	}
+
+	opts := []engine.Option{engine.WithBackend(*backend, be)}
+	if *cacheMB > 0 {
+		opts = append(opts, engine.WithResultCache(int64(*cacheMB)<<20))
+	}
+	db, err := engine.Open(*bucket, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	var audit io.Writer
+	switch *auditPath {
+	case "":
+	case "-":
+		audit = os.Stderr
+	default:
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		audit = f
+	}
+
+	srv := server.New(db, server.Config{
+		MaxClients:        *maxClients,
+		QueueDepth:        *queueDepth,
+		RequestTimeout:    *timeout,
+		TenantConcurrency: *tenantLanes,
+		TenantBudgetUSD:   *tenantUSD,
+		AuditLog:          audit,
+	})
+
+	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "pushdownd: serving bucket %q on http://%s\n", *bucket, *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-sigCtx.Done():
+		fmt.Fprintln(os.Stderr, "pushdownd: draining...")
+		shCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "pushdownd: drained, bye")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pushdownd:", err)
+	os.Exit(1)
+}

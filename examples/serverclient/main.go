@@ -1,0 +1,116 @@
+// Serverclient: a pushdownd server and its Go client in one process. The
+// server wraps one shared engine — result cache on, per-tenant metering —
+// behind HTTP; the client runs a join through the wire twice and prints
+// what the second, cache-warm run no longer pays for. Finally /stats shows
+// the per-tenant bill the server kept while doing it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/server"
+	"pushdowndb/internal/store"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A small shop dataset on simulated in-region S3.
+	st := store.New()
+	s3 := s3api.NewInProc(st)
+	custHeader := []string{"ck", "name", "bal"}
+	custRows := [][]string{
+		{"1", "ada", "-600"}, {"2", "grace", "120"},
+		{"3", "edsger", "-800"}, {"4", "barbara", "45"},
+	}
+	ordHeader := []string{"ok", "ck", "price"}
+	ordRows := [][]string{
+		{"100", "1", "9.50"}, {"101", "1", "12.00"},
+		{"102", "2", "3.25"}, {"103", "3", "8.75"},
+		{"104", "3", "1.10"}, {"105", "4", "2.20"},
+	}
+	if err := engine.PartitionTableTo(ctx, s3, "shop", "customers", custHeader, custRows, 2); err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.PartitionTableTo(ctx, s3, "shop", "orders", ordHeader, ordRows, 2); err != nil {
+		log.Fatal(err)
+	}
+
+	// One engine, shared by every client the server admits.
+	db, err := engine.Open("shop",
+		engine.WithBackend("s3", s3),
+		engine.WithResultCache(16<<20),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxClients:     4,
+		RequestTimeout: 10 * time.Second,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer func() {
+		sh, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sh)
+	}()
+
+	cl := server.NewClient("http://" + l.Addr().String())
+	cl.Tenant = "ada"
+	const sql = "SELECT c.name, SUM(o.price) AS spent " +
+		"FROM customers c JOIN orders o ON c.ck = o.ck " +
+		"WHERE c.bal < 0 GROUP BY c.name ORDER BY spent DESC"
+
+	cold, err := cl.Query(ctx, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result (over the wire, decoded to engine values):")
+	fmt.Print(cold.Relation)
+	fmt.Printf("\ncold: runtime %.4fs, cost $%.8f, %d storage requests\n",
+		cold.RuntimeSec, cold.Cost.Total(), cold.Requests)
+
+	warm, err := cl.Query(ctx, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm: runtime %.4fs, cost $%.8f, %d storage requests\n",
+		warm.RuntimeSec, warm.Cost.Total(), warm.Requests)
+	if warm.Relation.String() != cold.Relation.String() {
+		log.Fatal("warm result diverged from cold")
+	}
+
+	// A filtered scan is always select-based, so its repeat comes straight
+	// from the shared result cache — zero storage requests.
+	const scan = "SELECT name, bal FROM customers WHERE bal < 100 ORDER BY name"
+	if _, err := cl.Query(ctx, scan); err != nil {
+		log.Fatal(err)
+	}
+	rerun, err := cl.Query(ctx, scan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscan repeat: %d storage request(s), %d cache hit(s)\n",
+		rerun.Requests, rerun.CacheHits)
+
+	st2, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ten := st2.Tenants["ada"]
+	fmt.Printf("server bill for tenant ada: %d queries, $%.8f total\n", ten.Queries, ten.TotalUSD)
+	if st2.Cache != nil {
+		fmt.Printf("shared cache: %d hits, %.0f%% hit rate\n", st2.Cache.Hits, 100*st2.Cache.HitRate)
+	}
+}

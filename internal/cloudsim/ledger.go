@@ -1,0 +1,107 @@
+package cloudsim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Add returns the component-wise sum of two cost breakdowns.
+func (c CostBreakdown) Add(o CostBreakdown) CostBreakdown {
+	return CostBreakdown{
+		ComputeUSD:  c.ComputeUSD + o.ComputeUSD,
+		RequestUSD:  c.RequestUSD + o.RequestUSD,
+		ScanUSD:     c.ScanUSD + o.ScanUSD,
+		TransferUSD: c.TransferUSD + o.TransferUSD,
+	}
+}
+
+// Scale returns the breakdown with every component multiplied by f
+// (f = 1/n averages n summed queries).
+func (c CostBreakdown) Scale(f float64) CostBreakdown {
+	return CostBreakdown{
+		ComputeUSD:  c.ComputeUSD * f,
+		RequestUSD:  c.RequestUSD * f,
+		ScanUSD:     c.ScanUSD * f,
+		TransferUSD: c.TransferUSD * f,
+	}
+}
+
+// TenantUsage is one tenant's accumulated metered activity: every query is
+// priced by the cost model anyway, so the same numbers the figures plot
+// double as the currency a multi-tenant server bills and throttles with.
+type TenantUsage struct {
+	// Queries counts completed executions billed to the tenant (successful
+	// or not — a failed query still spent whatever it accrued before the
+	// error).
+	Queries int64
+	// Errors counts the billed executions that ended in an error.
+	Errors int64
+	// RuntimeSec sums the queries' virtual runtimes.
+	RuntimeSec float64
+	// Cost sums the queries' simulated dollar cost.
+	Cost CostBreakdown
+}
+
+// Ledger accumulates per-tenant query usage. All methods are safe for
+// concurrent use; the zero Ledger is ready.
+type Ledger struct {
+	mu      sync.Mutex
+	tenants map[string]*TenantUsage
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Bill charges one executed query to the tenant.
+func (l *Ledger) Bill(tenant string, runtimeSec float64, cost CostBreakdown, failed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tenants == nil {
+		l.tenants = map[string]*TenantUsage{}
+	}
+	u := l.tenants[tenant]
+	if u == nil {
+		u = &TenantUsage{}
+		l.tenants[tenant] = u
+	}
+	u.Queries++
+	if failed {
+		u.Errors++
+	}
+	u.RuntimeSec += runtimeSec
+	u.Cost = u.Cost.Add(cost)
+}
+
+// Usage returns the tenant's accumulated totals (zero for an unknown
+// tenant).
+func (l *Ledger) Usage(tenant string) TenantUsage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if u := l.tenants[tenant]; u != nil {
+		return *u
+	}
+	return TenantUsage{}
+}
+
+// Tenants lists the billed tenant names, sorted.
+func (l *Ledger) Tenants() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	names := make([]string, 0, len(l.tenants))
+	for n := range l.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot copies the whole ledger.
+func (l *Ledger) Snapshot() map[string]TenantUsage {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]TenantUsage, len(l.tenants))
+	for n, u := range l.tenants {
+		out[n] = *u
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package cloudsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLedgerBillAccumulates(t *testing.T) {
+	l := NewLedger()
+	l.Bill("a", 1.5, CostBreakdown{ComputeUSD: 1, ScanUSD: 2}, false)
+	l.Bill("a", 0.5, CostBreakdown{RequestUSD: 3, TransferUSD: 4}, true)
+	l.Bill("b", 1, CostBreakdown{ComputeUSD: 10}, false)
+
+	a := l.Usage("a")
+	if a.Queries != 2 || a.Errors != 1 {
+		t.Fatalf("tenant a: got %d queries, %d errors", a.Queries, a.Errors)
+	}
+	if a.RuntimeSec != 2.0 {
+		t.Fatalf("tenant a runtime: got %g", a.RuntimeSec)
+	}
+	want := CostBreakdown{ComputeUSD: 1, RequestUSD: 3, ScanUSD: 2, TransferUSD: 4}
+	if a.Cost != want {
+		t.Fatalf("tenant a cost: got %+v want %+v", a.Cost, want)
+	}
+	if got := a.Cost.Total(); got != 10 {
+		t.Fatalf("tenant a total: got %g", got)
+	}
+	if u := l.Usage("missing"); u != (TenantUsage{}) {
+		t.Fatalf("unknown tenant not zero: %+v", u)
+	}
+	if names := l.Tenants(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("tenants: %v", names)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap["b"].Cost.ComputeUSD != 10 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+func TestLedgerConcurrentBilling(t *testing.T) {
+	l := NewLedger()
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", w%2)
+			for i := 0; i < per; i++ {
+				l.Bill(tenant, 0.01, CostBreakdown{ComputeUSD: 0.001}, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := l.Usage("t0").Queries + l.Usage("t1").Queries
+	if total != workers*per {
+		t.Fatalf("lost bills: got %d want %d", total, workers*per)
+	}
+}
+
+func TestCostBreakdownScale(t *testing.T) {
+	c := CostBreakdown{ComputeUSD: 2, RequestUSD: 4, ScanUSD: 6, TransferUSD: 8}
+	half := c.Scale(0.5)
+	want := CostBreakdown{ComputeUSD: 1, RequestUSD: 2, ScanUSD: 3, TransferUSD: 4}
+	if half != want {
+		t.Fatalf("scale: got %+v want %+v", half, want)
+	}
+}

@@ -64,6 +64,47 @@ type DB struct {
 	// nil = caching off). Hits skip the backend entirely and are metered as
 	// free decodes (cloudsim.Phase.AddCacheHit).
 	resultCache *rescache.Cache
+
+	// hookMu guards queryHook: a long-lived server installs its audit hook
+	// after Open while queries may already be in flight.
+	hookMu    sync.RWMutex
+	queryHook QueryHook
+}
+
+// QueryHook observes every SQL statement executed through the DB's text
+// entry points (Query/QueryContext/ExecStatement): the statement, the
+// execution's metrics (nil for DDL and for statements rejected before an
+// execution started) and the outcome. Hooks run synchronously on the
+// query's goroutine after the statement finishes — a server's audit log
+// and per-tenant billing hang off this, keyed by whatever it stashed in
+// ctx. Hooks must be safe for concurrent use.
+type QueryHook func(ctx context.Context, sql string, exec *Exec, err error)
+
+// WithQueryHook installs a query hook at Open time.
+func WithQueryHook(h QueryHook) Option {
+	return func(db *DB) error {
+		db.queryHook = h
+		return nil
+	}
+}
+
+// SetQueryHook installs (or, with nil, removes) the query hook on a live
+// DB. Safe to call while queries are running; statements already past
+// their hook point are unaffected.
+func (db *DB) SetQueryHook(h QueryHook) {
+	db.hookMu.Lock()
+	db.queryHook = h
+	db.hookMu.Unlock()
+}
+
+// fireQueryHook invokes the installed hook, if any.
+func (db *DB) fireQueryHook(ctx context.Context, sql string, exec *Exec, err error) {
+	db.hookMu.RLock()
+	h := db.queryHook
+	db.hookMu.RUnlock()
+	if h != nil {
+		h(ctx, sql, exec, err)
+	}
 }
 
 // Option configures Open.

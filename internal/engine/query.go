@@ -25,9 +25,12 @@ func (db *DB) Query(sql string) (*Relation, *Exec, error) {
 func (db *DB) QueryContext(ctx context.Context, sql string) (*Relation, *Exec, error) {
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
+		db.fireQueryHook(ctx, sql, nil, err)
 		return nil, nil, err
 	}
-	return db.runSelectStatement(ctx, sel)
+	rel, e, err := db.runSelectStatement(ctx, sel)
+	db.fireQueryHook(ctx, sql, e, err)
+	return rel, e, err
 }
 
 // runSelectStatement executes an already-parsed SELECT.
@@ -57,6 +60,12 @@ func (db *DB) runSelectStatement(ctx context.Context, sel *sqlparse.Select) (*Re
 // and execution (index maintenance is dataset preparation, not a metered
 // query).
 func (db *DB) ExecStatement(ctx context.Context, sql string) (*Relation, *Exec, error) {
+	rel, e, err := db.execStatement(ctx, sql)
+	db.fireQueryHook(ctx, sql, e, err)
+	return rel, e, err
+}
+
+func (db *DB) execStatement(ctx context.Context, sql string) (*Relation, *Exec, error) {
 	st, err := sqlparse.ParseStatement(sql)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunServeWarmBeatsCold is the acceptance check for the Serve figure:
+// at every client width of 4 or more, the warm round's simulated cost per
+// query must be strictly below the cold round's — the shared result cache
+// is the server's economic reason to exist.
+func TestRunServeWarmBeatsCold(t *testing.T) {
+	env := NewEnv(SmallScale())
+	res, err := RunServe(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range serveFigClientCounts {
+		cold, ok1 := res.Get("cold", strconv.Itoa(n))
+		warm, ok2 := res.Get("warm", strconv.Itoa(n))
+		if !ok1 || !ok2 {
+			t.Fatalf("missing points at %d clients:\n%s", n, res)
+		}
+		if n >= 4 && warm.Cost.Total() >= cold.Cost.Total() {
+			t.Errorf("%d clients: warm cost/query $%.8f not strictly below cold $%.8f",
+				n, warm.Cost.Total(), cold.Cost.Total())
+		}
+		if warm.Extra["cache_hits"] == 0 {
+			t.Errorf("%d clients: warm round recorded no cache hits", n)
+		}
+	}
+	if !strings.Contains(res.String(), "Serve") {
+		t.Error("result does not render")
+	}
+}

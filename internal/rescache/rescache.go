@@ -60,6 +60,18 @@ type Stats struct {
 	UsedBytes, BudgetBytes       int64
 }
 
+// HitRate is the fraction of lookups served from the cache, in [0, 1]
+// (0 before any lookup). Long-lived servers surface it per stats poll so
+// operators can see whether the shared cache is actually carrying the
+// workload.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Cache is a byte-budgeted LRU of select responses. All methods are safe
 // for concurrent use.
 type Cache struct {

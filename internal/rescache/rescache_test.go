@@ -309,3 +309,22 @@ func TestGhostSetBounded(t *testing.T) {
 		t.Error("evicted ghost behaved like a second touch")
 	}
 }
+
+func TestStatsHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("zero stats hit rate: %g", r)
+	}
+	c := New(1 << 20)
+	k := key("t/part0000.csv", "q")
+	c.Get(k) // miss
+	fill(c, k, res("x"))
+	c.Get(k) // hit
+	c.Get(k) // hit
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate: %g", got)
+	}
+}

@@ -1,0 +1,68 @@
+package s3api
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pushdowndb/internal/store"
+)
+
+func faultFixture() *Fault {
+	st := store.New()
+	st.Put("b", "t/part0", []byte("a,b\n1,2\n"))
+	return NewFault(NewInProc(st))
+}
+
+func TestFaultPassThrough(t *testing.T) {
+	f := faultFixture()
+	data, err := f.Get(context.Background(), "b", "t/part0")
+	if err != nil || len(data) == 0 {
+		t.Fatalf("pass-through get: %v", err)
+	}
+	keys, err := f.List(context.Background(), "b", "t/")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("pass-through list: %v %v", keys, err)
+	}
+}
+
+func TestFaultFailWithScopesToOps(t *testing.T) {
+	f := faultFixture()
+	boom := errors.New("disk on fire")
+	f.FailWith(boom)
+	f.OnOps("get")
+	_, err := f.Get(context.Background(), "b", "t/part0")
+	if !errors.Is(err, boom) {
+		t.Fatalf("get should fail: %v", err)
+	}
+	if KindOf(err) != KindInternal {
+		t.Fatalf("injected failure should be KindInternal, got %q", KindOf(err))
+	}
+	// Other ops untouched.
+	if _, err := f.Size(context.Background(), "b", "t/part0"); err != nil {
+		t.Fatalf("size should pass: %v", err)
+	}
+	f.Reset()
+	if _, err := f.Get(context.Background(), "b", "t/part0"); err != nil {
+		t.Fatalf("reset should disarm: %v", err)
+	}
+}
+
+func TestFaultStallHonorsContext(t *testing.T) {
+	f := faultFixture()
+	f.StallFor(time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Get(ctx, "b", "t/part0")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled get not cut by context: took %v", elapsed)
+	}
+	if KindOf(err) != KindCanceled {
+		t.Fatalf("want KindCanceled, got %v (kind %q)", err, KindOf(err))
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause should be DeadlineExceeded: %v", err)
+	}
+}

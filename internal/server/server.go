@@ -1,0 +1,495 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/sqlparse"
+)
+
+// Config tunes the server's admission and quota layer. The zero value gets
+// sensible defaults from New.
+type Config struct {
+	// MaxClients bounds how many queries execute concurrently across all
+	// tenants (default 32). Arrivals beyond it wait in the bounded queue.
+	MaxClients int
+	// QueueDepth bounds how many admitted-but-waiting requests may queue
+	// behind the MaxClients executing ones (default 4*MaxClients). A full
+	// queue rejects new arrivals with KindOverloaded instead of building
+	// unbounded backlog.
+	QueueDepth int
+	// RequestTimeout is the per-query deadline, wired into QueryContext so
+	// a stalled storage backend is cut mid-flight (default 30s; <0 disables).
+	RequestTimeout time.Duration
+	// TenantConcurrency bounds each tenant's concurrently executing
+	// queries (0 = unlimited). A full lane rejects with KindOverloaded —
+	// one tenant's burst cannot occupy the whole server.
+	TenantConcurrency int
+	// TenantBudgetUSD is each tenant's simulated-dollar budget (0 =
+	// unlimited). Every query is metered by the cost model anyway; once a
+	// tenant's accumulated total reaches the budget, further queries are
+	// rejected with KindOverQuota.
+	TenantBudgetUSD float64
+	// DefaultTenant attributes requests that name no tenant (default
+	// "default").
+	DefaultTenant string
+	// AuditLog, when non-nil, receives one JSON line per statement —
+	// executed or rejected — with tenant, outcome, runtime and cost.
+	// Executed statements flow through the engine's query hook, so direct
+	// DB users on the same shared DB are audited too.
+	AuditLog io.Writer
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxClients <= 0 {
+		c.MaxClients = 32
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxClients
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DefaultTenant == "" {
+		c.DefaultTenant = "default"
+	}
+	return c
+}
+
+// tenantState is one tenant's concurrency lane.
+type tenantState struct {
+	sem      chan struct{} // nil = unlimited
+	inFlight atomic.Int64
+}
+
+// Server multiplexes concurrent clients over one shared engine.DB: every
+// connection sees the same result cache, the same planner statistics and
+// the same cost ledger. Construct with New, serve with Serve, stop with
+// Shutdown (which drains in-flight queries).
+type Server struct {
+	db     *engine.DB
+	cfg    Config
+	ledger *cloudsim.Ledger
+	start  time.Time
+
+	slots    chan struct{} // MaxClients execution tokens
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	accepted atomic.Int64
+
+	rejMu    sync.Mutex
+	rejected map[ErrorKind]int64
+
+	tenMu   sync.Mutex
+	tenants map[string]*tenantState
+
+	draining atomic.Bool
+	wg       sync.WaitGroup // in-flight query executions
+
+	auditMu sync.Mutex
+	reqSeq  atomic.Int64
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New returns a Server over db. The server installs its audit hook on the
+// DB (engine.SetQueryHook) when cfg.AuditLog is set; the DB must not have
+// a competing hook installed.
+func New(db *engine.DB, cfg Config) *Server {
+	s := &Server{
+		db:       db,
+		cfg:      cfg.withDefaults(),
+		ledger:   cloudsim.NewLedger(),
+		start:    time.Now(),
+		rejected: map[ErrorKind]int64{},
+		tenants:  map[string]*tenantState{},
+	}
+	s.slots = make(chan struct{}, s.cfg.MaxClients)
+	if s.cfg.AuditLog != nil {
+		db.SetQueryHook(s.auditQueryHook)
+	}
+	return s
+}
+
+// Ledger exposes the per-tenant cost ledger (the harness and the stats
+// endpoint both read it).
+func (s *Server) Ledger() *cloudsim.Ledger { return s.ledger }
+
+// Handler returns the HTTP surface: POST /query, GET /stats, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, any other error on accept
+// failure.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server: new queries are rejected with
+// KindShuttingDown immediately, the listener closes, and Shutdown returns
+// once every in-flight query has finished (or ctx expires). In-flight
+// queries are never canceled by Shutdown — they keep their own deadlines.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tenant returns (lazily creating) the tenant's state.
+func (s *Server) tenant(name string) *tenantState {
+	s.tenMu.Lock()
+	defer s.tenMu.Unlock()
+	ts := s.tenants[name]
+	if ts == nil {
+		ts = &tenantState{}
+		if s.cfg.TenantConcurrency > 0 {
+			ts.sem = make(chan struct{}, s.cfg.TenantConcurrency)
+		}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+// countReject tallies an admission/quota rejection for /stats.
+func (s *Server) countReject(k ErrorKind) {
+	s.rejMu.Lock()
+	s.rejected[k]++
+	s.rejMu.Unlock()
+}
+
+// acquireSlot is global admission: take an execution token immediately,
+// or wait in the bounded queue until one frees, the client gives up, or
+// the per-request deadline passes.
+func (s *Server) acquireSlot(ctx context.Context) *Error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return &Error{Kind: KindOverloaded, Message: fmt.Sprintf(
+			"wait queue full (%d executing, %d queued)", s.cfg.MaxClients, s.cfg.QueueDepth)}
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return &Error{Kind: KindTimeout, Message: "deadline passed while queued for admission"}
+		}
+		return &Error{Kind: KindCanceled, Message: "client gone while queued for admission"}
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.slots }
+
+// handleQuery runs one SQL statement through the shared DB under
+// admission control, tenant quotas and the per-request deadline.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Kind: KindBadRequest, Message: "POST only"})
+		return
+	}
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, &Error{Kind: KindBadRequest, Message: "bad request body: " + err.Error()})
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = s.cfg.DefaultTenant
+	}
+	id := s.reqSeq.Add(1)
+	reject := func(e *Error) {
+		s.countReject(e.Kind)
+		s.auditRejected(tenant, id, req.SQL, e)
+		writeError(w, e)
+	}
+	if req.SQL == "" {
+		reject(&Error{Kind: KindBadRequest, Message: "empty sql"})
+		return
+	}
+	// Validate the statement before spending an admission slot on it; the
+	// engine re-parses on execution (parsing is micro-cheap next to a scan).
+	if _, err := sqlparse.ParseStatement(req.SQL); err != nil {
+		reject(&Error{Kind: KindBadRequest, Message: err.Error()})
+		return
+	}
+	if s.draining.Load() {
+		reject(&Error{Kind: KindShuttingDown, Message: "server is draining"})
+		return
+	}
+	// Quota gate: a tenant that has spent its budget is turned away before
+	// it can occupy a slot.
+	if s.cfg.TenantBudgetUSD > 0 {
+		if spent := s.ledger.Usage(tenant).Cost.Total(); spent >= s.cfg.TenantBudgetUSD {
+			reject(&Error{Kind: KindOverQuota, Message: fmt.Sprintf(
+				"tenant %q spent $%.6f of its $%.6f budget", tenant, spent, s.cfg.TenantBudgetUSD)})
+			return
+		}
+	}
+	if e := s.acquireSlot(r.Context()); e != nil {
+		reject(e)
+		return
+	}
+	defer s.releaseSlot()
+	ts := s.tenant(tenant)
+	if ts.sem != nil {
+		select {
+		case ts.sem <- struct{}{}:
+			defer func() { <-ts.sem }()
+		default:
+			reject(&Error{Kind: KindOverloaded, Message: fmt.Sprintf(
+				"tenant %q at its concurrency limit (%d)", tenant, s.cfg.TenantConcurrency)})
+			return
+		}
+	}
+
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	ts.inFlight.Add(1)
+	defer ts.inFlight.Add(-1)
+	s.accepted.Add(1)
+
+	ctx := withRequestInfo(r.Context(), tenant, id)
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	rel, exec, err := s.db.ExecStatement(ctx, req.SQL)
+	// Bill whatever the execution accrued, error or not: a query that died
+	// halfway through a scan still bought that scan.
+	var runtime float64
+	var cost cloudsim.CostBreakdown
+	if exec != nil {
+		runtime = exec.RuntimeSeconds()
+		cost = exec.Cost()
+		s.ledger.Bill(tenant, runtime, cost, err != nil)
+	}
+	if err != nil {
+		e := classifyExecError(err)
+		s.countReject(e.Kind)
+		writeError(w, e)
+		return
+	}
+	cols, rows := encodeRelation(rel)
+	resp := queryResponse{
+		Columns:    cols,
+		Rows:       rows,
+		RuntimeSec: runtime,
+		Cost:       cost,
+		Tenant:     tenant,
+	}
+	if exec != nil {
+		requests, _, _, _ := exec.Metrics.Totals()
+		hits, _ := exec.Metrics.CacheTotals()
+		resp.Requests = requests
+		resp.CacheHits = hits
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// classifyExecError maps an engine/storage failure onto the wire error
+// kinds: deadline cuts are timeouts, client disconnects are canceled,
+// storage-level "you asked for something that isn't there / isn't valid"
+// kinds are bad requests, the rest is internal.
+func classifyExecError(err error) *Error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Kind: KindTimeout, Message: "query exceeded the per-request deadline"}
+	case errors.Is(err, context.Canceled):
+		return &Error{Kind: KindCanceled, Message: "query canceled"}
+	}
+	switch s3api.KindOf(err) {
+	case s3api.KindNotFound, s3api.KindBadRequest, s3api.KindInvalidRange, s3api.KindUnsupported:
+		return &Error{Kind: KindBadRequest, Message: err.Error()}
+	}
+	return &Error{Kind: KindInternal, Message: err.Error()}
+}
+
+// handleStats renders the shared-state snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, &Error{Kind: KindBadRequest, Message: "GET only"})
+		return
+	}
+	st := Stats{
+		UptimeSec: time.Since(s.start).Seconds(),
+		InFlight:  s.inFlight.Load(),
+		Queued:    s.queued.Load(),
+		Accepted:  s.accepted.Load(),
+		Rejected:  map[ErrorKind]int64{},
+		Tenants:   map[string]TenantStats{},
+		Draining:  s.draining.Load(),
+	}
+	s.rejMu.Lock()
+	for k, n := range s.rejected {
+		st.Rejected[k] = n
+	}
+	s.rejMu.Unlock()
+	for name, u := range s.ledger.Snapshot() {
+		ten := TenantStats{
+			Queries:    u.Queries,
+			Errors:     u.Errors,
+			RuntimeSec: u.RuntimeSec,
+			Cost:       u.Cost,
+			TotalUSD:   u.Cost.Total(),
+			BudgetUSD:  s.cfg.TenantBudgetUSD,
+		}
+		s.tenMu.Lock()
+		if ts := s.tenants[name]; ts != nil {
+			ten.InFlight = ts.inFlight.Load()
+		}
+		s.tenMu.Unlock()
+		st.Tenants[name] = ten
+	}
+	if cs, ok := s.db.ResultCacheStats(); ok {
+		st.Cache = &CacheStats{Stats: cs, HitRate: cs.HitRate()}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthResponse{Status: status, InFlight: s.inFlight.Load()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	writeJSON(w, httpStatus(e.Kind), errorResponse{Err: *e})
+}
+
+// requestInfoKey carries the tenant and request id into the engine's
+// query hook through the execution context.
+type requestInfoKey struct{}
+
+type requestInfo struct {
+	tenant string
+	id     int64
+}
+
+func withRequestInfo(ctx context.Context, tenant string, id int64) context.Context {
+	return context.WithValue(ctx, requestInfoKey{}, requestInfo{tenant: tenant, id: id})
+}
+
+// auditEntry is one JSON line in the audit log.
+type auditEntry struct {
+	TS         string  `json:"ts"`
+	Tenant     string  `json:"tenant"`
+	ID         int64   `json:"id,omitempty"`
+	SQL        string  `json:"sql"`
+	Status     string  `json:"status"` // "ok" or an ErrorKind
+	RuntimeSec float64 `json:"runtime_sec,omitempty"`
+	CostUSD    float64 `json:"cost_usd,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+func (s *Server) auditWrite(e auditEntry) {
+	if s.cfg.AuditLog == nil {
+		return
+	}
+	e.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.auditMu.Lock()
+	_, _ = s.cfg.AuditLog.Write(append(line, '\n'))
+	s.auditMu.Unlock()
+}
+
+// auditQueryHook is the engine.QueryHook the server installs: every
+// statement the shared DB executes — through this server or by a direct
+// in-process caller — lands in the audit log with its tenant attribution
+// when it came through the server ("direct" otherwise).
+func (s *Server) auditQueryHook(ctx context.Context, sql string, exec *engine.Exec, err error) {
+	e := auditEntry{Tenant: "direct", SQL: sql, Status: "ok"}
+	if info, ok := ctx.Value(requestInfoKey{}).(requestInfo); ok {
+		e.Tenant = info.tenant
+		e.ID = info.id
+	}
+	if exec != nil {
+		e.RuntimeSec = exec.RuntimeSeconds()
+		e.CostUSD = exec.Cost().Total()
+	}
+	if err != nil {
+		e.Status = string(classifyExecError(err).Kind)
+		e.Err = err.Error()
+	}
+	s.auditWrite(e)
+}
+
+// auditRejected logs a statement the admission/quota layer turned away
+// before execution.
+func (s *Server) auditRejected(tenant string, id int64, sql string, rej *Error) {
+	s.auditWrite(auditEntry{
+		Tenant: tenant, ID: id, SQL: sql,
+		Status: string(rej.Kind), Err: rej.Message,
+	})
+}

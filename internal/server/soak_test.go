@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// stableGoroutines samples the goroutine count until two consecutive
+// readings agree (HTTP keep-alive reapers and finished fan-out workers
+// need a beat to unwind), returning the settled count.
+func stableGoroutines() int {
+	prev := runtime.NumGoroutine()
+	for i := 0; i < 40; i++ {
+		time.Sleep(50 * time.Millisecond)
+		n := runtime.NumGoroutine()
+		if n == prev {
+			return n
+		}
+		prev = n
+	}
+	return prev
+}
+
+// settleGoroutines waits up to 5s for the goroutine count to drop to at
+// most want, returning the last observed count.
+func settleGoroutines(want int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		runtime.GC()
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestSoakNoGoroutineLeak runs a few hundred sequential requests —
+// successes, cache hits, parse rejections and one timeout — through one
+// server and asserts the process goroutine count returns to its
+// post-warmup baseline: no per-request goroutine may outlive its request.
+func TestSoakNoGoroutineLeak(t *testing.T) {
+	fx := newFixture(t, "inproc", Config{RequestTimeout: 500 * time.Millisecond})
+	cl := NewClient(fx.base)
+	cl.HTTPClient = &http.Client{}
+	ctx := context.Background()
+
+	// Warm up: every query path touched once, connections established.
+	for _, q := range testQueries {
+		if _, err := cl.Query(ctx, q); err != nil {
+			t.Fatalf("warmup %q: %v", q, err)
+		}
+	}
+	baseline := stableGoroutines()
+	t.Cleanup(func() {
+		cl.HTTPClient.CloseIdleConnections()
+		// The fixture's own cleanup shuts the server down after this; here
+		// we only pin that the soak itself left nothing behind.
+		if n := settleGoroutines(baseline + 5); n > baseline+5 {
+			buf := make([]byte, 1<<20)
+			t.Errorf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+	})
+
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		q := testQueries[i%len(testQueries)]
+		switch {
+		case i%50 == 25:
+			// A parse rejection exercises the pre-admission path.
+			if _, err := cl.Query(ctx, "DEFINITELY NOT SQL"); KindOf(err) != KindBadRequest {
+				t.Fatalf("round %d: want bad_request, got %v", i, err)
+			}
+		case i == rounds/2:
+			// One mid-soak timeout exercises the cancellation path.
+			fx.fault.StallFor(30 * time.Second)
+			fx.fault.OnOps("select")
+			fx.db.InvalidateStats() // force the next query past the cache
+			if _, err := cl.Query(ctx, q); KindOf(err) != KindTimeout {
+				t.Fatalf("round %d: want timeout, got %v", i, err)
+			}
+			fx.fault.Reset()
+		default:
+			if _, err := cl.Query(ctx, q); err != nil {
+				t.Fatalf("round %d %q: %v", i, q, err)
+			}
+		}
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("work left behind after soak: %+v", st)
+	}
+	if got := fmt.Sprint(st.Accepted); got == "0" {
+		t.Error("nothing accepted?")
+	}
+}

@@ -1,0 +1,239 @@
+// Package server is pushdownd's long-lived query front end: an HTTP/JSON
+// server multiplexing concurrent clients over one shared engine.DB, its
+// result cache and its cost meter. The production concerns live here, not
+// in the engine: connection admission with a bounded wait queue, per-tenant
+// concurrency lanes and simulated-dollar quotas billed from the cloudsim
+// ledger, per-request deadlines wired into QueryContext cancellation,
+// graceful drain on shutdown, and a structured audit log fed by the
+// engine's query hook. The Go client in client.go is the same one the
+// tests, the harness figure and the CLI use.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/rescache"
+	"pushdowndb/internal/value"
+)
+
+// ErrorKind classifies a server rejection so clients can branch without
+// parsing message strings — the same idea as s3api.Kind one layer up.
+type ErrorKind string
+
+const (
+	// KindBadRequest: malformed request body, unparsable SQL, or a query
+	// against data that does not exist.
+	KindBadRequest ErrorKind = "bad_request"
+	// KindOverloaded: admission control turned the request away — the wait
+	// queue is full or the tenant's concurrency lane is.
+	KindOverloaded ErrorKind = "overloaded"
+	// KindOverQuota: the tenant spent its simulated-dollar budget.
+	KindOverQuota ErrorKind = "over_quota"
+	// KindTimeout: the per-request deadline cut the query.
+	KindTimeout ErrorKind = "timeout"
+	// KindCanceled: the client went away mid-query.
+	KindCanceled ErrorKind = "canceled"
+	// KindShuttingDown: the server is draining and takes no new queries.
+	KindShuttingDown ErrorKind = "shutting_down"
+	// KindInternal: everything else.
+	KindInternal ErrorKind = "internal"
+)
+
+// Error is the structured error the server returns and the client
+// reconstructs; Kind survives the wire intact.
+type Error struct {
+	Kind    ErrorKind `json:"kind"`
+	Message string    `json:"message"`
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("pushdownd: %s: %s", e.Kind, e.Message) }
+
+// KindOf returns the ErrorKind of err when it is (or wraps) a server
+// *Error, and "" otherwise.
+func KindOf(err error) ErrorKind {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Kind
+	}
+	return ""
+}
+
+// httpStatus maps an error kind onto the HTTP status line; the JSON body
+// remains the source of truth.
+func httpStatus(k ErrorKind) int {
+	switch k {
+	case KindBadRequest:
+		return http.StatusBadRequest
+	case KindOverQuota, KindOverloaded:
+		return http.StatusTooManyRequests
+	case KindShuttingDown:
+		return http.StatusServiceUnavailable
+	case KindTimeout:
+		return http.StatusGatewayTimeout
+	case KindCanceled:
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Cell is the wire form of one engine value: a kind tag and a string
+// payload chosen so decoding reproduces the exact value.Value (floats ride
+// as round-tripping 'g' format, dates as epoch days).
+type Cell struct {
+	K string `json:"k,omitempty"` // "" null, "b" bool, "i" int, "f" float, "s" string, "d" date
+	V string `json:"v,omitempty"`
+}
+
+func encodeCell(v value.Value) Cell {
+	switch v.Kind() {
+	case value.KindBool:
+		if v.AsBool() {
+			return Cell{K: "b", V: "t"}
+		}
+		return Cell{K: "b", V: "f"}
+	case value.KindInt:
+		return Cell{K: "i", V: strconv.FormatInt(v.AsInt(), 10)}
+	case value.KindFloat:
+		return Cell{K: "f", V: strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)}
+	case value.KindString:
+		return Cell{K: "s", V: v.AsString()}
+	case value.KindDate:
+		return Cell{K: "d", V: strconv.FormatInt(v.Days(), 10)}
+	default:
+		return Cell{}
+	}
+}
+
+func decodeCell(c Cell) (value.Value, error) {
+	switch c.K {
+	case "":
+		return value.Null(), nil
+	case "b":
+		return value.Bool(c.V == "t"), nil
+	case "i":
+		i, err := strconv.ParseInt(c.V, 10, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("server: bad int cell %q: %w", c.V, err)
+		}
+		return value.Int(i), nil
+	case "f":
+		f, err := strconv.ParseFloat(c.V, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("server: bad float cell %q: %w", c.V, err)
+		}
+		return value.Float(f), nil
+	case "s":
+		return value.Str(c.V), nil
+	case "d":
+		d, err := strconv.ParseInt(c.V, 10, 64)
+		if err != nil {
+			return value.Null(), fmt.Errorf("server: bad date cell %q: %w", c.V, err)
+		}
+		return value.Date(d), nil
+	default:
+		return value.Null(), fmt.Errorf("server: unknown cell kind %q", c.K)
+	}
+}
+
+func encodeRelation(rel *engine.Relation) ([]string, [][]Cell) {
+	if rel == nil {
+		return []string{}, [][]Cell{}
+	}
+	rows := make([][]Cell, len(rel.Rows))
+	for i, row := range rel.Rows {
+		cells := make([]Cell, len(row))
+		for j, v := range row {
+			cells[j] = encodeCell(v)
+		}
+		rows[i] = cells
+	}
+	cols := rel.Cols
+	if cols == nil {
+		cols = []string{}
+	}
+	return cols, rows
+}
+
+func decodeRelation(cols []string, rows [][]Cell) (*engine.Relation, error) {
+	rel := &engine.Relation{Cols: cols, Rows: make([]engine.Row, len(rows))}
+	for i, cells := range rows {
+		row := make(engine.Row, len(cells))
+		for j, c := range cells {
+			v, err := decodeCell(c)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		rel.Rows[i] = row
+	}
+	return rel, nil
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Tenant attributes the query for concurrency lanes, quotas and the
+	// audit log; empty means the server's default tenant.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// queryResponse is the success body of POST /query.
+type queryResponse struct {
+	Columns    []string                `json:"columns"`
+	Rows       [][]Cell                `json:"rows"`
+	RuntimeSec float64                 `json:"runtime_sec"`
+	Cost       cloudsim.CostBreakdown  `json:"cost"`
+	Requests   int64                   `json:"requests"`
+	CacheHits  int64                   `json:"cache_hits"`
+	Tenant     string                  `json:"tenant"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Err Error `json:"error"`
+}
+
+// TenantStats is one tenant's slice of GET /stats.
+type TenantStats struct {
+	Queries    int64                  `json:"queries"`
+	Errors     int64                  `json:"errors"`
+	RuntimeSec float64                `json:"runtime_sec"`
+	Cost       cloudsim.CostBreakdown `json:"cost"`
+	TotalUSD   float64                `json:"total_usd"`
+	BudgetUSD  float64                `json:"budget_usd"` // 0 = unlimited
+	InFlight   int64                  `json:"in_flight"`
+}
+
+// CacheStats is the shared result cache's slice of GET /stats.
+type CacheStats struct {
+	rescache.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Stats is the GET /stats body: what the shared process knows about
+// itself — admission counters, per-tenant bills, and the result cache all
+// tenants share.
+type Stats struct {
+	UptimeSec float64                `json:"uptime_sec"`
+	InFlight  int64                  `json:"in_flight"`
+	Queued    int64                  `json:"queued"`
+	Accepted  int64                  `json:"accepted"`
+	Rejected  map[ErrorKind]int64    `json:"rejected"`
+	Tenants   map[string]TenantStats `json:"tenants"`
+	Cache     *CacheStats            `json:"cache,omitempty"`
+	Draining  bool                   `json:"draining"`
+}
+
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	InFlight int64  `json:"in_flight"`
+}
