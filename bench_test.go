@@ -11,6 +11,7 @@
 package pushdowndb_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -32,17 +33,17 @@ func benchEnv(b *testing.B) *harness.Env {
 
 // benchFigure runs one figure per iteration and reports headline metrics
 // extracted by pick.
-func benchFigure(b *testing.B, run func(*harness.Env) (*harness.Result, error),
+func benchFigure(b *testing.B, run func(context.Context, *harness.Env) (*harness.Result, error),
 	pick func(*harness.Result) map[string]float64) {
 	env := benchEnv(b)
 	// Warm the dataset caches outside the timer.
-	if _, err := run(env); err != nil {
+	if _, err := run(context.Background(), env); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var last *harness.Result
 	for i := 0; i < b.N; i++ {
-		r, err := run(env)
+		r, err := run(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"pushdowndb/internal/harness"
 )
@@ -23,13 +25,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the run between (and, through the engine, inside)
+	// figure sweeps instead of leaving a half-printed table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	scale := harness.DefaultScale()
 	if *scaleName == "small" {
 		scale = harness.SmallScale()
 	}
 	env := harness.NewEnv(scale)
 
-	runs := map[string]func(*harness.Env) (*harness.Result, error){
+	runs := map[string]func(context.Context, *harness.Env) (*harness.Result, error){
 		"Fig1": harness.RunFig1, "Fig2": harness.RunFig2, "Fig3": harness.RunFig3,
 		"Fig4": harness.RunFig4, "Fig5": harness.RunFig5, "Fig6": harness.RunFig6,
 		"Fig7": harness.RunFig7, "Fig8": harness.RunFig8, "Fig9": harness.RunFig9,
@@ -41,7 +48,7 @@ func main() {
 
 	switch {
 	case *ablations:
-		results, err := harness.AblationFigures(env)
+		results, err := harness.AblationFigures(ctx, env)
 		if err != nil {
 			fatal(err)
 		}
@@ -53,13 +60,13 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache, Index, Serve)", *fig))
 		}
-		r, err := run(env)
+		r, err := run(ctx, env)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(r)
 	default:
-		results, err := harness.AllFigures(env)
+		results, err := harness.AllFigures(ctx, env)
 		if err != nil {
 			fatal(err)
 		}

@@ -97,7 +97,7 @@ func main() {
 		}
 		*bucket = "tpch"
 		st := store.New()
-		if _, err := tpch.LoadWithIndexes(st, tpch.Dataset{
+		if _, err := tpch.LoadWithIndexes(ctx, st, tpch.Dataset{
 			SF: *demoSF, Seed: 42, Bucket: *bucket, Partitions: *parts,
 		}); err != nil {
 			fatal(err)

@@ -1,0 +1,79 @@
+// Command pushdownlint runs the repo's analyzer suite (internal/lint) over
+// the module and exits non-zero on any diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/pushdownlint ./...
+//	go run ./cmd/pushdownlint -list
+//	go run ./cmd/pushdownlint internal/engine internal/harness
+//
+// Suppress a finding with a reasoned directive on (or directly above) the
+// flagged line:
+//
+//	//lint:ignore <analyzer> <why the invariant may be broken here>
+//
+// See docs/ARCHITECTURE.md "Static analysis & invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pushdowndb/internal/lint"
+	"pushdowndb/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their docs, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pushdownlint [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := load.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := load.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pushdownlint:", err)
+	os.Exit(2)
+}

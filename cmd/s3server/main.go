@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -46,6 +47,7 @@ func main() {
 		crossRegion = flag.Bool("cross-region", false, "advertise the cross-region S3 cost profile instead of in-region")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	st := store.New()
 	if *state != "" {
@@ -73,7 +75,7 @@ func main() {
 				fatal(fmt.Errorf("parsing %s: %w", path, err))
 			}
 			table := strings.TrimSuffix(ent.Name(), ".csv")
-			if err := engine.PartitionTable(st, *bucket, table, header, rows, *parts); err != nil {
+			if err := engine.PartitionTable(ctx, st, *bucket, table, header, rows, *parts); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("loaded %s/%s (%d rows, %d partitions)\n", *bucket, table, len(rows), *parts)

@@ -29,7 +29,7 @@ func main() {
 	for i := 0; i < 4000; i++ {
 		rows = append(rows, []string{fmt.Sprint(i), fmt.Sprint(i % 400), pad})
 	}
-	if err := engine.PartitionTable(st, "demo", "events", []string{"k", "v", "payload"}, rows, 4); err != nil {
+	if err := engine.PartitionTable(ctx, st, "demo", "events", []string{"k", "v", "payload"}, rows, 4); err != nil {
 		log.Fatal(err)
 	}
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,7 @@ import (
 
 func main() {
 	// 1. A simulated S3 store with one partitioned table.
+	ctx := context.Background()
 	st := store.New()
 	header := []string{"id", "city", "temp_c"}
 	rows := [][]string{
@@ -26,7 +28,7 @@ func main() {
 		{"5", "cambridge", "-1.75"},
 		{"6", "san-francisco", "14.0"},
 	}
-	if err := engine.PartitionTable(st, "weather", "readings", header, rows, 2); err != nil {
+	if err := engine.PartitionTable(ctx, st, "weather", "readings", header, rows, 2); err != nil {
 		log.Fatal(err)
 	}
 

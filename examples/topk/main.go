@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,8 +17,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	st := store.New()
-	ds, err := tpch.Load(st, tpch.Dataset{SF: 0.005, Seed: 1, Partitions: 4})
+	ds, err := tpch.Load(ctx, st, tpch.Dataset{SF: 0.005, Seed: 1, Partitions: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

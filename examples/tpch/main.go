@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,8 +21,9 @@ func main() {
 	sf := flag.Float64("sf", 0.005, "generated TPC-H scale factor")
 	flag.Parse()
 
+	ctx := context.Background()
 	st := store.New()
-	ds, err := tpch.Load(st, tpch.Dataset{SF: *sf, Seed: 42, Partitions: 4})
+	ds, err := tpch.Load(ctx, st, tpch.Dataset{SF: *sf, Seed: 42, Partitions: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -416,9 +416,16 @@ func (m *Metrics) RuntimeSeconds() float64 {
 			byStage[p.Stage] = t
 		}
 	}
+	// Sum in sorted stage order: float addition is not associative, and the
+	// runtime must be byte-identical run to run (the figures diff on it).
+	stages := make([]int, 0, len(byStage))
+	for s := range byStage {
+		stages = append(stages, s)
+	}
+	sort.Ints(stages)
 	var total float64
-	for _, t := range byStage {
-		total += t
+	for _, s := range stages {
+		total += byStage[s]
 	}
 	return total
 }

@@ -47,7 +47,7 @@ func manyPartsDB(t *testing.T, g *gatedBackend, parts int) *DB {
 	for i := 0; i < parts*4; i++ {
 		rows = append(rows, []string{fmt.Sprint(i)})
 	}
-	if err := PartitionTable(st, testBucket, "wide", []string{"x"}, rows, parts); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "wide", []string{"x"}, rows, parts); err != nil {
 		t.Fatal(err)
 	}
 	g.Backend = s3api.NewInProc(st)
@@ -130,7 +130,7 @@ func TestTableHeaderWiderThanProbe(t *testing.T) {
 	for i := range cols {
 		rows[0][i] = fmt.Sprint(i)
 	}
-	if err := PartitionTable(st, testBucket, "widehdr", cols, rows, 1); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "widehdr", cols, rows, 1); err != nil {
 		t.Fatal(err)
 	}
 	db := openTestDB(t, st)

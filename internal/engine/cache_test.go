@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -133,7 +134,7 @@ func TestReloadedTableNeverServesStaleRows(t *testing.T) {
 		for _, v := range vals {
 			rows = append(rows, []string{v})
 		}
-		if err := PartitionTable(st, testBucket, "mut", []string{"v"}, rows, 2); err != nil {
+		if err := PartitionTable(context.Background(), st, testBucket, "mut", []string{"v"}, rows, 2); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -233,7 +234,7 @@ func TestPlannerFlipsToFilteredWhenProbeResident(t *testing.T) {
 		{"tb", []string{"bk", "ak", "sk"}, tb},
 		{"tc", []string{"sk", "cv", "pad"}, tc},
 	} {
-		if err := PartitionTable(st, testBucket, tbl.name, tbl.header, tbl.rows, 2); err != nil {
+		if err := PartitionTable(context.Background(), st, testBucket, tbl.name, tbl.header, tbl.rows, 2); err != nil {
 			t.Fatal(err)
 		}
 	}

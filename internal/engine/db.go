@@ -392,12 +392,16 @@ func (e *Exec) QueryPlan() *QueryPlan { return e.plan }
 func (e *Exec) Access() *AccessPlan { return e.access }
 
 // NewExec starts a query execution context with background cancellation.
-func (db *DB) NewExec() *Exec { return db.NewExecContext(context.Background()) }
+func (db *DB) NewExec() *Exec {
+	//lint:ignore ctxflow context-free compatibility wrapper; the root context is born here
+	return db.NewExecContext(context.Background())
+}
 
 // NewExecContext starts a query execution context; canceling ctx aborts
 // the execution's storage fan-outs.
 func (db *DB) NewExecContext(ctx context.Context) *Exec {
 	if ctx == nil {
+		//lint:ignore ctxflow nil-guard: a nil ctx must degrade to Background, not panic
 		ctx = context.Background()
 	}
 	return &Exec{db: db, ctx: ctx, Metrics: cloudsim.NewMetricsScaled(db.Cfg, db.Sim)}
@@ -452,9 +456,12 @@ func (e *Exec) parts(table string) ([]string, error) {
 		return nil, err
 	}
 	if len(keys) == 0 {
+		// A kinded not-found, so an unknown table surfaces at the server as
+		// bad_request rather than a 500 "internal".
 		name, _ := e.db.BackendFor(table)
-		return nil, fmt.Errorf("engine: table %q has no partitions in bucket %q on backend %q",
-			table, e.db.bucket, name)
+		return nil, s3api.NewError("list", e.db.bucket, table+"/part", s3api.KindNotFound,
+			fmt.Errorf("engine: table %q has no partitions in bucket %q on backend %q",
+				table, e.db.bucket, name))
 	}
 	e.partsMu.Lock()
 	if e.partsMemo == nil {

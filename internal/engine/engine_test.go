@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -34,7 +35,7 @@ func newTestStore(t *testing.T) *store.Store {
 			fmt.Sprintf("%.2f", rng.Float64()*100-50),
 		})
 	}
-	if err := PartitionTable(st, testBucket, "events", []string{"k", "g", "v"}, events, 4); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "events", []string{"k", "g", "v"}, events, 4); err != nil {
 		t.Fatal(err)
 	}
 	if err := BuildIndexTable(st, testBucket, "events", "v"); err != nil {
@@ -45,7 +46,7 @@ func newTestStore(t *testing.T) *store.Store {
 	for i := 0; i < 100; i++ {
 		cust = append(cust, []string{fmt.Sprint(i), fmt.Sprintf("%.2f", rng.Float64()*2000-1000)})
 	}
-	if err := PartitionTable(st, testBucket, "cust", []string{"ck", "bal"}, cust, 2); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "cust", []string{"ck", "bal"}, cust, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -57,7 +58,7 @@ func newTestStore(t *testing.T) *store.Store {
 			fmt.Sprintf("%.2f", rng.Float64()*500),
 		})
 	}
-	if err := PartitionTable(st, testBucket, "ords", []string{"ok", "ck", "price"}, ords, 4); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "ords", []string{"ok", "ck", "price"}, ords, 4); err != nil {
 		t.Fatal(err)
 	}
 	return st

@@ -188,7 +188,7 @@ func eventsDB(t *testing.T, parts int) *DB {
 			fmt.Sprintf("%.2f", rng.Float64()*100-50),
 		})
 	}
-	if err := PartitionTable(st, testBucket, "events", []string{"k", "g", "v"}, events, parts); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "events", []string{"k", "g", "v"}, events, parts); err != nil {
 		t.Fatal(err)
 	}
 	return openTestDB(t, st)

@@ -23,7 +23,7 @@ func hookDB(t *testing.T) (*DB, *[]hookRecord, *sync.Mutex) {
 	st := store.New()
 	header := []string{"id", "v"}
 	rows := [][]string{{"1", "10"}, {"2", "20"}, {"3", "30"}}
-	if err := PartitionTable(st, "bkt", "t", header, rows, 2); err != nil {
+	if err := PartitionTable(context.Background(), st, "bkt", "t", header, rows, 2); err != nil {
 		t.Fatal(err)
 	}
 	var (

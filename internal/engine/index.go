@@ -36,15 +36,17 @@ func (db *DB) CreateNamedIndex(ctx context.Context, name, table, column string) 
 	backendName, backend := db.BackendFor(table)
 	putter, ok := backend.(s3api.Putter)
 	if !ok {
-		return fmt.Errorf("engine: backend %q does not accept writes; cannot build an index there", backendName)
+		return s3api.NewError("put", db.bucket, table, s3api.KindUnsupported,
+			fmt.Errorf("engine: backend %q does not accept writes; cannot build an index there", backendName))
 	}
 	keys, err := backend.List(ctx, db.bucket, table+"/part")
 	if err != nil {
 		return err
 	}
 	if len(keys) == 0 {
-		return fmt.Errorf("engine: table %q has no partitions in bucket %q on backend %q",
-			table, db.bucket, backendName)
+		return s3api.NewError("list", db.bucket, table+"/part", s3api.KindNotFound,
+			fmt.Errorf("engine: table %q has no partitions in bucket %q on backend %q",
+				table, db.bucket, backendName))
 	}
 	if name == "" {
 		name = "ix_" + table + "_" + strings.ToLower(column)
@@ -55,6 +57,7 @@ func (db *DB) CreateNamedIndex(ctx context.Context, name, table, column string) 
 		DataSizes:  make([]int64, len(keys)),
 	}
 	for i, key := range keys {
+		//lint:ignore metered index builds are dataset preparation, outside every query's virtual clock (see package comment)
 		data, err := backend.Get(ctx, db.bucket, key)
 		if err != nil {
 			return err
@@ -136,7 +139,8 @@ func (db *DB) updateManifest(ctx context.Context, table string, fn func(*index.M
 	backendName, backend := db.BackendFor(table)
 	putter, ok := backend.(s3api.Putter)
 	if !ok {
-		return fmt.Errorf("engine: backend %q does not accept writes; cannot update the index manifest", backendName)
+		return s3api.NewError("put", db.bucket, index.ManifestKey(table), s3api.KindUnsupported,
+			fmt.Errorf("engine: backend %q does not accept writes; cannot update the index manifest", backendName))
 	}
 	m, err := db.loadManifest(ctx, table)
 	if err != nil {
@@ -152,6 +156,7 @@ func (db *DB) updateManifest(ctx context.Context, table string, fn func(*index.M
 // empty manifest when none exists yet.
 func (db *DB) loadManifest(ctx context.Context, table string) (*index.Manifest, error) {
 	backend := db.backendFor(table)
+	//lint:ignore metered catalog read: the manifest is engine metadata, refreshed per DB, never billed to a query
 	data, err := backend.Get(ctx, db.bucket, index.ManifestKey(table))
 	if err != nil {
 		if s3api.IsNotFound(err) {
@@ -207,6 +212,7 @@ func (db *DB) validatedManifest(ctx context.Context, table string) *index.Manife
 	}
 	sizes := make([]int64, len(keys))
 	for i, k := range keys {
+		//lint:ignore metered catalog read: staleness stamps validate the manifest per DB, never billed to a query
 		n, err := backend.Size(ctx, db.bucket, k)
 		if err != nil {
 			return index.NewManifest()

@@ -28,7 +28,7 @@ func newIndexStore(t *testing.T) *store.Store {
 	for i := 0; i < 4000; i++ {
 		rows = append(rows, []string{fmt.Sprint(i), fmt.Sprint(i % 400), pad})
 	}
-	if err := PartitionTable(st, testBucket, "wide", []string{"k", "v", "pad"}, rows, 4); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "wide", []string{"k", "v", "pad"}, rows, 4); err != nil {
 		t.Fatal(err)
 	}
 	return st
@@ -235,7 +235,7 @@ func TestIndexNeverServesStaleRanges(t *testing.T) {
 	for i := 0; i < 1777; i++ {
 		rows = append(rows, []string{fmt.Sprint(i + 100000), fmt.Sprint(i % 1000), pad})
 	}
-	if err := PartitionTable(st, testBucket, "wide", []string{"k", "v", "pad"}, rows, 4); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "wide", []string{"k", "v", "pad"}, rows, 4); err != nil {
 		t.Fatal(err)
 	}
 	db.InvalidateTable("wide")
@@ -284,14 +284,14 @@ func TestChainJoinOffersIndexScan(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		drv = append(drv, []string{fmt.Sprint(i), fmt.Sprint(i * 50)})
 	}
-	if err := PartitionTable(st, testBucket, "drv", []string{"dk", "dv"}, drv, 2); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "drv", []string{"dk", "dv"}, drv, 2); err != nil {
 		t.Fatal(err)
 	}
 	var mid [][]string
 	for i := 0; i < 64; i++ {
 		mid = append(mid, []string{fmt.Sprint(i), fmt.Sprint(i % 8)})
 	}
-	if err := PartitionTable(st, testBucket, "mid", []string{"mk", "dk"}, mid, 2); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "mid", []string{"mk", "dk"}, mid, 2); err != nil {
 		t.Fatal(err)
 	}
 	db := openIndexDB(t, st)
@@ -323,10 +323,10 @@ func TestChainJoinOffersIndexScan(t *testing.T) {
 	}
 	// Cross-check the answer against a DB with no index at all.
 	stPlain := newIndexStore(t)
-	if err := PartitionTable(stPlain, testBucket, "drv", []string{"dk", "dv"}, drv, 2); err != nil {
+	if err := PartitionTable(context.Background(), stPlain, testBucket, "drv", []string{"dk", "dv"}, drv, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := PartitionTable(stPlain, testBucket, "mid", []string{"mk", "dk"}, mid, 2); err != nil {
+	if err := PartitionTable(context.Background(), stPlain, testBucket, "mid", []string{"mk", "dk"}, mid, 2); err != nil {
 		t.Fatal(err)
 	}
 	want, _, err := openIndexDB(t, stPlain).Query(sql)

@@ -18,9 +18,10 @@ import (
 
 // PartitionTable writes rows as parts CSV partition objects (each with the
 // header row) under table/partNNNN.csv, mirroring how PushdownDB lays out
-// S3 data for parallel loading.
-func PartitionTable(st *store.Store, bucket, table string, header []string, rows [][]string, parts int) error {
-	return PartitionTableTo(context.Background(), s3api.NewInProc(st), bucket, table, header, rows, parts)
+// S3 data for parallel loading. Canceling ctx stops the load between
+// partition writes.
+func PartitionTable(ctx context.Context, st *store.Store, bucket, table string, header []string, rows [][]string, parts int) error {
+	return PartitionTableTo(ctx, s3api.NewInProc(st), bucket, table, header, rows, parts)
 }
 
 // PartitionTableTo writes rows as partition objects through any backend

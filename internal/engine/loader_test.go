@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"testing"
@@ -19,7 +20,7 @@ func TestPartitionTableSplitsEvenly(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		rows = append(rows, []string{fmt.Sprint(i)})
 	}
-	if err := PartitionTable(st, "b", "t", []string{"x"}, rows, 4); err != nil {
+	if err := PartitionTable(context.Background(), st, "b", "t", []string{"x"}, rows, 4); err != nil {
 		t.Fatal(err)
 	}
 	parts := st.TableParts("b", "t")
@@ -48,7 +49,7 @@ func TestPartitionTableSplitsEvenly(t *testing.T) {
 
 func TestPartitionTableMorePartsThanRows(t *testing.T) {
 	st := store.New()
-	if err := PartitionTable(st, "b", "t", []string{"x"}, [][]string{{"1"}}, 8); err != nil {
+	if err := PartitionTable(context.Background(), st, "b", "t", []string{"x"}, [][]string{{"1"}}, 8); err != nil {
 		t.Fatal(err)
 	}
 	// All partitions exist (some empty but with headers).
@@ -69,7 +70,7 @@ func TestPartitionTableMorePartsThanRows(t *testing.T) {
 func TestBuildIndexTableOffsets(t *testing.T) {
 	st := store.New()
 	rows := [][]string{{"10", "a"}, {"20", "b,with,commas"}, {"30", "c"}}
-	if err := PartitionTable(st, "b", "t", []string{"k", "s"}, rows, 1); err != nil {
+	if err := PartitionTable(context.Background(), st, "b", "t", []string{"k", "s"}, rows, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := BuildIndexTable(st, "b", "t", "k"); err != nil {
@@ -107,7 +108,7 @@ func TestBuildIndexTableErrors(t *testing.T) {
 	if err := BuildIndexTable(st, "b", "missing", "k"); err == nil {
 		t.Error("missing table should error")
 	}
-	_ = PartitionTable(st, "b", "t", []string{"a"}, [][]string{{"1"}}, 1)
+	_ = PartitionTable(context.Background(), st, "b", "t", []string{"a"}, [][]string{{"1"}}, 1)
 	if err := BuildIndexTable(st, "b", "t", "nosuch"); err == nil {
 		t.Error("missing column should error")
 	}

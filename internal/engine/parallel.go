@@ -197,6 +197,11 @@ func HashJoinLocalN(left, right *Relation, leftKey, rightKey string, workers int
 	if len(partMaps) > 0 {
 		build = partMaps[0]
 		for _, m := range partMaps[1:] {
+			// Deterministic despite the map iteration: each key gets exactly
+			// one append per worker map, worker maps merge in slice (span)
+			// order, and every per-worker index list is already ascending —
+			// so build[h] is ascending regardless of which key goes first.
+			//lint:ignore mapdeterminism per-key append order is fixed by the worker-span order, not the map order
 			for h, idxs := range m {
 				build[h] = append(build[h], idxs...)
 			}

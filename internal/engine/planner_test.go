@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -151,7 +152,7 @@ func TestPlannerThreeTableChain(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		items = append(items, []string{intStr(i), intStr(i % 7)})
 	}
-	if err := PartitionTable(st, testBucket, "items", []string{"iok", "qty"}, items, 2); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "items", []string{"iok", "qty"}, items, 2); err != nil {
 		t.Fatal(err)
 	}
 	db.Sim = bigSim()
@@ -238,7 +239,7 @@ func TestPlannerRejectsAmbiguousColumns(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		rows = append(rows, []string{intStr(i), intStr(i * 10)})
 	}
-	if err := PartitionTable(st, testBucket, "acct", []string{"ck2", "bal"}, rows, 2); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "acct", []string{"ck2", "bal"}, rows, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Referencing the duplicated, non-equated "bal" after the join must be
@@ -282,7 +283,7 @@ func TestPlannerRejectsAmbiguousChainJoinKey(t *testing.T) {
 	// Three tables all providing "id"; only b.id = c.id is equated, so a
 	// chain key or qualified reference over "id" could bind to a.id.
 	mk := func(name string, cols []string, rows [][]string) {
-		if err := PartitionTable(st, testBucket, name, cols, rows, 2); err != nil {
+		if err := PartitionTable(context.Background(), st, testBucket, name, cols, rows, 2); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -348,11 +349,11 @@ func TestPlannerRejectsAmbiguousJoinKey(t *testing.T) {
 	db, st := newTestDB(t)
 	// users(id, name) and torders(id, user_id): unqualified "id" in a join
 	// condition could mean either table.
-	if err := PartitionTable(st, testBucket, "users",
+	if err := PartitionTable(context.Background(), st, testBucket, "users",
 		[]string{"id", "name"}, [][]string{{"1", "a"}, {"2", "b"}}, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := PartitionTable(st, testBucket, "torders",
+	if err := PartitionTable(context.Background(), st, testBucket, "torders",
 		[]string{"id", "user_id"}, [][]string{{"10", "1"}, {"11", "2"}}, 2); err != nil {
 		t.Fatal(err)
 	}

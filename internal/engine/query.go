@@ -17,6 +17,7 @@ import (
 // (plan.go), which picks a Section-V join strategy per join; the chosen
 // plan is available from Exec.QueryPlan.
 func (db *DB) Query(sql string) (*Relation, *Exec, error) {
+	//lint:ignore ctxflow context-free compatibility wrapper; the root context is born here
 	return db.QueryContext(context.Background(), sql)
 }
 
@@ -90,15 +91,22 @@ func (db *DB) execStatement(ctx context.Context, sql string) (*Relation, *Exec, 
 // (header and statistics probes); single-table queries plan for free and
 // return a nil QueryPlan (they bypass the join planner).
 func (db *DB) Plan(sql string) (*QueryPlan, *Exec, error) {
+	//lint:ignore ctxflow context-free compatibility wrapper; the root context is born here
+	return db.PlanContext(context.Background(), sql)
+}
+
+// PlanContext is Plan with cancellation: the planner's header and
+// statistics probes run under ctx.
+func (db *DB) PlanContext(ctx context.Context, sql string) (*QueryPlan, *Exec, error) {
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	return db.planParsed(sel)
+	return db.planParsed(ctx, sel)
 }
 
-func (db *DB) planParsed(sel *sqlparse.Select) (*QueryPlan, *Exec, error) {
-	e := db.NewExec()
+func (db *DB) planParsed(ctx context.Context, sel *sqlparse.Select) (*QueryPlan, *Exec, error) {
+	e := db.NewExecContext(ctx)
 	if len(sel.Joins) == 0 {
 		return nil, e, nil
 	}
@@ -399,12 +407,21 @@ func renderExprs(exprs []sqlparse.Expr) string {
 // pushdown split for single-table ones. Planning a join query issues the
 // planner's (cheap) header and statistics probes.
 func (db *DB) Explain(sql string) (string, error) {
+	//lint:ignore ctxflow context-free compatibility wrapper; the root context is born here
+	return db.ExplainContext(context.Background(), sql)
+}
+
+// ExplainContext is Explain with cancellation: the planner's probes and
+// the cached-scan residency check honor ctx, so a caller's deadline (e.g.
+// the server's per-request timeout) cuts a stalled backend listing instead
+// of hanging Explain.
+func (db *DB) ExplainContext(ctx context.Context, sql string) (string, error) {
 	sel, err := sqlparse.Parse(sql)
 	if err != nil {
 		return "", err
 	}
 	if len(sel.Joins) > 0 {
-		plan, _, err := db.planParsed(sel)
+		plan, _, err := db.planParsed(ctx, sel)
 		if err != nil {
 			return "", err
 		}
@@ -415,7 +432,7 @@ func (db *DB) Explain(sql string) (string, error) {
 	// already resident ("cached scan") so a warm repeat's near-zero storage
 	// bill is visible before running.
 	cachedScan := func(pushedSQL string) string {
-		frac := db.cachedScanFrac(context.Background(), sel.Table, pushedSQL)
+		frac := db.cachedScanFrac(ctx, sel.Table, pushedSQL)
 		if frac <= 0 {
 			return ""
 		}
@@ -423,7 +440,7 @@ func (db *DB) Explain(sql string) (string, error) {
 	}
 	// Access-path planning for indexed tables (issues the planner's metered
 	// header/stats probes, like join Explain does).
-	ap, err := db.NewExec().planAccess(sel)
+	ap, err := db.NewExecContext(ctx).planAccess(sel)
 	if err != nil {
 		return "", err
 	}

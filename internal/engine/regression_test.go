@@ -22,7 +22,7 @@ func TestOrderByColumnDroppedByProjection(t *testing.T) {
 		{"bob", "35", "4.0"},
 		{"dave", "19", "2.5"},
 	}
-	if err := PartitionTable(st, testBucket, "people", []string{"name", "age", "score"}, rows, 2); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "people", []string{"name", "age", "score"}, rows, 2); err != nil {
 		t.Fatal(err)
 	}
 	db := openTestDB(t, st)
@@ -130,7 +130,7 @@ func newGroupValueDB(t *testing.T, vals []string) *DB {
 	for i := 0; i < 240; i++ {
 		rows = append(rows, []string{vals[i%len(vals)], fmt.Sprint(i % 10)})
 	}
-	if err := PartitionTable(st, testBucket, "zips", []string{"zip", "v"}, rows, 3); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "zips", []string{"zip", "v"}, rows, 3); err != nil {
 		t.Fatal(err)
 	}
 	return openTestDB(t, st)
@@ -145,7 +145,7 @@ func newGroupValueDBCaps(t *testing.T, vals []string, caps selectengine.Capabili
 	for i := 0; i < 240; i++ {
 		rows = append(rows, []string{vals[i%len(vals)], fmt.Sprint(i % 10)})
 	}
-	if err := PartitionTable(st, testBucket, "zips", []string{"zip", "v"}, rows, 3); err != nil {
+	if err := PartitionTable(context.Background(), st, testBucket, "zips", []string{"zip", "v"}, rows, 3); err != nil {
 		t.Fatal(err)
 	}
 	return openTestDB(t, st, s3api.WithCapabilities(caps))

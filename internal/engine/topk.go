@@ -122,12 +122,17 @@ func (e *Exec) approxRowCount(stage int, table string) (int64, error) {
 		return 0, err
 	}
 	backend := e.db.backendFor(table)
+	// The per-partition size probes are priced requests (S3 HEADs) like
+	// everything else this estimate costs; they meter as zero-byte GETs on
+	// the same phase the row probe below opens.
+	phase := e.tablePhase("probe "+table, stage, table)
 	var totalBytes int64
 	for _, k := range keys {
 		n, err := backend.Size(e.ctx, e.db.bucket, k)
 		if err != nil {
 			return 0, err
 		}
+		phase.AddGetRequest(0)
 		totalBytes += n
 	}
 	const probeRows = 64

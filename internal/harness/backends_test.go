@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"pushdowndb/internal/engine"
@@ -11,7 +12,7 @@ import (
 // NVMe end of the sweep and the thin-WAN end must not agree everywhere.
 func TestRunBackends(t *testing.T) {
 	env := NewEnv(SmallScale())
-	res, err := RunBackends(env)
+	res, err := RunBackends(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // query must cost strictly less (and run no slower) than its cold run.
 func TestRunCacheWarmBeatsCold(t *testing.T) {
 	env := NewEnv(SmallScale())
-	res, err := RunCache(env)
+	res, err := RunCache(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

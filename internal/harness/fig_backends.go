@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/cloudsim"
@@ -40,7 +41,7 @@ func BackendProfiles() []cloudsim.Profile {
 // probe-side transfer saves real seconds and egress dollars. Every
 // backend must still produce the same answer — only the strategy and the
 // bill move.
-func RunBackends(env *Env) (*Result, error) {
+func RunBackends(ctx context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "Backends",
 		Title:  "Join strategy choice vs storage backend (Listing-2 join, loosest filter)",
@@ -55,14 +56,14 @@ func RunBackends(env *Env) (*Result, error) {
 	var refCount int64
 	seen := map[string]bool{}
 	for _, profile := range BackendProfiles() {
-		db, err := env.TPCH(s3api.WithProfile(profile))
+		db, err := env.TPCH(ctx, s3api.WithProfile(profile))
 		if err != nil {
 			return nil, err
 		}
 		// Full worker budget: server-side parse and row work run across
 		// all 32 cores, so the backend link is what differentiates.
 		db.Cfg.Workers = db.Cfg.Cores
-		rel, e, err := db.Query(sql)
+		rel, e, err := db.QueryContext(ctx, sql)
 		if err != nil {
 			return nil, fmt.Errorf("harness: backends on %s: %w", profile.Name, err)
 		}

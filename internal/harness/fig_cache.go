@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/cloudsim"
@@ -35,7 +36,7 @@ func cacheFigQueries() []struct{ name, sql string } {
 // the virtual clock — so the warm cost curve sits strictly below the cold
 // one on every metered profile, with the gap widest where the wire is
 // slowest and egress is billed (cross-region S3).
-func RunCache(env *Env) (*Result, error) {
+func RunCache(ctx context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "Cache",
 		Title:  "Cold vs warm result cache per backend profile",
@@ -47,18 +48,18 @@ func RunCache(env *Env) (*Result, error) {
 		cloudsim.LocalFSProfile(),
 	}
 	for _, profile := range profiles {
-		db, err := env.TPCHWith(
+		db, err := env.TPCHWith(ctx, 
 			[]engine.Option{engine.WithResultCache(cacheFigBudget)},
 			s3api.WithProfile(profile))
 		if err != nil {
 			return nil, err
 		}
 		for _, q := range cacheFigQueries() {
-			cold, e1, err := db.Query(q.sql)
+			cold, e1, err := db.QueryContext(ctx, q.sql)
 			if err != nil {
 				return nil, fmt.Errorf("harness: cache %s cold on %s: %w", q.name, profile.Name, err)
 			}
-			warm, e2, err := db.Query(q.sql)
+			warm, e2, err := db.QueryContext(ctx, q.sql)
 			if err != nil {
 				return nil, fmt.Errorf("harness: cache %s warm on %s: %w", q.name, profile.Name, err)
 			}

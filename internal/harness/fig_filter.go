@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,8 +17,8 @@ var Fig1Selectivities = []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
 // filter is a range predicate over lineitem's order key, whose dense
 // uniform values make "l_orderkey <= X" select exactly the target
 // fraction of rows.
-func RunFig1(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig1(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -35,21 +36,21 @@ func RunFig1(env *Env) (*Result, error) {
 		}
 		pred := fmt.Sprintf("l_orderkey <= %d", threshold)
 
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		serverRel, err := e1.ServerSideFilter("lineitem", pred, "")
 		if err != nil {
 			return nil, err
 		}
 		res.add("Server-Side Filter", x, e1, nil)
 
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		s3Rel, err := e2.S3SideFilter("lineitem", pred, "*")
 		if err != nil {
 			return nil, err
 		}
 		res.add("S3-Side Filter", x, e2, nil)
 
-		e3 := db.NewExec()
+		e3 := db.NewExecContext(ctx)
 		idxRel, err := e3.IndexFilter("lineitem", "l_orderkey",
 			fmt.Sprintf("value <= %d", threshold), engine.IndexFilterOptions{})
 		if err != nil {
@@ -69,8 +70,8 @@ func RunFig1(env *Env) (*Result, error) {
 
 // RunFig1MultiRange is the Suggestion-1 ablation: indexing with one GET
 // per row (the 2020 S3 API) vs one multi-range GET per partition.
-func RunFig1MultiRange(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig1MultiRange(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -88,13 +89,13 @@ func RunFig1MultiRange(env *Env) (*Result, error) {
 		}
 		pred := fmt.Sprintf("value <= %d", threshold)
 
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		if _, err := e1.IndexFilter("lineitem", "l_orderkey", pred, engine.IndexFilterOptions{}); err != nil {
 			return nil, err
 		}
 		res.add("Per-Row GETs", x, e1, nil)
 
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		if _, err := e2.IndexFilter("lineitem", "l_orderkey", pred, engine.IndexFilterOptions{MultiRange: true}); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -14,14 +15,14 @@ var Fig11ColumnCounts = []int{1, 10, 20}
 // ("Parquet" stand-in) tables of 1, 10 and 20 float columns, returning a
 // single filtered column. The c1 values are uniform in [0,1), so the
 // predicate c1 < x has selectivity exactly x.
-func RunFig11(env *Env) (*Result, error) {
+func RunFig11(ctx context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "Fig11",
 		Title:  "CSV vs Parquet(stand-in) filter scans",
 		XLabel: "selectivity",
 	}
 	for _, cols := range Fig11ColumnCounts {
-		db, err := env.FloatTables(cols)
+		db, err := env.FloatTables(ctx, cols)
 		if err != nil {
 			return nil, err
 		}
@@ -29,14 +30,14 @@ func RunFig11(env *Env) (*Result, error) {
 			x := fmt.Sprintf("%g", sel)
 			sql := fmt.Sprintf("SELECT c1 FROM S3Object WHERE c1 < %.4f", sel)
 
-			e1 := db.NewExec()
+			e1 := db.NewExecContext(ctx)
 			csvRel, err := e1.SelectRows("csv scan", e1.NextStage(), "fcsv", sql)
 			if err != nil {
 				return nil, err
 			}
 			res.add(fmt.Sprintf("CSV %d-col", cols), x, e1, nil)
 
-			e2 := db.NewExec()
+			e2 := db.NewExecContext(ctx)
 			colRel, err := e2.SelectRows("columnar scan", e2.NextStage(), "fcol", sql)
 			if err != nil {
 				return nil, err
@@ -56,15 +57,16 @@ func RunFig11(env *Env) (*Result, error) {
 	return res, nil
 }
 
-// AllFigures runs every reproduced figure in paper order.
-func AllFigures(env *Env) ([]*Result, error) {
-	runs := []func(*Env) (*Result, error){
+// AllFigures runs every reproduced figure in paper order. Canceling ctx
+// stops between (and, through the engine, inside) figure runs.
+func AllFigures(ctx context.Context, env *Env) ([]*Result, error) {
+	runs := []func(context.Context, *Env) (*Result, error){
 		RunFig1, RunFig2, RunFig3, RunFig4, RunFig5, RunFig6, RunFig7,
 		RunFig8, RunFig9, RunFig10, RunFig11, RunParallel, RunBackends,
 	}
 	var out []*Result
 	for _, run := range runs {
-		r, err := run(env)
+		r, err := run(ctx, env)
 		if err != nil {
 			return out, err
 		}
@@ -74,14 +76,14 @@ func AllFigures(env *Env) ([]*Result, error) {
 }
 
 // AblationFigures runs the Section-X extension ablations.
-func AblationFigures(env *Env) ([]*Result, error) {
-	runs := []func(*Env) (*Result, error){
+func AblationFigures(ctx context.Context, env *Env) ([]*Result, error) {
+	runs := []func(context.Context, *Env) (*Result, error){
 		RunFig1MultiRange, RunFig4Bitwise, RunFig6PartialGroupBy, RunTopKModel,
 		RunSec9TPCHFormats, RunS5Pricing,
 	}
 	var out []*Result
 	for _, run := range runs {
-		r, err := run(env)
+		r, err := run(ctx, env)
 		if err != nil {
 			return out, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,8 +27,8 @@ var Fig5GroupCounts = []int{2, 4, 8, 16, 32}
 
 // RunFig5 reproduces Fig. 5: server-side, filtered and S3-side group-by as
 // the number of groups grows (uniform group sizes).
-func RunFig5(env *Env) (*Result, error) {
-	db, err := env.GroupTable(-1)
+func RunFig5(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.GroupTable(ctx, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -40,21 +41,21 @@ func RunFig5(env *Env) (*Result, error) {
 		x := fmt.Sprint(g)
 		groupCol := fmt.Sprintf("g%d", i+1) // g1 has 2 groups, g5 has 32
 
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		server, err := e1.ServerSideGroupBy("groups", groupCol, fig5Aggs(), "")
 		if err != nil {
 			return nil, err
 		}
 		res.add("Server-Side Group-By", x, e1, nil)
 
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		filtered, err := e2.FilteredGroupBy("groups", groupCol, fig5Aggs(), "")
 		if err != nil {
 			return nil, err
 		}
 		res.add("Filtered Group-By", x, e2, nil)
 
-		e3 := db.NewExec()
+		e3 := db.NewExecContext(ctx)
 		s3side, err := e3.S3SideGroupBy("groups", groupCol, fig5Aggs(), "")
 		if err != nil {
 			return nil, err
@@ -76,8 +77,8 @@ var Fig6S3Groups = []int{1, 4, 6, 8, 10, 12}
 // RunFig6 reproduces Fig. 6: within hybrid group-by (skew θ=1.1), the
 // server-side time, the S3-side time and the bytes returned as more groups
 // are aggregated in S3. The query's runtime is the max of the two bars.
-func RunFig6(env *Env) (*Result, error) {
-	db, err := env.GroupTable(1.1)
+func RunFig6(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.GroupTable(ctx, 1.1)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +89,7 @@ func RunFig6(env *Env) (*Result, error) {
 	}
 	for _, k := range Fig6S3Groups {
 		x := fmt.Sprint(k)
-		e := db.NewExec()
+		e := db.NewExecContext(ctx)
 		if _, err := e.HybridGroupBy("groups", "g1", fig5Aggs(),
 			engine.HybridGroupByOptions{S3Groups: k, SampleFraction: 0.01}); err != nil {
 			return nil, err
@@ -110,34 +111,34 @@ var Fig7Thetas = []float64{0, 0.6, 0.9, 1.1, 1.3}
 
 // RunFig7 reproduces Fig. 7: server-side, filtered and hybrid group-by as
 // group-size skew grows (100 groups, Zipfian θ).
-func RunFig7(env *Env) (*Result, error) {
+func RunFig7(ctx context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "Fig7",
 		Title:  "Group-by algorithms vs skew (Zipf θ)",
 		XLabel: "θ",
 	}
 	for _, theta := range Fig7Thetas {
-		db, err := env.GroupTable(theta)
+		db, err := env.GroupTable(ctx, theta)
 		if err != nil {
 			return nil, err
 		}
 		x := fmt.Sprintf("%g", theta)
 
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		server, err := e1.ServerSideGroupBy("groups", "g1", fig5Aggs(), "")
 		if err != nil {
 			return nil, err
 		}
 		res.add("Server-Side Group-By", x, e1, nil)
 
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		filtered, err := e2.FilteredGroupBy("groups", "g1", fig5Aggs(), "")
 		if err != nil {
 			return nil, err
 		}
 		res.add("Filtered Group-By", x, e2, nil)
 
-		e3 := db.NewExec()
+		e3 := db.NewExecContext(ctx)
 		hybrid, err := e3.HybridGroupBy("groups", "g1", fig5Aggs(),
 			engine.HybridGroupByOptions{S3Groups: 8, SampleFraction: 0.01})
 		if err != nil {
@@ -174,10 +175,10 @@ func sameGroupTotals(rels ...*engine.Relation) error {
 
 // RunFig6PartialGroupBy is the Suggestion-4 ablation: hybrid group-by with
 // the CASE encoding vs a real partial GROUP BY pushed to the storage side.
-func RunFig6PartialGroupBy(env *Env) (*Result, error) {
+func RunFig6PartialGroupBy(ctx context.Context, env *Env) (*Result, error) {
 	// The partial-group-by path needs a storage side advertising the
 	// Suggestion-4 capability.
-	db, err := env.GroupTable(1.1, s3api.WithCapabilities(
+	db, err := env.GroupTable(ctx, 1.1, s3api.WithCapabilities(
 		selectengine.Capabilities{AllowGroupBy: true}))
 	if err != nil {
 		return nil, err
@@ -189,14 +190,14 @@ func RunFig6PartialGroupBy(env *Env) (*Result, error) {
 	}
 	for _, k := range []int{4, 8, 12} {
 		x := fmt.Sprint(k)
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		if _, err := e1.HybridGroupBy("groups", "g1", fig5Aggs(),
 			engine.HybridGroupByOptions{S3Groups: k}); err != nil {
 			return nil, err
 		}
 		res.add("CASE Encoding", x, e1, nil)
 
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		if _, err := e2.HybridGroupBy("groups", "g1", fig5Aggs(),
 			engine.HybridGroupByOptions{S3Groups: k, UsePartialGroupBy: true}); err != nil {
 			return nil, err

@@ -24,8 +24,7 @@ var indexFigFracs = []float64{0.001, 0.01, 0.10, 0.50}
 // baseline, plus the SQL path whose access-path planner picks among the
 // three. l_partkey is uniformly scattered through lineitem, so coalescing
 // cannot collapse the unselective fetches — the shape the paper plots.
-func RunIndex(env *Env) (*Result, error) {
-	ctx := context.Background()
+func RunIndex(ctx context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "Index",
 		Title:  "IndexScan vs filtered scan vs baseline over selectivity (lineitem, l_partkey <= ?)",
@@ -38,7 +37,7 @@ func RunIndex(env *Env) (*Result, error) {
 	}
 	const proj = "l_orderkey, l_partkey"
 	for _, profile := range profiles {
-		db, err := env.TPCH(s3api.WithProfile(profile))
+		db, err := env.TPCH(ctx, s3api.WithProfile(profile))
 		if err != nil {
 			return nil, err
 		}
@@ -55,17 +54,17 @@ func RunIndex(env *Env) (*Result, error) {
 			pred := fmt.Sprintf("l_partkey <= %d", threshold)
 			x := fmt.Sprintf("%g%% %s", frac*100, profile.Name)
 
-			e1 := db.NewExec()
+			e1 := db.NewExecContext(ctx)
 			idxRel, gets, err := e1.IndexScanFilter("lineitem", "l_partkey", pred, proj)
 			if err != nil {
 				return nil, fmt.Errorf("harness: index at %s: %w", x, err)
 			}
-			e2 := db.NewExec()
+			e2 := db.NewExecContext(ctx)
 			scanRel, err := e2.S3SideFilter("lineitem", pred, proj)
 			if err != nil {
 				return nil, err
 			}
-			e3 := db.NewExec()
+			e3 := db.NewExecContext(ctx)
 			baseRel, err := e3.ServerSideFilter("lineitem", pred, proj)
 			if err != nil {
 				return nil, err
@@ -83,7 +82,7 @@ func RunIndex(env *Env) (*Result, error) {
 			// The SQL path: the access planner picks a strategy and pays
 			// for its own statistics probes.
 			sql := fmt.Sprintf("SELECT COUNT(*) AS n FROM lineitem WHERE %s", pred)
-			rel, e, err := db.Query(sql)
+			rel, e, err := db.QueryContext(ctx, sql)
 			if err != nil {
 				return nil, err
 			}

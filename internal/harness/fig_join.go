@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/engine"
@@ -31,10 +32,10 @@ func listing2Spec(upperAcctbal string, upperOrderdate string, fpr float64) engin
 	return js
 }
 
-func runJoinPoint(res *Result, db *engine.DB, x string, js engine.JoinSpec, algorithms []string) error {
+func runJoinPoint(ctx context.Context, res *Result, db *engine.DB, x string, js engine.JoinSpec, algorithms []string) error {
 	var counts []int
 	for _, algo := range algorithms {
-		e := db.NewExec()
+		e := db.NewExecContext(ctx)
 		rel, err := e.JoinAggregate(js, algo, joinAggItems+", COUNT(*) AS n")
 		if err != nil {
 			return fmt.Errorf("harness: %s join at %s: %w", algo, x, err)
@@ -59,8 +60,8 @@ var Fig2Acctbals = []string{"-950", "-850", "-750", "-650", "-550", "-450"}
 
 // RunFig2 reproduces Fig. 2: the three join algorithms as the customer
 // filter (c_acctbal <= X) loosens. The orders side is unfiltered.
-func RunFig2(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig2(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +72,7 @@ func RunFig2(env *Env) (*Result, error) {
 	}
 	for _, ub := range Fig2Acctbals {
 		js := listing2Spec(ub, "", 0.01)
-		if err := runJoinPoint(res, db, ub, js, []string{"baseline", "filtered", "bloom"}); err != nil {
+		if err := runJoinPoint(ctx, res, db, ub, js, []string{"baseline", "filtered", "bloom"}); err != nil {
 			return nil, err
 		}
 	}
@@ -84,8 +85,8 @@ var Fig3Orderdates = []string{"1992-03-01", "1992-06-01", "1993-01-01", "1994-01
 
 // RunFig3 reproduces Fig. 3: the join algorithms as the orders filter
 // (o_orderdate < D) loosens, with the customer filter fixed at -950.
-func RunFig3(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig3(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +101,7 @@ func RunFig3(env *Env) (*Result, error) {
 			date = ""
 		}
 		js := listing2Spec("-950", date, 0.01)
-		if err := runJoinPoint(res, db, d, js, []string{"baseline", "filtered", "bloom"}); err != nil {
+		if err := runJoinPoint(ctx, res, db, d, js, []string{"baseline", "filtered", "bloom"}); err != nil {
 			return nil, err
 		}
 	}
@@ -113,8 +114,8 @@ var Fig4FPRs = []float64{0.0001, 0.001, 0.01, 0.1, 0.3, 0.5}
 // RunFig4 reproduces Fig. 4: Bloom join across false-positive rates, with
 // baseline and filtered joins as flat references. Customer filter fixed at
 // -950, orders unfiltered.
-func RunFig4(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig4(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +125,11 @@ func RunFig4(env *Env) (*Result, error) {
 		XLabel: "FPR",
 	}
 	// References measured once, reported at every x for plotting parity.
-	baseExec := db.NewExec()
+	baseExec := db.NewExecContext(ctx)
 	if _, err := baseExec.JoinAggregate(listing2Spec("-950", "", 0.01), "baseline", joinAggItems); err != nil {
 		return nil, err
 	}
-	filtExec := db.NewExec()
+	filtExec := db.NewExecContext(ctx)
 	if _, err := filtExec.JoinAggregate(listing2Spec("-950", "", 0.01), "filtered", joinAggItems); err != nil {
 		return nil, err
 	}
@@ -136,7 +137,7 @@ func RunFig4(env *Env) (*Result, error) {
 		x := fmt.Sprintf("%g", fpr)
 		res.add("Baseline Join", x, baseExec, nil)
 		res.add("Filtered Join", x, filtExec, nil)
-		e := db.NewExec()
+		e := db.NewExecContext(ctx)
 		if _, err := e.JoinAggregate(listing2Spec("-950", "", fpr), "bloom", joinAggItems); err != nil {
 			return nil, err
 		}
@@ -149,10 +150,10 @@ func RunFig4(env *Env) (*Result, error) {
 // RunFig4Bitwise is the Suggestion-3 ablation: the '0'/'1'-string Bloom
 // predicate (the paper's encoding) vs the BLOOM_CONTAINS bitwise form at
 // the same FPR.
-func RunFig4Bitwise(env *Env) (*Result, error) {
+func RunFig4Bitwise(ctx context.Context, env *Env) (*Result, error) {
 	// The bitwise predicate needs a storage side that supports
 	// BLOOM_CONTAINS: ask for a backend advertising the capability.
-	db, err := env.TPCH(s3api.WithCapabilities(
+	db, err := env.TPCH(ctx, s3api.WithCapabilities(
 		selectengine.Capabilities{AllowBloomContains: true}))
 	if err != nil {
 		return nil, err
@@ -164,7 +165,7 @@ func RunFig4Bitwise(env *Env) (*Result, error) {
 	}
 	for _, fpr := range []float64{0.0001, 0.01, 0.3} {
 		x := fmt.Sprintf("%g", fpr)
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		if _, err := e1.JoinAggregate(listing2Spec("-950", "", fpr), "bloom", joinAggItems); err != nil {
 			return nil, err
 		}
@@ -172,7 +173,7 @@ func RunFig4Bitwise(env *Env) (*Result, error) {
 
 		js := listing2Spec("-950", "", fpr)
 		js.Bitwise = true
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		if _, err := e2.JoinAggregate(js, "bloom", joinAggItems); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/engine"
@@ -19,12 +20,12 @@ var ParallelWorkerCounts = []int{1, 2, 4, 8, 16, 32}
 // planner's strategy flips from bloom toward baseline as workers grow —
 // the pushdown-vs-server-parallelism trade-off the paper's follow-up
 // work weighs.
-func RunParallel(env *Env) (*Result, error) {
-	gdb, err := env.GroupTable(-1)
+func RunParallel(ctx context.Context, env *Env) (*Result, error) {
+	gdb, err := env.GroupTable(ctx, -1)
 	if err != nil {
 		return nil, err
 	}
-	jdb, err := env.TPCH()
+	jdb, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +48,7 @@ func RunParallel(env *Env) (*Result, error) {
 		x := fmt.Sprint(w)
 		gdb.Cfg.Workers = w
 
-		e1 := gdb.NewExec()
+		e1 := gdb.NewExecContext(ctx)
 		out, err := e1.ServerSideGroupBy("groups", "g5", fig5Aggs(), "")
 		if err != nil {
 			return nil, fmt.Errorf("harness: parallel group-by at %d workers: %w", w, err)
@@ -60,7 +61,7 @@ func RunParallel(env *Env) (*Result, error) {
 		res.add("Server-Side Group-By", x, e1, nil)
 
 		jdb.Cfg.Workers = w
-		plan, pe, err := jdb.Plan(joinSQL)
+		plan, pe, err := jdb.PlanContext(ctx, joinSQL)
 		if err != nil {
 			return nil, fmt.Errorf("harness: planning join at %d workers: %w", w, err)
 		}

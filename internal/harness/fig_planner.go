@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/engine"
@@ -13,8 +14,8 @@ import (
 // planning probes included — and cross-checks the answer against the
 // explicit BloomJoin operator call, so the series shows what the planner
 // actually chose and what it actually cost.
-func RunPlanner(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunPlanner(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -28,7 +29,7 @@ func RunPlanner(env *Env) (*Result, error) {
 			"SELECT SUM(o.o_totalprice) AS total, COUNT(*) AS n "+
 				"FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "+
 				"WHERE c.c_acctbal <= %s", ub)
-		rel, e, err := db.Query(sql)
+		rel, e, err := db.QueryContext(ctx, sql)
 		if err != nil {
 			return nil, fmt.Errorf("harness: planner at %s: %w", ub, err)
 		}
@@ -39,7 +40,7 @@ func RunPlanner(env *Env) (*Result, error) {
 		step := plan.Steps[0]
 
 		// Cross-check against the explicit operator API.
-		opExec := db.NewExec()
+		opExec := db.NewExecContext(ctx)
 		want, err := opExec.JoinAggregate(listing2Spec(ub, "", 0.01), "bloom",
 			"SUM(o_totalprice) AS total, COUNT(*) AS n")
 		if err != nil {

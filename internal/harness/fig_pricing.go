@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/cloudsim"
@@ -13,8 +14,8 @@ import (
 // performed. The paper argues flat per-GB scan pricing overcharges simple
 // queries (Section X, Suggestion 5: "data scan costs dominate a majority
 // of queries ... the current pricing model may have overcharged").
-func RunS5Pricing(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunS5Pricing(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +32,7 @@ func RunS5Pricing(env *Env) (*Result, error) {
 		{
 			name: "plain projection",
 			run: func() (*engine.Exec, int64, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.S3SideFilter("lineitem", "", "l_orderkey")
 				return e, 2, err
 			},
@@ -39,7 +40,7 @@ func RunS5Pricing(env *Env) (*Result, error) {
 		{
 			name: "simple filter",
 			run: func() (*engine.Exec, int64, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.S3SideFilter("lineitem", "l_quantity < 10", "l_orderkey, l_quantity")
 				return e, 7, err
 			},
@@ -47,7 +48,7 @@ func RunS5Pricing(env *Env) (*Result, error) {
 		{
 			name: "bloom probe",
 			run: func() (*engine.Exec, int64, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.JoinAggregate(listing2Spec("-950", "", 0.01), "bloom", joinAggItems)
 				return e, 95, err
 			},

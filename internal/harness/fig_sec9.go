@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/engine"
@@ -11,8 +12,8 @@ import (
 // TPCHColumnar ensures the TPC-H tables are also loaded in the columnar
 // format ("<table>_col") and returns the scaled DB (Section IX's TPC-H-on-
 // Parquet comparison).
-func (env *Env) TPCHColumnar() (*engine.DB, error) {
-	db, err := env.TPCH() // ensures the store exists
+func (env *Env) TPCHColumnar(ctx context.Context) (*engine.DB, error) {
+	db, err := env.TPCH(ctx) // ensures the store exists
 	if err != nil {
 		return nil, err
 	}
@@ -32,8 +33,8 @@ func (env *Env) TPCHColumnar() (*engine.DB, error) {
 // limited benefit from the columnar format, because their scans touch many
 // columns and the returned data is CSV-encoded either way. We compare
 // representative pushdown scans from Q1 and Q6 over both layouts.
-func RunSec9TPCHFormats(env *Env) (*Result, error) {
-	db, err := env.TPCHColumnar()
+func RunSec9TPCHFormats(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCHColumnar(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -62,14 +63,14 @@ func RunSec9TPCHFormats(env *Env) (*Result, error) {
 		},
 	}
 	for _, c := range cases {
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		csvRow, err := e1.SelectAgg("csv", e1.NextStage(), "lineitem", c.sql, c.merge)
 		if err != nil {
 			return nil, err
 		}
 		res.add("CSV", c.name, e1, nil)
 
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		colRow, err := e2.SelectAgg("columnar", e2.NextStage(), "lineitem_col", c.sql, c.merge)
 		if err != nil {
 			return nil, err

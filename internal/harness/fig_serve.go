@@ -27,42 +27,48 @@ type serveRound struct {
 
 // runServeRound drives n concurrent clients through the server, each
 // running the whole query set once, and sums the per-query meter readings
-// the server reports.
-func runServeRound(base string, n int, queries []struct{ name, sql string }) (*serveRound, error) {
-	var (
-		mu       sync.Mutex
-		round    serveRound
-		firstErr error
-		wg       sync.WaitGroup
-	)
+// the server reports. Each client accumulates into its own slot and the
+// slots fold in client order after the barrier — summing shared floats in
+// goroutine-completion order would make the figure's totals vary run to
+// run. Canceling ctx aborts every client's in-flight request.
+func runServeRound(ctx context.Context, base string, n int, queries []struct{ name, sql string }) (*serveRound, error) {
+	rounds := make([]serveRound, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for c := 0; c < n; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			cl := server.NewClient(base)
 			cl.Tenant = fmt.Sprintf("client-%d", c)
+			mine := &rounds[c]
 			for _, q := range queries {
-				res, err := cl.Query(context.Background(), q.sql)
-				mu.Lock()
+				res, err := cl.Query(ctx, q.sql)
 				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("client %d %s: %w", c, q.name, err)
-					}
-					mu.Unlock()
+					errs[c] = fmt.Errorf("client %d %s: %w", c, q.name, err)
 					return
 				}
-				round.queries++
-				round.runtimeSec += res.RuntimeSec
-				round.cost = round.cost.Add(res.Cost)
-				round.requests += res.Requests
-				round.cacheHits += res.CacheHits
-				mu.Unlock()
+				mine.queries++
+				mine.runtimeSec += res.RuntimeSec
+				mine.cost = mine.cost.Add(res.Cost)
+				mine.requests += res.Requests
+				mine.cacheHits += res.CacheHits
 			}
 		}(c)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var round serveRound
+	for _, r := range rounds {
+		round.queries += r.queries
+		round.runtimeSec += r.runtimeSec
+		round.cost = round.cost.Add(r.cost)
+		round.requests += r.requests
+		round.cacheHits += r.cacheHits
 	}
 	return &round, nil
 }
@@ -93,7 +99,7 @@ func (r *serveRound) add(res *Result, series string, clients int) {
 // strictly below cold at every width — the whole point of putting one
 // long-lived daemon in front of many clients instead of giving each its
 // own engine.
-func RunServe(env *Env) (*Result, error) {
+func RunServe(ctx context.Context, env *Env) (*Result, error) {
 	res := &Result{
 		ID:     "Serve",
 		Title:  "pushdownd: simulated cost per query vs concurrent clients, cold vs warm cache",
@@ -101,7 +107,7 @@ func RunServe(env *Env) (*Result, error) {
 	}
 	queries := cacheFigQueries()
 	for _, n := range serveFigClientCounts {
-		db, err := env.TPCHWith([]engine.Option{engine.WithResultCache(cacheFigBudget)})
+		db, err := env.TPCHWith(ctx, []engine.Option{engine.WithResultCache(cacheFigBudget)})
 		if err != nil {
 			return nil, err
 		}
@@ -117,17 +123,17 @@ func RunServe(env *Env) (*Result, error) {
 		go func() { _ = srv.Serve(l); close(serveDone) }()
 		base := "http://" + l.Addr().String()
 
-		cold, err := runServeRound(base, n, queries)
+		cold, err := runServeRound(ctx, base, n, queries)
 		if err == nil {
 			var warm *serveRound
-			warm, err = runServeRound(base, n, queries)
+			warm, err = runServeRound(ctx, base, n, queries)
 			if err == nil {
 				cold.add(res, "cold", n)
 				warm.add(res, "warm", n)
 			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		sderr := srv.Shutdown(ctx)
+		sdctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		sderr := srv.Shutdown(sdctx)
 		cancel()
 		<-serveDone
 		if err != nil {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/engine"
@@ -26,8 +27,8 @@ func approxLineitemRows(env *Env) int {
 // RunFig8 reproduces Fig. 8: the sampling top-K's runtime split (sampling
 // phase vs scanning phase) and bytes returned as the sample size S sweeps
 // around the analytic optimum S* = sqrt(KN/alpha).
-func RunFig8(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig8(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func RunFig8(env *Env) (*Result, error) {
 		if s > n {
 			s = n
 		}
-		e := db.NewExec()
+		e := db.NewExecContext(ctx)
 		rel, err := e.SamplingTopK("lineitem", "l_extendedprice", k, true,
 			engine.SamplingTopKOptions{SampleSize: s})
 		if err != nil {
@@ -77,8 +78,8 @@ func RunFig8(env *Env) (*Result, error) {
 
 // RunFig9 reproduces Fig. 9: server-side vs sampling top-K as K grows.
 // The sampling algorithm derives S from the Section VII-B model.
-func RunFig9(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig9(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -93,14 +94,14 @@ func RunFig9(env *Env) (*Result, error) {
 			break
 		}
 		x := fmt.Sprint(k)
-		e1 := db.NewExec()
+		e1 := db.NewExecContext(ctx)
 		server, err := e1.ServerSideTopK("lineitem", "l_extendedprice", k, true)
 		if err != nil {
 			return nil, err
 		}
 		res.add("Server-Side Top-K", x, e1, nil)
 
-		e2 := db.NewExec()
+		e2 := db.NewExecContext(ctx)
 		sampled, err := e2.SamplingTopK("lineitem", "l_extendedprice", k, true,
 			engine.SamplingTopKOptions{Alpha: 0.1})
 		if err != nil {
@@ -127,8 +128,8 @@ func RunFig9(env *Env) (*Result, error) {
 // RunTopKModel validates the Section VII-B analysis: measured bytes
 // returned across sample sizes should be minimized near the analytic
 // S* = sqrt(KN/alpha).
-func RunTopKModel(env *Env) (*Result, error) {
-	fig8, err := RunFig8(env)
+func RunTopKModel(ctx context.Context, env *Env) (*Result, error) {
+	fig8, err := RunFig8(ctx, env)
 	if err != nil {
 		return nil, err
 	}

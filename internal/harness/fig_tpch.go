@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,12 +14,12 @@ import (
 // group-by, top-K, join) and the six TPC-H queries, each under the
 // baseline PushdownDB (no S3 Select) and the optimized PushdownDB, plus
 // the geometric means the paper's headline numbers come from.
-func RunFig10(env *Env) (*Result, error) {
-	db, err := env.TPCH()
+func RunFig10(ctx context.Context, env *Env) (*Result, error) {
+	db, err := env.TPCH(ctx)
 	if err != nil {
 		return nil, err
 	}
-	groupDB, err := env.GroupTable(-1)
+	groupDB, err := env.GroupTable(ctx, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -42,12 +43,12 @@ func RunFig10(env *Env) (*Result, error) {
 		{
 			name: "Filter",
 			baseline: func() (*engine.Exec, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.ServerSideFilter("lineitem", filterPred, "")
 				return e, err
 			},
 			optimized: func() (*engine.Exec, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.S3SideFilter("lineitem", filterPred, "*")
 				return e, err
 			},
@@ -55,12 +56,12 @@ func RunFig10(env *Env) (*Result, error) {
 		{
 			name: "Group-by",
 			baseline: func() (*engine.Exec, error) {
-				e := groupDB.NewExec()
+				e := groupDB.NewExecContext(ctx)
 				_, err := e.ServerSideGroupBy("groups", "g3", fig5Aggs(), "")
 				return e, err
 			},
 			optimized: func() (*engine.Exec, error) {
-				e := groupDB.NewExec()
+				e := groupDB.NewExecContext(ctx)
 				_, err := e.S3SideGroupBy("groups", "g3", fig5Aggs(), "")
 				return e, err
 			},
@@ -68,12 +69,12 @@ func RunFig10(env *Env) (*Result, error) {
 		{
 			name: "Top-K",
 			baseline: func() (*engine.Exec, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.ServerSideTopK("lineitem", "l_extendedprice", k, true)
 				return e, err
 			},
 			optimized: func() (*engine.Exec, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.SamplingTopK("lineitem", "l_extendedprice", k, true,
 					engine.SamplingTopKOptions{Alpha: 0.1})
 				return e, err
@@ -82,12 +83,12 @@ func RunFig10(env *Env) (*Result, error) {
 		{
 			name: "Join",
 			baseline: func() (*engine.Exec, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.JoinAggregate(listing2Spec("-950", "", 0.01), "baseline", joinAggItems)
 				return e, err
 			},
 			optimized: func() (*engine.Exec, error) {
-				e := db.NewExec()
+				e := db.NewExecContext(ctx)
 				_, err := e.JoinAggregate(listing2Spec("-950", "", 0.01), "bloom", joinAggItems)
 				return e, err
 			},

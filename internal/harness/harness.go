@@ -12,6 +12,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -99,18 +100,19 @@ func (env *Env) scaledDB(st *store.Store, bucket string, dataRatio float64, eopt
 
 // TPCH returns a DB over the TPC-H dataset (with the Fig. 1 index tables),
 // with virtual time reported at PaperSF. Backend options configure the
-// simulated S3 backend (capabilities, profile).
-func (env *Env) TPCH(bopts ...s3api.InProcOption) (*engine.DB, error) {
-	return env.TPCHWith(nil, bopts...)
+// simulated S3 backend (capabilities, profile). Canceling ctx aborts a
+// first-call dataset build.
+func (env *Env) TPCH(ctx context.Context, bopts ...s3api.InProcOption) (*engine.DB, error) {
+	return env.TPCHWith(ctx, nil, bopts...)
 }
 
 // TPCHWith is TPCH with additional engine options.
-func (env *Env) TPCHWith(eopts []engine.Option, bopts ...s3api.InProcOption) (*engine.DB, error) {
+func (env *Env) TPCHWith(ctx context.Context, eopts []engine.Option, bopts ...s3api.InProcOption) (*engine.DB, error) {
 	env.mu.Lock()
 	defer env.mu.Unlock()
 	if env.tpchStore == nil {
 		st := store.New()
-		ds, err := tpch.LoadWithIndexes(st, tpch.Dataset{
+		ds, err := tpch.LoadWithIndexes(ctx, st, tpch.Dataset{
 			SF: env.Scale.TPCHSF, Seed: env.Scale.Seed,
 			Bucket: "tpch", Partitions: env.Scale.Partitions,
 		})
@@ -131,7 +133,7 @@ const paperGroupTableBytes = 10 << 30 // the 10 GB synthetic table
 
 // GroupTable returns a DB over the synthetic group-by table: uniform
 // (Fig. 5) when theta < 0, Zipf-skewed otherwise (Figs. 6-7).
-func (env *Env) GroupTable(theta float64, bopts ...s3api.InProcOption) (*engine.DB, error) {
+func (env *Env) GroupTable(ctx context.Context, theta float64, bopts ...s3api.InProcOption) (*engine.DB, error) {
 	key := "uniform"
 	if theta >= 0 {
 		key = fmt.Sprintf("skew%.1f", theta)
@@ -147,7 +149,7 @@ func (env *Env) GroupTable(theta float64, bopts ...s3api.InProcOption) (*engine.
 			spec = workload.SkewedSpec(env.Scale.GroupRows, theta, env.Scale.Seed)
 		}
 		st = store.New()
-		if err := engine.PartitionTable(st, "synth", "groups",
+		if err := engine.PartitionTable(ctx, st, "synth", "groups",
 			spec.Header(), spec.Generate(), env.Scale.Partitions); err != nil {
 			return nil, err
 		}
@@ -162,7 +164,7 @@ func (env *Env) GroupTable(theta float64, bopts ...s3api.InProcOption) (*engine.
 // FloatTables returns a DB over the Fig. 11 tables: for each column count,
 // a CSV table "fcsv<cols>" and a columnar table "fcol<cols>". The returned
 // ratio scales to the paper's 100 MB-per-column objects.
-func (env *Env) FloatTables(cols int) (*engine.DB, error) {
+func (env *Env) FloatTables(ctx context.Context, cols int) (*engine.DB, error) {
 	key := fmt.Sprint(cols)
 	env.mu.Lock()
 	st, ok := env.floatStores[key]
@@ -170,7 +172,7 @@ func (env *Env) FloatTables(cols int) (*engine.DB, error) {
 	if !ok {
 		header, rows := workload.FloatTable(env.Scale.FloatRows, cols, env.Scale.Seed)
 		st = store.New()
-		if err := engine.PartitionTable(st, "fmt", "fcsv",
+		if err := engine.PartitionTable(ctx, st, "fmt", "fcsv",
 			header, rows, env.Scale.Partitions); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -25,7 +26,7 @@ func point(t *testing.T, r *Result, series, x string) Point {
 
 func TestFig1Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig1(env)
+	r, err := RunFig1(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFig1Shapes(t *testing.T) {
 
 func TestFig2Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig2(env)
+	r, err := RunFig2(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFig2Shapes(t *testing.T) {
 
 func TestFig3Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig3(env)
+	r, err := RunFig3(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFig3Shapes(t *testing.T) {
 
 func TestFig4Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig4(env)
+	r, err := RunFig4(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFig4Shapes(t *testing.T) {
 
 func TestFig5Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig5(env)
+	r, err := RunFig5(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFig5Shapes(t *testing.T) {
 
 func TestFig6Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig6(env)
+	r, err := RunFig6(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestFig6Shapes(t *testing.T) {
 
 func TestFig7Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig7(env)
+	r, err := RunFig7(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestFig7Shapes(t *testing.T) {
 
 func TestFig8Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig8(env)
+	r, err := RunFig8(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestFig8Shapes(t *testing.T) {
 
 func TestFig9Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig9(env)
+	r, err := RunFig9(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestFig9Shapes(t *testing.T) {
 
 func TestFig10Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig10(env)
+	r, err := RunFig10(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestFig10Shapes(t *testing.T) {
 
 func TestFig11Shapes(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunFig11(env)
+	r, err := RunFig11(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestFig11Shapes(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	env := testEnv(t)
-	rs, err := AblationFigures(env)
+	rs, err := AblationFigures(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // 50% — the paper's index-vs-scan crossover.
 func TestRunIndexCrossover(t *testing.T) {
 	env := NewEnv(SmallScale())
-	res, err := RunIndex(env)
+	res, err := RunIndex(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

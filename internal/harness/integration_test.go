@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -19,7 +20,7 @@ import (
 
 func TestEngineOverHTTPMatchesInProc(t *testing.T) {
 	st := store.New()
-	ds, err := tpch.LoadWithIndexes(st, tpch.Dataset{SF: 0.001, Seed: 3, Partitions: 2})
+	ds, err := tpch.LoadWithIndexes(context.Background(), st, tpch.Dataset{SF: 0.001, Seed: 3, Partitions: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

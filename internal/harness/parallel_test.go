@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestParallelFigure(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunParallel(env)
+	r, err := RunParallel(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

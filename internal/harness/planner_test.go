@@ -1,13 +1,14 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestPlannerFigure(t *testing.T) {
 	env := testEnv(t)
-	r, err := RunPlanner(env)
+	r, err := RunPlanner(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

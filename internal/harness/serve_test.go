@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // is the server's economic reason to exist.
 func TestRunServeWarmBeatsCold(t *testing.T) {
 	env := NewEnv(SmallScale())
-	res, err := RunServe(env)
+	res, err := RunServe(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}

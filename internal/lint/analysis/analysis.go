@@ -1,0 +1,171 @@
+// Package analysis is a dependency-free work-alike of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repo's
+// pushdownlint suite. It exists because the engine's invariants (context
+// threading, cost metering, structured error kinds, byte-identical
+// determinism) must be enforced by machine without pulling a module the
+// build environment cannot fetch: everything here runs on the standard
+// library's go/ast and go/types.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Diagnostics. The driver (internal/lint.Run, used by both
+// cmd/pushdownlint and the linttest fixtures) applies the suite-wide
+// suppression convention before diagnostics reach the user:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either on the flagged line or on the line directly above it
+// silences that analyzer there. The reason is mandatory — a suppression
+// documents *why* the invariant may be broken at that site (an API
+// boundary wrapper, an unmetered catalog read), and an ignore without one
+// is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the analyzer's identifier — what diagnostics are tagged
+	// with and what //lint:ignore directives must name.
+	Name string
+	// Doc is the one-paragraph description printed by pushdownlint -help:
+	// the invariant the analyzer encodes and why the repo has it.
+	Doc string
+	// InScope reports whether the analyzer applies to a package import
+	// path. A nil InScope means every package. The driver consults it;
+	// linttest bypasses it so fixtures exercise the rule body directly.
+	InScope func(pkgPath string) bool
+	// Run inspects one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, position-sorted so
+// the driver's output is deterministic (the suite eats its own cooking).
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool {
+		a, b := p.diags[i].Pos, p.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return p.diags
+}
+
+// ignoreRe matches the suppression directive. Group 1 is the analyzer
+// name (or * for all), group 2 the reason.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// Suppression is one //lint:ignore directive.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string // "*" silences every analyzer
+	Reason   string
+}
+
+// Suppressions extracts every //lint:ignore directive from the files.
+// Directives with an empty reason are returned with Reason == "" so the
+// driver can reject them.
+func Suppressions(fset *token.FileSet, files []*ast.File) []Suppression {
+	var out []Suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, Suppression{
+					Pos:      fset.Position(c.Pos()),
+					Analyzer: m[1],
+					Reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Filter drops diagnostics silenced by a suppression on the same line or
+// on the line directly above, and reports suppressions that are missing
+// their mandatory reason as diagnostics in their own right (tagged
+// "lint"). Unused suppressions are harmless — the code they guard may
+// only trip the analyzer under older rule versions — so they are not
+// reported.
+func Filter(diags []Diagnostic, sups []Suppression) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key][]Suppression{}
+	for _, s := range sups {
+		k := key{s.Pos.Filename, s.Pos.Line}
+		byLine[k] = append(byLine[k], s)
+	}
+	matches := func(d Diagnostic, line int) bool {
+		for _, s := range byLine[key{d.Pos.Filename, line}] {
+			if (s.Analyzer == d.Analyzer || s.Analyzer == "*") && s.Reason != "" {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if matches(d, d.Pos.Line) || matches(d, d.Pos.Line-1) {
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, s := range sups {
+		if s.Reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      s.Pos,
+				Analyzer: "lint",
+				Message:  fmt.Sprintf("//lint:ignore %s needs a reason: every suppression documents why the invariant may be broken here", s.Analyzer),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"pushdowndb/internal/lint/analysis"
+)
+
+// Ctxflow forbids context.Background() and context.TODO() in library code.
+//
+// Per-request deadlines and cancellation (PR 6) only work if the caller's
+// context reaches every backend call; a Background() anywhere on the path
+// silently detaches everything below it from the request — exactly the bug
+// this analyzer was built around (Explain's cached-scan-frac probe ran on
+// Background and so ignored the server's per-request timeout).
+//
+// Package main is out of scope (a main function is where root contexts are
+// born), as are tests. The few legitimate library sites — exported
+// context-free wrappers kept for API compatibility, or calls beneath
+// interfaces whose methods take no context — carry a documented
+// //lint:ignore ctxflow suppression.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/context.TODO() in library code: " +
+		"thread the caller's context so per-request deadlines reach every backend call",
+	InScope: func(path string) bool {
+		// conformancetest is test infrastructure that happens to live in a
+		// non-_test file so backends outside this module can reuse it.
+		return strings.HasPrefix(path, pkgPrefix) && !strings.HasSuffix(path, "/conformancetest")
+	},
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) error {
+	walk(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		var which string
+		switch {
+		case calleeIs(pass.Info, call, "context", "Background"):
+			which = "Background"
+		case calleeIs(pass.Info, call, "context", "TODO"):
+			which = "TODO"
+		default:
+			return
+		}
+		for _, fn := range enclosingFuncs(stack) {
+			if name, ok := ctxParam(pass.Info, fn); ok {
+				pass.Reportf(call.Pos(),
+					"context.%s() discards the context %q already in scope; thread it so deadlines and cancellation propagate",
+					which, name)
+				return
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() in library code detaches callees from request deadlines; accept a context.Context from the caller (suppress only at a documented API boundary)",
+			which)
+	})
+	return nil
+}

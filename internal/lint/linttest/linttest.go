@@ -1,0 +1,126 @@
+// Package linttest runs a lint analyzer over a fixture directory and
+// compares its findings against `// want "regexp"` comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest but built on the stdlib
+// loader in internal/lint/load.
+//
+// A fixture is an ordinary Go package under testdata/src/<name>/ (a
+// location `go list ./...` never expands, so fixtures stay out of the
+// build and out of pushdownlint's own sweep). Every line expecting a
+// diagnostic carries a trailing comment:
+//
+//	frac := db.cachedScanFrac(context.Background(), t) // want `context\.Background`
+//
+// The want pattern is a regexp matched against the diagnostic message;
+// several `want` clauses on one line expect several diagnostics there.
+// Lines without a want comment expect none. Suppressions (//lint:ignore)
+// are applied before comparison, so fixtures also pin that an honored
+// suppression really silences the analyzer.
+//
+// The analyzer's InScope is deliberately bypassed: fixtures live outside
+// the real package tree and exist to exercise the rule body.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+
+	"pushdowndb/internal/lint/analysis"
+	"pushdowndb/internal/lint/load"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *load.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds the export index once per test binary — it shells
+// out to `go list -deps -export ./...`, which is the expensive step.
+func sharedLoader() (*load.Loader, error) {
+	loaderOnce.Do(func() {
+		root, err := load.ModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = load.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+// wantRe matches one expectation clause inside a comment. Patterns are
+// quoted with backquotes or double quotes.
+var wantRe = regexp.MustCompile("want\\s+(`([^`]+)`|\"([^\"]+)\")")
+
+// Run checks analyzer a against the fixture package in dir (e.g.
+// "testdata/src/ctxflow") and reports mismatches on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	// Fixtures type-check under pushdowndb/internal/<dir>, so analyzers
+	// whose rules key on the package path (exactagg's expr-layer rule)
+	// behave exactly as they would in the real tree.
+	pkg, err := l.CheckDir("pushdowndb/internal/"+filepath.Base(dir), dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pass := &analysis.Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: %s: %v", a.Name, err)
+	}
+	diags := analysis.Filter(pass.Diagnostics(), analysis.Suppressions(pkg.Fset, pkg.Files))
+
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*expectation{} // "file:line" -> clauses
+	lineKey := func(pos token.Position) string { return fmt.Sprintf("%s:%d", pos.Filename, pos.Line) }
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat := m[2]
+					if pat == "" {
+						pat = m[3]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("linttest: bad want pattern %q at %s: %v", pat, pkg.Fset.Position(c.Pos()), err)
+					}
+					k := lineKey(pkg.Fset.Position(c.Pos()))
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := lineKey(d.Pos)
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package load type-checks the module's packages for pushdownlint using
+// only the standard library and the go tool. It shells out to
+// `go list -deps -export` — which compiles export data for every
+// dependency (standard library included) into the build cache — and
+// resolves imports through go/importer's gc reader, so analyzers see
+// fully typed ASTs without golang.org/x/tools or network access.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader resolves imports from `go list -export` build-cache artifacts.
+// One Loader amortizes the export index and the importer's package cache
+// across every package it checks.
+type Loader struct {
+	// ModuleDir is the module root the go tool runs in.
+	ModuleDir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Name       string
+	GoFiles    []string
+}
+
+// extraStdlib is export-indexed alongside the module's own dependency
+// closure so test fixtures may import common standard packages even if
+// the module itself happens not to.
+var extraStdlib = []string{
+	"context", "errors", "fmt", "io", "math", "math/big",
+	"os", "sort", "strings", "sync", "time",
+}
+
+// NewLoader builds the export index over the module's full dependency
+// closure (plus extraStdlib) rooted at moduleDir.
+func NewLoader(moduleDir string) (*Loader, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "./..."}, extraStdlib...)
+	entries, err := goList(moduleDir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("load: indexing export data: %w", err)
+	}
+	l := &Loader{
+		ModuleDir: moduleDir,
+		fset:      token.NewFileSet(),
+		exports:   map[string]string{},
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q (is it imported by the module?)", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load type-checks the packages matched by the go list patterns
+// (non-test files only — the invariants the suite enforces are
+// production-code rules, and test code is exempt by design).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	entries, err := goList(l.ModuleDir, append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, fmt.Errorf("load: resolving %v: %w", patterns, err)
+	}
+	var pkgs []*Package
+	for _, e := range entries {
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		p, err := l.Check(e.ImportPath, e.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Check parses and type-checks one package from explicit source files.
+// linttest uses it directly on fixture directories, which `go list`
+// pattern expansion deliberately skips (they live under testdata).
+func (l *Loader) Check(pkgPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load: type-checking %s:\n\t%s", pkgPath, strings.Join(typeErrs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// CheckDir is Check over every non-test .go file in dir, with the
+// package path defaulting to the directory's base name.
+func (l *Loader) CheckDir(pkgPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	if pkgPath == "" {
+		pkgPath = filepath.Base(dir)
+	}
+	return l.Check(pkgPath, dir, files)
+}
+
+// ModuleRoot locates the enclosing module's root directory for dir by
+// asking the go tool for the go.mod in effect there.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("load: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("load: %s is not inside a module", dir)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// goList runs the go tool in dir and decodes its -json stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pushdowndb/internal/lint/analysis"
+)
+
+// MapDeterminism enforces the byte-identical invariant (PR 2) against Go's
+// randomized map iteration order: inside a `range` over a map on result
+// paths, nothing order-sensitive may happen. Three things are
+// order-sensitive:
+//
+//   - accumulating floats or strings (float addition is not associative;
+//     string concatenation is order itself),
+//   - writing output (fmt printing, buffer/builder writes, stream
+//     encoders),
+//   - collecting values into a slice that is never sorted in the same
+//     function (the collected order leaks to whoever reads the slice).
+//
+// Order-insensitive bodies — integer counting, max/min folds, writes into
+// another map, deletes — pass. The idiomatic escape is collect-then-sort:
+// append the keys (or values) and sort them before use, which the analyzer
+// recognizes by a sort./slices. call on the collected slice anywhere in
+// the enclosing function.
+var MapDeterminism = &analysis.Analyzer{
+	Name: "mapdeterminism",
+	Doc: "no order-sensitive work (float/string accumulation, printing, unsorted " +
+		"collection) inside range-over-map on result paths — byte-identical output invariant",
+	InScope: scopeOf(
+		pkgEngine, pkgExpr, pkgCloudsim, pkgHarness,
+		"pushdowndb/internal/server",
+		"pushdowndb/internal/value",
+		"pushdowndb/internal/sqlparse",
+		"pushdowndb/internal/colformat",
+	),
+	Run: runMapDeterminism,
+}
+
+func runMapDeterminism(pass *analysis.Pass) error {
+	walk(pass.Files, func(n ast.Node, stack []ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || rs.X == nil {
+			return
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRange(pass, rs, stack)
+	})
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	var collected []types.Object // slices grown via append inside the body
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			lhs, acc := accumulatesInto(v)
+			if !acc {
+				if obj := appendTarget(pass, v); obj != nil {
+					collected = append(collected, obj)
+				}
+				return true
+			}
+			t := pass.Info.Types[lhs].Type
+			if t == nil {
+				return true
+			}
+			switch {
+			case isFloat(t):
+				pass.Reportf(v.Pos(),
+					"float accumulation inside range over a map sums in random iteration order; iterate sorted keys (float addition is not associative)")
+			case isString(t):
+				pass.Reportf(v.Pos(),
+					"string built up inside range over a map concatenates in random iteration order; iterate sorted keys")
+			}
+		case *ast.CallExpr:
+			if isOutputCall(pass, v) {
+				pass.Reportf(v.Pos(),
+					"output written inside range over a map is emitted in random iteration order; iterate sorted keys")
+			}
+		}
+		return true
+	})
+	if len(collected) == 0 {
+		return
+	}
+	// Collect-then-sort escape: the slice must meet a sort in this function.
+	fns := enclosingFuncs(stack)
+	if len(fns) == 0 {
+		return
+	}
+	seen := map[types.Object]bool{}
+	for _, obj := range collected {
+		if seen[obj] {
+			continue
+		}
+		seen[obj] = true
+		if !sortedInFunc(pass, fns[0], obj) {
+			pass.Reportf(rs.Pos(),
+				"values collected from a map range into %q are never sorted in this function; sort them (or iterate sorted keys) before they can reach output",
+				obj.Name())
+		}
+	}
+}
+
+// appendTarget returns the object of s in `s = append(s, ...)`.
+func appendTarget(pass *analysis.Pass, as *ast.AssignStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || pass.Info.Uses[id] != nil && pass.Info.Uses[id].Pkg() != nil {
+		return nil
+	}
+	root := rootIdent(as.Lhs[0])
+	if root == nil {
+		return nil
+	}
+	if obj := pass.Info.Uses[root]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[root]
+}
+
+// sortedInFunc reports whether fn contains a sort./slices. call whose
+// first argument is rooted at obj.
+func sortedInFunc(pass *analysis.Pass, fn ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		callee := staticCallee(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil {
+			if o := pass.Info.Uses[root]; o == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isOutputCall recognizes calls that emit bytes: fmt printing/formatting,
+// Buffer/Builder writes, and stream encoders.
+func isOutputCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := staticCallee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return hasPrefixAny(fn.Name(), "Print", "Fprint", "Sprint")
+	case "bytes", "strings":
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s := pass.Info.Selections[sel]; s != nil &&
+				(namedAs(s.Recv(), "bytes", "Buffer") || namedAs(s.Recv(), "strings", "Builder")) {
+				return hasPrefixAny(fn.Name(), "Write")
+			}
+		}
+	case "encoding/json", "encoding/gob", "encoding/csv":
+		return fn.Name() == "Encode" || fn.Name() == "Write"
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+// Fixture for the ctxflow analyzer: context.Background()/TODO() in
+// library code, with and without a context already in scope, and the
+// documented suppression escape.
+package ctxflow
+
+import "context"
+
+// A context parameter is already in scope: the diagnostic names it.
+func withCtxInScope(ctx context.Context) error {
+	detached := context.Background() // want `context\.Background\(\) discards the context "ctx" already in scope`
+	return wait(detached)
+}
+
+// The enclosing function offers no context: the diagnostic asks for one.
+func noCtxAnywhere() error {
+	return wait(context.TODO()) // want `context\.TODO\(\) in library code detaches callees from request deadlines`
+}
+
+// The ctx param of an *outer* function still counts inside a closure.
+func closureSeesOuterCtx(ctx context.Context) func() error {
+	return func() error {
+		inner := context.Background() // want `context\.Background\(\) discards the context "ctx" already in scope`
+		return wait(inner)
+	}
+}
+
+// A documented suppression on the line above silences the finding — the
+// convention for context-free compatibility wrappers at API boundaries.
+func compatWrapper() error {
+	//lint:ignore ctxflow context-free wrapper kept for API compatibility; the root context is born here
+	return wait(context.Background())
+}
+
+// Threading the caller's context is the clean pattern: no findings.
+func clean(ctx context.Context) error {
+	return wait(ctx)
+}
+
+func wait(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,78 @@
+// Fixture for the exactagg analyzer outside the expr package: float
+// accumulation into captured variables from concurrently-run closures
+// versus per-worker accumulation merged in index order.
+package exactagg
+
+import "sync"
+
+// Accumulating into a captured float from goroutines sums in completion
+// order — the result varies run to run even under a mutex.
+func completionOrderSum(parts [][]float64) float64 {
+	var (
+		total float64
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+	)
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p []float64) {
+			defer wg.Done()
+			s := 0.0
+			for _, v := range p {
+				s += v // closure-local accumulator: per-worker, fine
+			}
+			mu.Lock()
+			total += s // want `float accumulation into captured "total" from a closure launched with go sums in completion order`
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return total
+}
+
+// Callbacks handed to another function may run on many goroutines
+// (forEachPart-style worker pools): same hazard.
+func callbackSum(parts [][]float64, forEach func(fn func(p []float64))) float64 {
+	var total float64
+	forEach(func(p []float64) {
+		for _, v := range p {
+			total += v // want `float accumulation into captured "total" from a closure passed as a callback sums in completion order`
+		}
+	})
+	return total
+}
+
+// The sanctioned shape: per-worker slots folded in index order after the
+// barrier. The slot accumulation indexes a slice owned by the worker and
+// the final fold runs sequentially — no findings.
+func perWorkerSum(parts [][]float64) float64 {
+	sums := make([]float64, len(parts))
+	var wg sync.WaitGroup
+	for w, p := range parts {
+		wg.Add(1)
+		go func(w int, p []float64) {
+			defer wg.Done()
+			s := 0.0
+			for _, v := range p {
+				s += v
+			}
+			sums[w] = s
+		}(w, p)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// A documented suppression marks a site argued correct out of band.
+func suppressedSum(parts []float64, each func(fn func(v float64))) float64 {
+	var total float64
+	each(func(v float64) {
+		//lint:ignore exactagg fixture pins that an honored suppression silences the analyzer
+		total += v
+	})
+	return total
+}

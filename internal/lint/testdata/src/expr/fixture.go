@@ -1,0 +1,27 @@
+// Fixture for the exactagg analyzer's expr-layer rule: linttest checks
+// this directory as pushdowndb/internal/expr, where *any* float
+// accumulation is a finding — aggregation state must sum through
+// big.Float (AggState) so merge order cannot perturb the final digits.
+package expr
+
+import "math/big"
+
+// Plain sequential float accumulation is still banned here: the moment a
+// float64 sum exists, a future refactor can merge through it.
+func meanFloat(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v // want `float accumulation in the exact-aggregation layer; sum through big\.Float`
+	}
+	return sum / float64(len(vs))
+}
+
+// The sanctioned pattern: accumulate in big.Float at fixed precision.
+func meanExact(vs []float64) float64 {
+	sum := new(big.Float).SetPrec(128)
+	for _, v := range vs {
+		sum.Add(sum, big.NewFloat(v))
+	}
+	out, _ := new(big.Float).SetPrec(128).Quo(sum, big.NewFloat(float64(len(vs)))).Float64()
+	return out
+}

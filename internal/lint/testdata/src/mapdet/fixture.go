@@ -1,0 +1,87 @@
+// Fixture for the mapdeterminism analyzer: order-sensitive work inside
+// range-over-map (float/string accumulation, printing, unsorted
+// collection) versus the order-insensitive and collect-then-sort escapes.
+package mapdet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Float addition is not associative: summing in map order varies run to run.
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation inside range over a map sums in random iteration order`
+	}
+	return total
+}
+
+// String concatenation is order itself.
+func joinKeys(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string built up inside range over a map concatenates in random iteration order`
+	}
+	return out
+}
+
+// Output emitted mid-range lands in random order.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `output written inside range over a map is emitted in random iteration order`
+	}
+}
+
+// Builder writes are output too.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `output written inside range over a map is emitted in random iteration order`
+	}
+	return b.String()
+}
+
+// Collected but never sorted: the random order leaks to the caller.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `values collected from a map range into "keys" are never sorted in this function`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// The idiomatic escape: collect, then sort before anything reads the slice.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Integer folds, map writes, and deletes are order-insensitive: clean.
+func countAndInvert(m map[string]int) (int, map[int]string) {
+	n := 0
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		n += v
+		inv[v] = k
+	}
+	return n, inv
+}
+
+// A documented suppression marks a merge proven deterministic by
+// construction (one append per key, per-key order fixed elsewhere).
+func provenDeterministic(parts []map[string][]int) map[string][]int {
+	merged := map[string][]int{}
+	for _, m := range parts {
+		//lint:ignore mapdeterminism fixture: per-key append order is fixed by the part order, not the map order
+		for k, idxs := range m {
+			merged[k] = append(merged[k], idxs...)
+		}
+	}
+	return merged
+}

@@ -531,6 +531,10 @@ func (c *Client) describeOnce() (selectengine.Capabilities, cloudsim.Profile) {
 		return c.caps, c.profile
 	}
 	fallback := cloudsim.S3Profile()
+	// Capabilities()/Profile() are context-free interface methods, so the
+	// lazy describe probe has no caller context to thread; the short local
+	// timeout bounds it instead.
+	//lint:ignore ctxflow no caller context exists beneath the context-free Capabilities/Profile interface methods
 	ctx, cancel := context.WithTimeout(context.Background(), describeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/?describe", nil)

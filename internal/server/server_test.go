@@ -85,7 +85,7 @@ func newFixture(t *testing.T, flavor string, cfg Config) *fixture {
 	case "inproc":
 		st := store.New()
 		for name, tb := range tables {
-			if err := engine.PartitionTable(st, bucket, name, tb.header, tb.rows, 4); err != nil {
+			if err := engine.PartitionTable(context.Background(), st, bucket, name, tb.header, tb.rows, 4); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -378,7 +378,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	bucket, tables := testTables()
 	st := store.New()
 	for name, tb := range tables {
-		if err := engine.PartitionTable(st, bucket, name, tb.header, tb.rows, 4); err != nil {
+		if err := engine.PartitionTable(context.Background(), st, bucket, name, tb.header, tb.rows, 4); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -541,5 +541,17 @@ func TestDDLThroughServer(t *testing.T) {
 	}
 	if _, err := cl.Query(context.Background(), "DROP INDEX ON orders (o_price)"); err != nil {
 		t.Fatalf("drop index: %v", err)
+	}
+}
+
+// TestUnknownTableIsBadRequest pins the backend-path error-kind
+// discipline: a syntactically valid query over a missing table is the
+// client's mistake and must come back as bad_request, not fall through
+// the classifier to internal (a 500).
+func TestUnknownTableIsBadRequest(t *testing.T) {
+	fx := newFixture(t, "inproc", Config{})
+	_, err := NewClient(fx.base).Query(context.Background(), "SELECT * FROM nosuchtable")
+	if KindOf(err) != KindBadRequest {
+		t.Fatalf("unknown table: want %q, got %q (%v)", KindBadRequest, KindOf(err), err)
 	}
 }

@@ -66,7 +66,7 @@ var goldenQueries = []struct{ name, sql string }{
 func goldenDB(t *testing.T) (*engine.DB, *s3api.Counting) {
 	t.Helper()
 	st := store.New()
-	ds, err := Load(st, Dataset{SF: 0.002, Seed: 42, Bucket: "tpch", Partitions: 4})
+	ds, err := Load(context.Background(), st, Dataset{SF: 0.002, Seed: 42, Bucket: "tpch", Partitions: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"context"
 	"fmt"
 
 	"pushdowndb/internal/engine"
@@ -37,8 +38,9 @@ func (d Dataset) WithDefaults() Dataset {
 }
 
 // Load generates every TPC-H table at the dataset's scale factor and
-// writes the partitioned CSV objects into the store.
-func Load(st *store.Store, d Dataset) (Dataset, error) {
+// writes the partitioned CSV objects into the store. Canceling ctx stops
+// the load between tables.
+func Load(ctx context.Context, st *store.Store, d Dataset) (Dataset, error) {
 	d = d.WithDefaults()
 	orders := GenOrders(d.SF, d.Seed)
 	steps := []struct {
@@ -56,7 +58,7 @@ func Load(st *store.Store, d Dataset) (Dataset, error) {
 		{"region", RegionHeader, GenRegions(), 1},
 	}
 	for _, s := range steps {
-		if err := engine.PartitionTable(st, d.Bucket, s.table, s.header, s.rows, s.parts); err != nil {
+		if err := engine.PartitionTable(ctx, st, d.Bucket, s.table, s.header, s.rows, s.parts); err != nil {
 			return d, fmt.Errorf("tpch: loading %s: %w", s.table, err)
 		}
 	}
@@ -65,8 +67,8 @@ func Load(st *store.Store, d Dataset) (Dataset, error) {
 
 // LoadWithIndexes loads the dataset and builds the index tables the
 // Fig. 1 indexing experiment needs (lineitem.l_extendedprice).
-func LoadWithIndexes(st *store.Store, d Dataset) (Dataset, error) {
-	d, err := Load(st, d)
+func LoadWithIndexes(ctx context.Context, st *store.Store, d Dataset) (Dataset, error) {
+	d, err := Load(ctx, st, d)
 	if err != nil {
 		return d, err
 	}

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -15,7 +16,7 @@ import (
 func testDB(t *testing.T, sf float64) *engine.DB {
 	t.Helper()
 	st := store.New()
-	ds, err := Load(st, Dataset{SF: sf, Seed: 42, Bucket: "tpch", Partitions: 4})
+	ds, err := Load(context.Background(), st, Dataset{SF: sf, Seed: 42, Bucket: "tpch", Partitions: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestNationRegionFixed(t *testing.T) {
 
 func TestLoadCreatesAllTables(t *testing.T) {
 	st := store.New()
-	ds, err := LoadWithIndexes(st, Dataset{SF: 0.001, Seed: 1, Partitions: 2})
+	ds, err := LoadWithIndexes(context.Background(), st, Dataset{SF: 0.001, Seed: 1, Partitions: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
