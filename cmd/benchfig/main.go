@@ -44,6 +44,7 @@ func main() {
 		"Planner": harness.RunPlanner, "Parallel": harness.RunParallel,
 		"Backends": harness.RunBackends, "Cache": harness.RunCache,
 		"Index": harness.RunIndex, "Serve": harness.RunServe,
+		"Shared": harness.RunShared,
 	}
 
 	switch {
@@ -58,7 +59,7 @@ func main() {
 	case *fig != "":
 		run, ok := runs[*fig]
 		if !ok {
-			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache, Index, Serve)", *fig))
+			fatal(fmt.Errorf("unknown figure %q (Fig1..Fig11, Planner, Parallel, Backends, Cache, Index, Serve, Shared)", *fig))
 		}
 		r, err := run(ctx, env)
 		if err != nil {

@@ -34,6 +34,7 @@ import (
 	"pushdowndb/internal/engine"
 	"pushdowndb/internal/localfs"
 	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/scanshare"
 	"pushdowndb/internal/server"
 	"pushdowndb/internal/store"
 	"pushdowndb/internal/tpch"
@@ -55,11 +56,15 @@ func main() {
 		bucket      = flag.String("bucket", "local", "bucket queries read from")
 		parts       = flag.Int("parts", 4, "partitions per loaded table")
 		cacheMB     = flag.Int("cache-mb", 64, "shared select-result cache budget in MiB (0 = off)")
+		shareWindow = flag.Duration("share-window", 2*time.Millisecond, "scan-sharing batch window: concurrent compatible scans on one object merge into one S3 Select (0 = sharing off, negative = coalesce identical requests only)")
+		shareBatch  = flag.Int("share-batch", 16, "max queries merged into one shared scan pass")
 		maxClients  = flag.Int("max-clients", 32, "queries executing concurrently before arrivals queue")
 		queueDepth  = flag.Int("queue", 0, "bounded admission queue depth (0 = 4x max-clients); overflow is refused with kind \"overloaded\"")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request wall-clock budget; overruns cancel the engine mid-flight")
 		tenantLanes = flag.Int("tenant-lanes", 0, "max concurrent queries per tenant (0 = unlimited)")
 		tenantUSD   = flag.Float64("tenant-budget", 0, "simulated-dollar budget per tenant (0 = unmetered); overruns are refused with kind \"over_quota\"")
+		tenantRate  = flag.Int("tenant-rate", 0, "max queries per tenant per rate window (0 = unlimited); overruns are refused with kind \"rate_limited\"")
+		tenantRateW = flag.Duration("tenant-rate-window", time.Second, "rolling window -tenant-rate counts over")
 		auditPath   = flag.String("audit", "", "append a JSON line per query/rejection here (\"-\" = stderr)")
 	)
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
@@ -129,6 +134,11 @@ func main() {
 	if *cacheMB > 0 {
 		opts = append(opts, engine.WithResultCache(int64(*cacheMB)<<20))
 	}
+	if *shareWindow != 0 {
+		opts = append(opts, engine.WithScanSharing(scanshare.Config{
+			Window: *shareWindow, MaxBatch: *shareBatch,
+		}))
+	}
 	db, err := engine.Open(*bucket, opts...)
 	if err != nil {
 		fatal(err)
@@ -154,6 +164,8 @@ func main() {
 		RequestTimeout:    *timeout,
 		TenantConcurrency: *tenantLanes,
 		TenantBudgetUSD:   *tenantUSD,
+		TenantRateLimit:   *tenantRate,
+		TenantRateWindow:  *tenantRateW,
 		AuditLog:          audit,
 	})
 

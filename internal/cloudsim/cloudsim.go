@@ -186,6 +186,14 @@ type Phase struct {
 	getBytes          int64 // plain GET bytes returned
 	cacheHits         int64 // select responses served from the result cache
 	cacheReturnBytes  int64 // response bytes served from the result cache
+	// Shared-scan accounting (scanshare): billing counters carry this
+	// query's 1/sharers slice of each shared pass, while sharedWireBytes
+	// carries the full pass response — the query still receives and
+	// parses every merged byte even though it only pays its share.
+	sharedRequests    float64
+	sharedScanBytes   float64
+	sharedReturnBytes float64
+	sharedWireBytes   int64
 	s3MaxStreamSec    float64
 	serverExtraSec    float64
 	serverRows        int64
@@ -213,6 +221,40 @@ func (p *Phase) AddSelectRequest(r SelectReq) {
 	p.requests++
 	p.scanBytes += r.ScanBytes
 	p.selectReturnBytes += r.ReturnedBytes
+	pp := p.scale.perPartition()
+	t := p.cfg.RequestRTTSec +
+		float64(r.ScanBytes)*pp/p.cfg.S3ScanBytesPerSec +
+		float64(r.Cells)*pp*p.cfg.S3CellSecPerCell +
+		float64(r.DecompressBytes)*pp/p.cfg.S3DecompressBytesPerSec +
+		float64(r.Rows)*pp*float64(r.ExprNodes)*p.cfg.S3NodeSecPerRow
+	if t > p.s3MaxStreamSec {
+		p.s3MaxStreamSec = t
+	}
+}
+
+// AddSharedSelectRequest records this query's participation in one S3
+// Select pass shared by `sharers` concurrent queries (scanshare): the
+// storage side ran the pass once, so each sharer is billed 1/sharers of
+// its request, scan and return volume — every sharer records the same
+// pass with the same count, so the fleet's total equals exactly one
+// direct pass. Time is not divided: the storage stream ran in full
+// before any sharer's rows existed, the whole merged response crossed
+// the network to the node, and localRows counts the merged rows this
+// query re-filtered locally at server row-work rates (zero for unmerged
+// singleflight shares).
+func (p *Phase) AddSharedSelectRequest(r SelectReq, sharers, localRows int64) {
+	if sharers <= 1 {
+		p.AddSelectRequest(r)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	share := float64(sharers)
+	p.sharedRequests += 1 / share
+	p.sharedScanBytes += float64(r.ScanBytes) / share
+	p.sharedReturnBytes += float64(r.ReturnedBytes) / share
+	p.sharedWireBytes += r.ReturnedBytes
+	p.serverRows += localRows
 	pp := p.scale.perPartition()
 	t := p.cfg.RequestRTTSec +
 		float64(r.ScanBytes)*pp/p.cfg.S3ScanBytesPerSec +
@@ -312,6 +354,10 @@ func (p *Phase) snapshot() phaseTotals {
 		getBytes:          p.getBytes,
 		cacheHits:         p.cacheHits,
 		cacheReturnBytes:  p.cacheReturnBytes,
+		sharedRequests:    p.sharedRequests,
+		sharedScanBytes:   p.sharedScanBytes,
+		sharedReturnBytes: p.sharedReturnBytes,
+		sharedWireBytes:   p.sharedWireBytes,
 		s3MaxStreamSec:    p.s3MaxStreamSec,
 		serverExtraSec:    p.serverExtraSec,
 		serverRows:        p.serverRows,
@@ -327,6 +373,10 @@ type phaseTotals struct {
 	getBytes          int64
 	cacheHits         int64
 	cacheReturnBytes  int64
+	sharedRequests    float64
+	sharedScanBytes   float64
+	sharedReturnBytes float64
+	sharedWireBytes   int64
 	s3MaxStreamSec    float64
 	serverExtraSec    float64
 	serverRows        int64
@@ -342,14 +392,16 @@ type phaseTotals struct {
 // per build row) is below the roofline model's granularity.
 func (t phaseTotals) seconds(cfg Config, scale Scale) float64 {
 	dr := scale.DataRatio
-	transfer := float64(t.selectReturnBytes+t.getBytes) * dr / cfg.NetworkBytesPerSec
+	// Shared passes ship their full merged response to the node (wire
+	// bytes), even though the query is only billed its share.
+	transfer := float64(t.selectReturnBytes+t.getBytes+t.sharedWireBytes) * dr / cfg.NetworkBytesPerSec
 	// Cache-served response bytes never touch the network or the storage
 	// side; they only pay the (parallelizable) select-response parse.
 	parallel := float64(t.getBytes)*dr/cfg.BulkParseBytesPerSec +
-		float64(t.selectReturnBytes+t.cacheReturnBytes)*dr/cfg.SelectParseBytesPerSec +
+		float64(t.selectReturnBytes+t.cacheReturnBytes+t.sharedWireBytes)*dr/cfg.SelectParseBytesPerSec +
 		float64(t.serverRows)*dr*cfg.RowWorkSecPerRow
 	server := parallel/float64(cfg.WorkerBudget()) +
-		float64(t.requests)*scale.PartRatio*cfg.RequestCPUSec +
+		(float64(t.requests)+t.sharedRequests)*scale.PartRatio*cfg.RequestCPUSec +
 		float64(t.rowFetchRequests)*dr*cfg.RequestCPUSec +
 		float64(t.rangedRanges)*dr*cfg.RangedGetSecPerRange +
 		t.serverExtraSec
@@ -460,6 +512,24 @@ func (m *Metrics) CacheTotals() (hits, returnedBytes int64) {
 	return
 }
 
+// SharedTotals sums shared-scan accounting across phases: the fractional
+// request/scan/return shares this query was billed for its participation
+// in shared passes, and the full response bytes those passes shipped to
+// the node. Shared requests are fractional by construction (1/sharers
+// each) and therefore deliberately absent from Totals' integer counts.
+func (m *Metrics) SharedTotals() (requestShare, scanByteShare, returnByteShare float64, wireBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.phases {
+		t := p.snapshot()
+		requestShare += t.sharedRequests
+		scanByteShare += t.sharedScanBytes
+		returnByteShare += t.sharedReturnBytes
+		wireBytes += t.sharedWireBytes
+	}
+	return
+}
+
 // CostBreakdown is the paper's four cost components (Fig. 1b etc.).
 type CostBreakdown struct {
 	ComputeUSD  float64
@@ -471,6 +541,24 @@ type CostBreakdown struct {
 // Total sums the components.
 func (c CostBreakdown) Total() float64 {
 	return c.ComputeUSD + c.RequestUSD + c.ScanUSD + c.TransferUSD
+}
+
+// SharedAcrossN predicts the breakdown of the same work when its storage
+// pass is shared by n concurrent queries (scanshare): the request, scan
+// and transfer components split n ways, while compute stays whole — the
+// node still parses the full response and re-filters locally. Planner
+// estimates use it to see what admission-level sharing would save.
+func (c CostBreakdown) SharedAcrossN(n int) CostBreakdown {
+	if n <= 1 {
+		return c
+	}
+	share := float64(n)
+	return CostBreakdown{
+		ComputeUSD:  c.ComputeUSD,
+		RequestUSD:  c.RequestUSD / share,
+		ScanUSD:     c.ScanUSD / share,
+		TransferUSD: c.TransferUSD / share,
+	}
 }
 
 // String renders the breakdown compactly.
@@ -494,10 +582,11 @@ func (m *Metrics) Cost(p Pricing) CostBreakdown {
 	for _, ph := range m.phases {
 		t := ph.snapshot()
 		pp := p.ForProfile(ph.profile)
-		requests := float64(t.requests)*m.scale.PartRatio + float64(t.rowFetchRequests)*dr
+		requests := (float64(t.requests)+t.sharedRequests)*m.scale.PartRatio +
+			float64(t.rowFetchRequests)*dr
 		c.RequestUSD += requests / 1000 * pp.RequestPer1000
-		c.ScanUSD += float64(t.scanBytes) * dr / gb * pp.ScanPerGB
-		c.TransferUSD += float64(t.selectReturnBytes)*dr/gb*pp.ReturnPerGB +
+		c.ScanUSD += (float64(t.scanBytes) + t.sharedScanBytes) * dr / gb * pp.ScanPerGB
+		c.TransferUSD += (float64(t.selectReturnBytes)+t.sharedReturnBytes)*dr/gb*pp.ReturnPerGB +
 			float64(t.getBytes)*dr/gb*pp.TransferPerGB
 	}
 	m.mu.Unlock()
@@ -527,10 +616,12 @@ func (m *Metrics) Report() string {
 		"phase", "stage", "requests", "scanMB", "returnMB", "sec")
 	for _, p := range sorted {
 		t := p.snapshot()
+		// Shared-pass slices fold into the billed scan/return columns so
+		// the table still sums to what the query paid for.
 		fmt.Fprintf(&b, "%-24s %5d %10d %12.2f %12.2f %10.3f\n",
 			p.Name, p.Stage, t.requests+t.rowFetchRequests,
-			float64(t.scanBytes)/1e6,
-			float64(t.selectReturnBytes+t.getBytes)/1e6,
+			(float64(t.scanBytes)+t.sharedScanBytes)/1e6,
+			(float64(t.selectReturnBytes+t.getBytes)+t.sharedReturnBytes)/1e6,
 			t.seconds(p.cfg, m.scale))
 	}
 	return b.String()

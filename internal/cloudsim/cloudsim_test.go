@@ -236,3 +236,115 @@ func TestQuickCostNonNegative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSharedSelectRequestSplitsBilling(t *testing.T) {
+	cfg := DefaultConfig()
+	pricing := DefaultPricing()
+	req := SelectReq{ScanBytes: 1 << 30, ReturnedBytes: 1 << 28, Rows: 1e6, ExprNodes: 3, Cells: 8e6}
+
+	// n sharers each record the same pass with sharers=n: their summed
+	// bill must equal one direct pass, and each pays exactly 1/n of the
+	// storage components.
+	direct := NewMetrics(cfg)
+	direct.Phase("scan", 0).AddSelectRequest(req)
+	dc := direct.Cost(pricing)
+
+	const n = 4
+	var sumScan, sumReq, sumTransfer float64
+	for i := 0; i < n; i++ {
+		m := NewMetrics(cfg)
+		m.Phase("scan", 0).AddSharedSelectRequest(req, n, 500)
+		c := m.Cost(pricing)
+		if math.Abs(c.ScanUSD-dc.ScanUSD/n) > 1e-15 {
+			t.Fatalf("sharer scan cost = %v, want %v", c.ScanUSD, dc.ScanUSD/n)
+		}
+		sumScan += c.ScanUSD
+		sumReq += c.RequestUSD
+		sumTransfer += c.TransferUSD
+	}
+	if math.Abs(sumScan-dc.ScanUSD) > 1e-12 ||
+		math.Abs(sumReq-dc.RequestUSD) > 1e-12 ||
+		math.Abs(sumTransfer-dc.TransferUSD) > 1e-12 {
+		t.Fatalf("summed sharer bill (scan %v, req %v, transfer %v) != one direct pass (%v, %v, %v)",
+			sumScan, sumReq, sumTransfer, dc.ScanUSD, dc.RequestUSD, dc.TransferUSD)
+	}
+}
+
+func TestSharedSelectRequestTimeIsNotDivided(t *testing.T) {
+	cfg := DefaultConfig()
+	req := SelectReq{ScanBytes: 300e6, ReturnedBytes: 50e6, Rows: 1e6, ExprNodes: 5, Cells: 16e6}
+
+	direct := NewMetrics(cfg)
+	direct.Phase("scan", 0).AddSelectRequest(req)
+
+	shared := NewMetrics(cfg)
+	shared.Phase("scan", 0).AddSharedSelectRequest(req, 8, 0)
+
+	// The storage stream and the response transfer happen in full for
+	// every sharer: a shared pass saves dollars, not stream time.
+	if d, s := direct.RuntimeSeconds(), shared.RuntimeSeconds(); s < d-1e-9 {
+		t.Fatalf("shared runtime %v < direct %v; stream time must not be divided", s, d)
+	}
+}
+
+func TestSharedSelectRequestLocalRowsPriced(t *testing.T) {
+	cfg := DefaultConfig()
+	without := NewMetrics(cfg)
+	without.Phase("scan", 0).AddSharedSelectRequest(SelectReq{}, 2, 0)
+	with := NewMetrics(cfg)
+	with.Phase("scan", 0).AddSharedSelectRequest(SelectReq{}, 2, 5e9)
+	if with.RuntimeSeconds() <= without.RuntimeSeconds() {
+		t.Fatal("local re-filter rows must add server-side row work")
+	}
+}
+
+func TestSharedSelectRequestSoloDelegates(t *testing.T) {
+	cfg := DefaultConfig()
+	a := NewMetrics(cfg)
+	a.Phase("scan", 0).AddSharedSelectRequest(SelectReq{ScanBytes: 1 << 20}, 1, 0)
+	b := NewMetrics(cfg)
+	b.Phase("scan", 0).AddSelectRequest(SelectReq{ScanBytes: 1 << 20})
+	if a.RuntimeSeconds() != b.RuntimeSeconds() {
+		t.Fatal("sharers=1 must account exactly like a direct select")
+	}
+	ar, as, _, _ := a.SharedTotals()
+	if ar != 0 || as != 0 {
+		t.Fatal("sharers=1 must not record shared totals")
+	}
+	req, _, _, _ := a.Totals()
+	if req != 1 {
+		t.Fatalf("requests = %d, want 1", req)
+	}
+}
+
+func TestSharedTotals(t *testing.T) {
+	m := NewMetrics(DefaultConfig())
+	m.Phase("scan", 0).AddSharedSelectRequest(SelectReq{ScanBytes: 1000, ReturnedBytes: 400}, 4, 0)
+	m.Phase("scan", 0).AddSharedSelectRequest(SelectReq{ScanBytes: 1000, ReturnedBytes: 400}, 4, 0)
+	reqShare, scanShare, retShare, wire := m.SharedTotals()
+	if math.Abs(reqShare-0.5) > 1e-12 || math.Abs(scanShare-500) > 1e-9 || math.Abs(retShare-200) > 1e-9 {
+		t.Fatalf("SharedTotals = %v, %v, %v", reqShare, scanShare, retShare)
+	}
+	if wire != 800 {
+		t.Fatalf("wire bytes = %d, want 800 (full response per pass)", wire)
+	}
+	// Shared fractional requests stay out of the integer request count.
+	req, _, _, _ := m.Totals()
+	if req != 0 {
+		t.Fatalf("Totals requests = %d, want 0", req)
+	}
+}
+
+func TestCostBreakdownSharedAcrossN(t *testing.T) {
+	c := CostBreakdown{ComputeUSD: 1, RequestUSD: 0.4, ScanUSD: 2, TransferUSD: 0.8}
+	s := c.SharedAcrossN(4)
+	if s.ComputeUSD != 1 {
+		t.Fatal("compute must not split across sharers")
+	}
+	if s.RequestUSD != 0.1 || s.ScanUSD != 0.5 || s.TransferUSD != 0.2 {
+		t.Fatalf("SharedAcrossN(4) = %+v", s)
+	}
+	if c.SharedAcrossN(1) != c || c.SharedAcrossN(0) != c {
+		t.Fatal("n <= 1 must be the identity")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"pushdowndb/internal/index"
 	"pushdowndb/internal/rescache"
 	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/scanshare"
 	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/sqlparse"
 	"pushdowndb/internal/value"
@@ -64,6 +65,11 @@ type DB struct {
 	// nil = caching off). Hits skip the backend entirely and are metered as
 	// free decodes (cloudsim.Phase.AddCacheHit).
 	resultCache *rescache.Cache
+
+	// scanShare coalesces concurrent S3 Selects into shared backend
+	// passes (WithScanSharing; nil = off). It sits below the result
+	// cache: cache hits never reach it, cache misses share one pass.
+	scanShare *scanshare.Coordinator
 
 	// hookMu guards queryHook: a long-lived server installs its audit hook
 	// after Open while queries may already be in flight.
@@ -218,6 +224,23 @@ func WithResultCacheAdmission(budgetBytes int64) Option {
 	}
 }
 
+// WithScanSharing enables the scan-sharing coordinator: concurrent
+// identical S3 Selects coalesce into one in-flight backend call
+// (singleflight), and — within cfg.Window — compatible simple scans on
+// the same partition merge into one pushed Select carrying the OR of
+// their filters and the union of their columns, with each query's own
+// predicate re-applied locally. Shared passes are billed once and split
+// across sharers (cloudsim.Phase.AddSharedSelectRequest), so under
+// concurrency the per-query cost of touching a hot table falls with the
+// number of queries touching it. Composes with WithResultCache: hits
+// skip sharing entirely; misses share the refill.
+func WithScanSharing(cfg scanshare.Config) Option {
+	return func(db *DB) error {
+		db.scanShare = scanshare.New(cfg)
+		return nil
+	}
+}
+
 // Open returns a DB over the named bucket with the paper's default cost
 // model and pricing. At least one backend must be registered via
 // WithBackend; the table catalog and the default backend must reference
@@ -315,6 +338,11 @@ func (db *DB) InvalidateStats() {
 	if db.resultCache != nil {
 		db.resultCache.InvalidateAll()
 	}
+	if db.scanShare != nil {
+		// Post-invalidation queries must not join passes started against
+		// the old table bytes.
+		db.scanShare.Invalidate()
+	}
 }
 
 // InvalidateTable drops the cached planner statistics, cached select
@@ -344,6 +372,12 @@ func (db *DB) InvalidateTable(table string) {
 	if db.resultCache != nil {
 		db.resultCache.InvalidatePrefix(db.bucket, table+"/")
 	}
+	if db.scanShare != nil {
+		// The share epoch is coordinator-wide (cheap and always correct);
+		// per-object precision comes from the cache generation in the
+		// share key when a result cache is configured.
+		db.scanShare.Invalidate()
+	}
 }
 
 // ResultCacheStats snapshots the select-result cache's counters; ok is
@@ -353,6 +387,15 @@ func (db *DB) ResultCacheStats() (s rescache.Stats, ok bool) {
 		return rescache.Stats{}, false
 	}
 	return db.resultCache.Stats(), true
+}
+
+// ScanShareStats snapshots the scan-sharing coordinator's counters; ok is
+// false when the DB was opened without WithScanSharing.
+func (db *DB) ScanShareStats() (s scanshare.Stats, ok bool) {
+	if db.scanShare == nil {
+		return scanshare.Stats{}, false
+	}
+	return db.scanShare.Stats(), true
 }
 
 // Exec is the context of a single query execution: a cancellation context,
@@ -611,34 +654,62 @@ func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate fu
 // cache first. A hit skips the backend and is metered as a free local
 // decode; a miss runs the request, meters it normally and fills the cache
 // at the generation snapshotted before the request (so a fill racing a
-// table invalidation is discarded). Cached results are shared across
+// table invalidation is discarded). When scan sharing is on, the miss
+// path routes through the coordinator: concurrent misses on the same
+// object share one backend pass, each sharer is billed its fraction, and
+// only the pass leader fills the cache (the other sharers record an
+// in-flight dedup on the cache stats). Cached results are shared across
 // queries — callers must not mutate them.
 func (e *Exec) doSelect(ctx context.Context, phase *cloudsim.Phase, backendName string, backend s3api.Backend, key string, req selectengine.Request) (*selectengine.Result, error) {
 	c := e.db.resultCache
-	if c == nil {
+	var (
+		ck  rescache.Key
+		gen uint64
+	)
+	if c != nil {
+		ck = rescache.Key{
+			Backend: backendName, Bucket: e.db.bucket, Object: key,
+			Query: selectCacheQuery(req),
+		}
+		if res, ok := c.Get(ck); ok {
+			phase.AddCacheHit(res.Stats.BytesReturned)
+			return res, nil
+		}
+		gen = c.Generation(e.db.bucket, key)
+	}
+	sh := e.db.scanShare
+	if sh == nil {
 		res, err := backend.Select(ctx, e.db.bucket, key, req)
 		if err != nil {
 			return nil, err
 		}
 		phase.AddSelectRequest(selectReqStats(res.Stats))
+		if c != nil {
+			c.Put(ck, gen, res)
+		}
 		return res, nil
 	}
-	ck := rescache.Key{
-		Backend: backendName, Bucket: e.db.bucket, Object: key,
-		Query: selectCacheQuery(req),
-	}
-	if res, ok := c.Get(ck); ok {
-		phase.AddCacheHit(res.Stats.BytesReturned)
-		return res, nil
-	}
-	gen := c.Generation(e.db.bucket, key)
-	res, err := backend.Select(ctx, e.db.bucket, key, req)
+	out, err := sh.Select(ctx, scanshare.ObjectKey{
+		Backend: backendName, Bucket: e.db.bucket, Object: key, Gen: gen,
+	}, req, func(ctx context.Context, r selectengine.Request) (*selectengine.Result, error) {
+		return backend.Select(ctx, e.db.bucket, key, r)
+	})
 	if err != nil {
 		return nil, err
 	}
-	phase.AddSelectRequest(selectReqStats(res.Stats))
-	c.Put(ck, gen, res)
-	return res, nil
+	if out.Sharers > 1 {
+		phase.AddSharedSelectRequest(selectReqStats(out.Pass), int64(out.Sharers), out.LocalRows)
+	} else {
+		phase.AddSelectRequest(selectReqStats(out.Pass))
+	}
+	if c != nil {
+		if out.Leader {
+			c.Put(ck, gen, out.Res)
+		} else {
+			c.NoteInflightDedup()
+		}
+	}
+	return out.Res, nil
 }
 
 // selectCacheQuery renders the canonical cache fingerprint of a select

@@ -30,6 +30,10 @@ func TestRunServeWarmBeatsCold(t *testing.T) {
 		if warm.Extra["cache_hits"] == 0 {
 			t.Errorf("%d clients: warm round recorded no cache hits", n)
 		}
+		// Diagnostics: the warm hits are real cache hits, not refills that
+		// rode a neighbor's in-flight miss — those are counted separately.
+		t.Logf("%d clients: warm cache_hits=%.0f inflight_dedup=%.0f",
+			n, warm.Extra["cache_hits"], warm.Extra["inflight_dedup"])
 	}
 	if !strings.Contains(res.String(), "Serve") {
 		t.Error("result does not render")

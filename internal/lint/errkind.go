@@ -27,7 +27,7 @@ var Errkind = &analysis.Analyzer{
 	Name: "errkind",
 	Doc: "errors created in functions that call an s3api.Backend must carry an " +
 		"s3api.Kind (s3api.NewError or %w-wrapping a kinded error), not naked fmt.Errorf/errors.New",
-	InScope: scopeOf(pkgEngine, pkgIndex),
+	InScope: scopeOf(pkgEngine, pkgIndex, pkgScanshare),
 	Run:     runErrkind,
 }
 

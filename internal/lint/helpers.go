@@ -10,13 +10,14 @@ import (
 // Import paths the analyzers key on. The suite is repo-specific by design:
 // the invariants are this module's, not generic Go style.
 const (
-	pkgPrefix   = "pushdowndb/internal/"
-	pkgS3api    = "pushdowndb/internal/s3api"
-	pkgCloudsim = "pushdowndb/internal/cloudsim"
-	pkgEngine   = "pushdowndb/internal/engine"
-	pkgIndex    = "pushdowndb/internal/index"
-	pkgExpr     = "pushdowndb/internal/expr"
-	pkgHarness  = "pushdowndb/internal/harness"
+	pkgPrefix    = "pushdowndb/internal/"
+	pkgS3api     = "pushdowndb/internal/s3api"
+	pkgCloudsim  = "pushdowndb/internal/cloudsim"
+	pkgEngine    = "pushdowndb/internal/engine"
+	pkgIndex     = "pushdowndb/internal/index"
+	pkgExpr      = "pushdowndb/internal/expr"
+	pkgHarness   = "pushdowndb/internal/harness"
+	pkgScanshare = "pushdowndb/internal/scanshare"
 )
 
 // scopeOf builds an InScope predicate admitting exactly the given paths.

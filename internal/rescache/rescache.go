@@ -56,8 +56,13 @@ type Stats struct {
 	// its key was seen before; a reject is a first-touch Put parked in the
 	// ghost set instead of the cache.
 	Admissions, AdmissionRejects int64
-	Entries                      int
-	UsedBytes, BudgetBytes       int64
+	// InflightDedup counts lookups that missed the cache but were served
+	// by joining another query's in-flight backend request (scanshare
+	// singleflight), so /stats can tell "the response was resident" from
+	// "the response was being fetched and we rode along".
+	InflightDedup          int64
+	Entries                int
+	UsedBytes, BudgetBytes int64
 }
 
 // HitRate is the fraction of lookups served from the cache, in [0, 1]
@@ -97,6 +102,7 @@ type Cache struct {
 
 	hits, misses, puts, evictions, invalidations int64
 	admissions, admissionRejects                 int64
+	inflightDedup                                int64
 }
 
 // ghostCap bounds the second-touch ghost set: keys are small (no response
@@ -321,6 +327,16 @@ func (c *Cache) InvalidateAll() {
 	c.used = 0
 }
 
+// NoteInflightDedup records one miss that was nonetheless served without
+// a new storage request, by joining an in-flight fill for the same key
+// (scanshare singleflight). The miss itself was already counted by Get;
+// this distinguishes its resolution in the stats.
+func (c *Cache) NoteInflightDedup() {
+	c.mu.Lock()
+	c.inflightDedup++
+	c.mu.Unlock()
+}
+
 // Len returns the number of resident entries (cheaper than Stats when the
 // caller only needs to know whether the cache holds anything at all).
 func (c *Cache) Len() int {
@@ -337,7 +353,8 @@ func (c *Cache) Stats() Stats {
 		Hits: c.hits, Misses: c.misses, Puts: c.puts,
 		Evictions: c.evictions, Invalidations: c.invalidations,
 		Admissions: c.admissions, AdmissionRejects: c.admissionRejects,
-		Entries: c.ll.Len(), UsedBytes: c.used, BudgetBytes: c.budget,
+		InflightDedup: c.inflightDedup,
+		Entries:       c.ll.Len(), UsedBytes: c.used, BudgetBytes: c.budget,
 	}
 }
 

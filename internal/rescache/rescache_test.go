@@ -328,3 +328,15 @@ func TestStatsHitRate(t *testing.T) {
 		t.Fatalf("hit rate: %g", got)
 	}
 }
+
+func TestNoteInflightDedup(t *testing.T) {
+	c := New(1 << 20)
+	if s := c.Stats(); s.InflightDedup != 0 {
+		t.Fatalf("fresh cache InflightDedup = %d", s.InflightDedup)
+	}
+	c.NoteInflightDedup()
+	c.NoteInflightDedup()
+	if s := c.Stats(); s.InflightDedup != 2 {
+		t.Fatalf("InflightDedup = %d, want 2", s.InflightDedup)
+	}
+}

@@ -1,0 +1,547 @@
+// Package scanshare coalesces concurrent S3 Selects into shared storage
+// passes. PushdownDB prices every query's pushed-down scans independently,
+// so under server concurrency many in-flight queries pay full request/
+// scan/transfer cost for the same partitions; SharedDB-style multi-query
+// execution (and the "Enhancing Computation Pushdown" follow-up) share one
+// storage pass across consumers instead. The Coordinator sits between
+// engine.Exec and s3api.Backend and shares passes two ways:
+//
+//   - Singleflight: concurrent identical requests against the same
+//     (backend, bucket, object, canonical request) join one in-flight
+//     backend call whose response fans out to every waiter. This covers
+//     every request shape, including aggregates and ranged scans.
+//
+//   - Predicate merging: within a short batching window, compatible
+//     simple scans on the same object (projection + disjunction-mergeable
+//     WHERE, no aggregates/joins/order/limit) combine into ONE pushed
+//     Select carrying the OR of the filters and the union of the
+//     referenced columns. Each waiter's own SQL is then re-applied
+//     locally over the merged response, which is exact: the merged pass
+//     returns the raw referenced columns verbatim, so re-executing the
+//     original request over them reproduces the direct answer
+//     byte-for-byte.
+//
+// Cost attribution is the caller's job: the Outcome reports the pass
+// stats, the final sharer count and the local re-filter row volume, and
+// the engine meters one pass split across sharers
+// (cloudsim.Phase.AddSharedSelectRequest).
+//
+// Invalidation composes two ways: the coordinator key carries the result
+// cache's generation snapshot for the object (so a table reload separates
+// pre- and post-reload sharers even mid-flight), and Invalidate bumps a
+// coordinator-wide epoch for cacheless deployments.
+package scanshare
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/selectengine"
+	"pushdowndb/internal/sqlparse"
+)
+
+// SelectFunc issues one real backend Select. The coordinator never talks
+// to storage itself; the engine passes a closure binding the backend,
+// bucket and object so metering scope stays with the engine.
+type SelectFunc func(ctx context.Context, req selectengine.Request) (*selectengine.Result, error)
+
+// ObjectKey identifies the object a request scans, plus the result-cache
+// generation the caller snapshotted for it (zero without a cache): shares
+// never straddle an invalidation.
+type ObjectKey struct {
+	Backend string
+	Bucket  string
+	Object  string
+	Gen     uint64
+}
+
+// Config tunes the coordinator.
+type Config struct {
+	// Window is how long the first mergeable request on an object waits
+	// for companions before firing. Zero uses DefaultWindow; negative
+	// disables predicate merging entirely (singleflight only).
+	Window time.Duration
+	// MaxBatch bounds how many distinct requests merge into one pass
+	// (default 16); a full batch fires before the window closes.
+	MaxBatch int
+	// MaxSQLBytes bounds the merged SQL's size (default
+	// selectengine.MaxSQLBytes, the S3 Select expression limit).
+	MaxSQLBytes int
+}
+
+// DefaultWindow is the batching window used when Config.Window is zero:
+// long enough for a barrier of concurrent queries fanning out over the
+// same partitions to meet, short next to any real storage round trip.
+const DefaultWindow = 2 * time.Millisecond
+
+// Outcome is what one coordinated Select produced for its caller.
+type Outcome struct {
+	// Res is the caller's result: the shared response verbatim for
+	// singleflight shares, the locally re-filtered rows for merged ones.
+	Res *selectengine.Result
+	// Sharers is how many requests shared the backend pass (1 = solo).
+	// Every sharer of one pass observes the same final count, so a
+	// pass's cost splits exactly once across them.
+	Sharers int
+	// Leader is true for exactly one sharer per pass — the caller that
+	// issued the backend request (cache fills belong to it).
+	Leader bool
+	// Merged reports whether the pass pushed a combined OR/union request
+	// rather than this caller's request verbatim.
+	Merged bool
+	// Pass is the backend pass's stats (what storage actually did), as
+	// opposed to Res.Stats which describes the caller's slice of it.
+	Pass selectengine.Stats
+	// LocalRows is how many merged-response rows this caller re-filtered
+	// locally (0 for unmerged shares) — priced at local row-work rates.
+	LocalRows int64
+}
+
+// Stats is a snapshot of the coordinator's counters.
+type Stats struct {
+	// Selects counts requests entering the coordinator.
+	Selects int64 `json:"selects"`
+	// BackendSelects counts real backend calls issued (shared passes,
+	// solo passes and per-waiter fallbacks).
+	BackendSelects int64 `json:"backend_selects"`
+	// Coalesced counts requests served by a pass some other request paid
+	// the backend call for (sharers-1 per shared pass).
+	Coalesced int64 `json:"coalesced"`
+	// SharedPasses counts backend passes with more than one sharer;
+	// MergedPasses counts the subset that pushed a combined OR/union
+	// request. Sharers sums sharer counts over shared passes, so
+	// Sharers/SharedPasses is the average fan-out per shared pass.
+	SharedPasses int64 `json:"shared_passes"`
+	MergedPasses int64 `json:"merged_passes"`
+	Sharers      int64 `json:"sharers"`
+	// ScanBytesSaved and ReturnBytesSaved estimate the storage traffic
+	// sharing avoided: (sharers-1) x the pass's scan/return volume, i.e.
+	// what the extra sharers would have re-bought running alone.
+	ScanBytesSaved   int64 `json:"scan_bytes_saved"`
+	ReturnBytesSaved int64 `json:"return_bytes_saved"`
+	// Fallbacks counts waiters that re-issued their own request directly
+	// after a shared pass (or their slice of it) failed.
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// Coordinator batches and coalesces Selects. Safe for concurrent use.
+type Coordinator struct {
+	cfg   Config
+	epoch atomic.Uint64 // bumped by Invalidate; part of every share key
+
+	mu       sync.Mutex
+	inflight map[identity]*call // joinable until the pass completes
+	open     map[objIdent]*call // un-fired mergeable batches
+	stats    Stats
+}
+
+// identity is the singleflight join key: one exact request on one object
+// at one invalidation epoch.
+type identity struct {
+	obj objIdent
+	fp  string
+}
+
+// objIdent is the batching key: one object at one epoch.
+type objIdent struct {
+	key   ObjectKey
+	epoch uint64
+}
+
+// New returns a coordinator with cfg's zero fields defaulted.
+func New(cfg Config) *Coordinator {
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.MaxSQLBytes <= 0 {
+		cfg.MaxSQLBytes = selectengine.MaxSQLBytes
+	}
+	return &Coordinator{
+		cfg:      cfg,
+		inflight: map[identity]*call{},
+		open:     map[objIdent]*call{},
+	}
+}
+
+// Invalidate voids the coordinator's share space: requests arriving after
+// the call can no longer join passes started before it. In-flight passes
+// complete for their existing waiters (their data predates the
+// invalidation for all of them equally). The engine calls this from
+// InvalidateStats/InvalidateTable alongside the result-cache bump.
+func (c *Coordinator) Invalidate() { c.epoch.Add(1) }
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// call is one backend pass in progress, shared by every request that
+// joined it.
+type call struct {
+	done    chan struct{} // closed after results are routed
+	full    chan struct{} // closed when the batch hits MaxBatch
+	entries []*entry      // distinct requests, arrival order
+	byFP    map[string]*entry
+	fired   bool // merged/solo request issued; batch membership is frozen
+	merged  bool
+	sqlLen  int // accumulated merged-SQL size estimate
+
+	// Completion state, written once before close(done).
+	err     error
+	pass    selectengine.Stats
+	sharers int
+	// leaderTaken hands the Leader outcome to exactly one waiter (the
+	// cache fill belongs to it).
+	leaderTaken bool
+}
+
+// entry is one distinct request inside a call, with however many waiters
+// coalesced onto it.
+type entry struct {
+	req     selectengine.Request
+	sel     *sqlparse.Select // parsed form; nil when not merge-eligible
+	waiters int
+
+	res       *selectengine.Result
+	err       error
+	localRows int64
+}
+
+// Fingerprint renders the canonical identity of a select request: the SQL
+// plus every request parameter that changes the response. It matches the
+// engine's result-cache fingerprint so a coordinator share and a cache
+// entry describe the same response.
+func Fingerprint(req selectengine.Request) string {
+	var b strings.Builder
+	b.WriteString(req.SQL)
+	b.WriteString("\x00h=")
+	b.WriteString(boolTag(req.HasHeader))
+	b.WriteString("\x00g=")
+	b.WriteString(boolTag(req.Capabilities.AllowGroupBy))
+	b.WriteString("\x00b=")
+	b.WriteString(boolTag(req.Capabilities.AllowBloomContains))
+	if req.ScanRange != nil {
+		b.WriteString("\x00r=")
+		b.WriteString(strconv.FormatInt(req.ScanRange.Start, 10))
+		b.WriteString("-")
+		b.WriteString(strconv.FormatInt(req.ScanRange.End, 10))
+	}
+	return b.String()
+}
+
+func boolTag(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// mergeable parses req and reports whether it can participate in a
+// predicate-merged pass: a plain single-table scan — arbitrary
+// non-aggregate projections and an optional WHERE — with no join, group,
+// order, limit or scan range. Everything such a query produces is a pure
+// function of its referenced input columns, which the merged pass carries
+// verbatim, so local re-execution is exact.
+func mergeable(req selectengine.Request) *sqlparse.Select {
+	if req.ScanRange != nil || !req.HasHeader {
+		return nil
+	}
+	sel, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return nil
+	}
+	if len(sel.Joins) > 0 || len(sel.GroupBy) > 0 || len(sel.OrderBy) > 0 || sel.Limit >= 0 {
+		return nil
+	}
+	if sel.HasAggregates() {
+		return nil
+	}
+	return sel
+}
+
+// compatible reports whether a new mergeable request can batch with the
+// call's existing entries: same header mode and capability set (they are
+// part of the response semantics) and same pushed table term.
+func compatible(c *call, req selectengine.Request, sel *sqlparse.Select) bool {
+	first := c.entries[0]
+	if first.sel == nil {
+		return false
+	}
+	return req.HasHeader == first.req.HasHeader &&
+		req.Capabilities == first.req.Capabilities &&
+		strings.EqualFold(sel.Table, first.sel.Table)
+}
+
+// mergedSQLLen estimates a request's contribution to the merged SQL.
+func mergedSQLLen(sel *sqlparse.Select) int {
+	n := 16
+	if sel.Where != nil {
+		n += len(sel.Where.String()) + 8
+	}
+	for _, it := range sel.Items {
+		n += len(it.Expr.String()) + 2
+	}
+	return n
+}
+
+// Select coordinates one request: it joins an identical in-flight pass,
+// joins an open batch on the same object, or starts a new pass (waiting
+// out the batching window when the request is merge-eligible). The
+// returned Outcome carries the caller's rows plus the pass accounting.
+// On any shared-pass failure every waiter falls back to its own direct
+// backend call, so a sharer never fares worse than running alone.
+func (c *Coordinator) Select(ctx context.Context, key ObjectKey, req selectengine.Request, fn SelectFunc) (Outcome, error) {
+	fp := Fingerprint(req)
+	obj := objIdent{key: key, epoch: c.epoch.Load()}
+	id := identity{obj: obj, fp: fp}
+	var sel *sqlparse.Select
+	if c.cfg.Window > 0 {
+		sel = mergeable(req)
+	}
+
+	c.mu.Lock()
+	c.stats.Selects++
+	// Join an identical request already in flight (fired or not).
+	if cl, ok := c.inflight[id]; ok {
+		ent := cl.byFP[fp]
+		ent.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, cl, ent, req, fn)
+	}
+	// Join an open batch on the same object with a new predicate.
+	if cl, ok := c.open[obj]; ok && sel != nil && !cl.fired &&
+		len(cl.entries) < c.cfg.MaxBatch &&
+		cl.sqlLen+mergedSQLLen(sel) < c.cfg.MaxSQLBytes/2 &&
+		compatible(cl, req, sel) {
+		ent := &entry{req: req, sel: sel, waiters: 1}
+		cl.entries = append(cl.entries, ent)
+		cl.byFP[fp] = ent
+		cl.sqlLen += mergedSQLLen(sel)
+		c.inflight[id] = cl
+		if len(cl.entries) >= c.cfg.MaxBatch {
+			close(cl.full)
+		}
+		c.mu.Unlock()
+		return c.wait(ctx, cl, ent, req, fn)
+	}
+	// Start a new pass, leading it.
+	cl := &call{
+		done: make(chan struct{}),
+		full: make(chan struct{}),
+		byFP: map[string]*entry{},
+	}
+	ent := &entry{req: req, sel: sel, waiters: 1}
+	cl.entries = []*entry{ent}
+	cl.byFP[fp] = ent
+	if sel != nil {
+		cl.sqlLen = mergedSQLLen(sel)
+	}
+	c.inflight[id] = cl
+	// Register as an open batch only when another request could actually
+	// join it (merging on, batch bigger than one).
+	batching := sel != nil && c.cfg.MaxBatch > 1
+	if batching {
+		c.open[obj] = cl
+	}
+	c.mu.Unlock()
+
+	c.lead(ctx, obj, cl, fn, batching)
+	return c.wait(ctx, cl, ent, req, fn)
+}
+
+// lead runs the pass: wait out the batching window (mergeable passes
+// only), freeze the batch, issue one backend call, route rows to every
+// entry and publish the completion.
+func (c *Coordinator) lead(ctx context.Context, obj objIdent, cl *call, fn SelectFunc, batching bool) {
+	if batching {
+		timer := time.NewTimer(c.cfg.Window)
+		select {
+		case <-timer.C:
+		case <-cl.full:
+		case <-ctx.Done():
+		}
+		timer.Stop()
+	}
+
+	// Freeze the batch: no new entries may join, fp joins may continue
+	// until completion.
+	c.mu.Lock()
+	cl.fired = true
+	if c.open[obj] == cl {
+		delete(c.open, obj)
+	}
+	entries := make([]*entry, len(cl.entries))
+	copy(entries, cl.entries)
+	c.mu.Unlock()
+
+	var (
+		res *selectengine.Result
+		err error
+	)
+	if len(entries) == 1 {
+		// Solo pass (possibly with many identical waiters): push the
+		// request verbatim.
+		res, err = fn(ctx, entries[0].req)
+		if err == nil {
+			entries[0].res = res
+		}
+	} else {
+		merged := mergeRequest(entries)
+		cl.merged = true
+		res, err = fn(ctx, merged)
+		if err == nil {
+			// Route rows: re-execute each entry's own SQL over the merged
+			// response. The merged pass returned every referenced column
+			// verbatim, so this reproduces each direct answer exactly.
+			data := csvx.Encode(res.Columns, res.Rows)
+			for _, ent := range entries {
+				sub, subErr := selectengine.Execute(data, selectengine.Request{
+					SQL: ent.req.SQL, HasHeader: true, Capabilities: ent.req.Capabilities,
+				})
+				if subErr != nil {
+					ent.err = subErr
+					continue
+				}
+				ent.res = sub
+				ent.localRows = int64(len(res.Rows))
+			}
+		}
+	}
+
+	// Publish: seal joins (remove from the maps), snapshot the sharer
+	// count — consistent for every waiter — then wake them.
+	c.mu.Lock()
+	cl.err = err
+	if err == nil {
+		cl.pass = res.Stats
+	}
+	for fp, ent := range cl.byFP {
+		if c.inflight[identity{obj: obj, fp: fp}] == cl {
+			delete(c.inflight, identity{obj: obj, fp: fp})
+		}
+		cl.sharers += ent.waiters
+	}
+	c.stats.BackendSelects++
+	if cl.sharers > 1 {
+		c.stats.SharedPasses++
+		c.stats.Sharers += int64(cl.sharers)
+		c.stats.Coalesced += int64(cl.sharers - 1)
+		if err == nil {
+			c.stats.ScanBytesSaved += int64(cl.sharers-1) * res.Stats.BytesScanned
+			c.stats.ReturnBytesSaved += int64(cl.sharers-1) * res.Stats.BytesReturned
+		}
+	}
+	if cl.merged {
+		c.stats.MergedPasses++
+	}
+	c.mu.Unlock()
+	close(cl.done)
+}
+
+// wait blocks until the call completes, then assembles the caller's
+// Outcome — falling back to a direct backend call when the pass or this
+// entry's slice of it failed.
+func (c *Coordinator) wait(ctx context.Context, cl *call, ent *entry, req selectengine.Request, fn SelectFunc) (Outcome, error) {
+	<-cl.done
+	if cl.err != nil || ent.err != nil {
+		return c.fallback(ctx, req, fn)
+	}
+	leader := false
+	c.mu.Lock()
+	if !cl.leaderTaken {
+		cl.leaderTaken = true
+		leader = true
+	}
+	c.mu.Unlock()
+	return Outcome{
+		Res:       ent.res,
+		Sharers:   cl.sharers,
+		Leader:    leader,
+		Merged:    cl.merged,
+		Pass:      cl.pass,
+		LocalRows: ent.localRows,
+	}, nil
+}
+
+// fallback re-issues the caller's own request directly after a shared
+// pass failed for it; the result is exactly a solo pass.
+func (c *Coordinator) fallback(ctx context.Context, req selectengine.Request, fn SelectFunc) (Outcome, error) {
+	c.mu.Lock()
+	c.stats.Fallbacks++
+	c.stats.BackendSelects++
+	c.mu.Unlock()
+	res, err := fn(ctx, req)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Res: res, Sharers: 1, Leader: true, Pass: res.Stats}, nil
+}
+
+// mergeRequest builds the one pushed Select standing in for every entry:
+// the union of the referenced columns (star if any entry projects star)
+// and the OR of the filters (no WHERE if any entry scans unfiltered).
+func mergeRequest(entries []*entry) selectengine.Request {
+	var (
+		cols    []string
+		seen    = map[string]bool{}
+		star    bool
+		wheres  []string
+		allHave = true
+	)
+	addCol := func(name string) {
+		lc := strings.ToLower(name)
+		if !seen[lc] {
+			seen[lc] = true
+			cols = append(cols, name)
+		}
+	}
+	for _, ent := range entries {
+		for _, it := range ent.sel.Items {
+			if _, isStar := it.Expr.(*sqlparse.Star); isStar {
+				star = true
+				continue
+			}
+			for _, col := range sqlparse.Columns(it.Expr) {
+				addCol(col)
+			}
+		}
+		if ent.sel.Where == nil {
+			allHave = false
+		} else {
+			// Binary expressions print fully parenthesized and OR binds
+			// loosest, so joining printed filters with OR is precedence-safe.
+			wheres = append(wheres, ent.sel.Where.String())
+			for _, col := range sqlparse.Columns(ent.sel.Where) {
+				addCol(col)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if star || len(cols) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(entries[0].sel.Table)
+	if allHave && len(wheres) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(wheres, " OR "))
+	}
+	return selectengine.Request{
+		SQL:          b.String(),
+		HasHeader:    entries[0].req.HasHeader,
+		Capabilities: entries[0].req.Capabilities,
+	}
+}

@@ -1,0 +1,455 @@
+package scanshare
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/selectengine"
+)
+
+// testData builds the CSV object every test scans: k INT, g INT, v INT.
+func testData() []byte {
+	var rows [][]string
+	for i := 0; i < 120; i++ {
+		rows = append(rows, []string{
+			fmt.Sprint(i), fmt.Sprint(i % 7), fmt.Sprint(i * 3),
+		})
+	}
+	return csvx.Encode([]string{"k", "g", "v"}, rows)
+}
+
+// backend returns a SelectFunc over data that counts calls and records
+// every pushed SQL.
+func backend(data []byte, calls *atomic.Int64, sqls *[]string, mu *sync.Mutex) SelectFunc {
+	return func(ctx context.Context, req selectengine.Request) (*selectengine.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		calls.Add(1)
+		if sqls != nil {
+			mu.Lock()
+			*sqls = append(*sqls, req.SQL)
+			mu.Unlock()
+		}
+		return selectengine.Execute(data, req)
+	}
+}
+
+func scanReq(sql string) selectengine.Request {
+	return selectengine.Request{SQL: sql, HasHeader: true}
+}
+
+var testKey = ObjectKey{Backend: "s3", Bucket: "b", Object: "t/part0"}
+
+// runConcurrent drives one coordinated Select per request from its own
+// goroutine, released together, and returns the outcomes in request order.
+func runConcurrent(t *testing.T, c *Coordinator, fn SelectFunc, key ObjectKey, reqs []selectengine.Request) []Outcome {
+	t.Helper()
+	outs := make([]Outcome, len(reqs))
+	errs := make([]error, len(reqs))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req selectengine.Request) {
+			defer wg.Done()
+			<-start
+			outs[i], errs[i] = c.Select(context.Background(), key, req, fn)
+		}(i, req)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	return outs
+}
+
+// expectRows asserts an outcome's rows match a direct execution of req.
+func expectRows(t *testing.T, data []byte, req selectengine.Request, out Outcome) {
+	t.Helper()
+	want, err := selectengine.Execute(data, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Res.Columns, want.Columns) {
+		t.Fatalf("columns %v, want %v", out.Res.Columns, want.Columns)
+	}
+	if !reflect.DeepEqual(out.Res.Rows, want.Rows) {
+		t.Fatalf("rows differ from direct execution:\n got %v\nwant %v", out.Res.Rows, want.Rows)
+	}
+}
+
+func TestIdenticalRequestsCoalesce(t *testing.T) {
+	data := testData()
+	var calls atomic.Int64
+	c := New(Config{Window: 200 * time.Millisecond, MaxBatch: 8})
+	req := scanReq("SELECT k, v FROM S3Object WHERE g = 3")
+	reqs := []selectengine.Request{req, req, req, req}
+	outs := runConcurrent(t, c, backend(data, &calls, nil, nil), testKey, reqs)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend calls = %d, want 1", got)
+	}
+	leaders := 0
+	for i, out := range outs {
+		expectRows(t, data, req, out)
+		if out.Sharers != 4 {
+			t.Fatalf("outcome %d sharers = %d, want 4", i, out.Sharers)
+		}
+		if out.Merged {
+			t.Fatalf("outcome %d unexpectedly merged", i)
+		}
+		if out.Leader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+	st := c.Stats()
+	if st.Selects != 4 || st.BackendSelects != 1 || st.Coalesced != 3 ||
+		st.SharedPasses != 1 || st.MergedPasses != 0 || st.Sharers != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ScanBytesSaved != 3*int64(len(data)) {
+		t.Fatalf("ScanBytesSaved = %d, want %d", st.ScanBytesSaved, 3*len(data))
+	}
+}
+
+func TestPredicateMergeRoutesExactRows(t *testing.T) {
+	data := testData()
+	var (
+		calls atomic.Int64
+		sqls  []string
+		mu    sync.Mutex
+	)
+	c := New(Config{Window: 200 * time.Millisecond, MaxBatch: 8})
+	reqs := []selectengine.Request{
+		scanReq("SELECT k, v FROM S3Object WHERE g = 1"),
+		scanReq("SELECT k FROM S3Object WHERE g = 2"),
+		scanReq("SELECT v, k FROM S3Object WHERE g = 3 AND v > 30"),
+	}
+	outs := runConcurrent(t, c, backend(data, &calls, &sqls, &mu), testKey, reqs)
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend calls = %d, want 1 merged pass", got)
+	}
+	if len(sqls) != 1 || !strings.Contains(sqls[0], " OR ") {
+		t.Fatalf("pushed SQL = %q, want one OR-merged statement", sqls)
+	}
+	for i, out := range outs {
+		expectRows(t, data, reqs[i], out)
+		if !out.Merged || out.Sharers != 3 {
+			t.Fatalf("outcome %d = %+v, want merged with 3 sharers", i, out)
+		}
+		if out.LocalRows == 0 {
+			t.Fatalf("outcome %d has no local re-filter rows", i)
+		}
+	}
+	st := c.Stats()
+	if st.MergedPasses != 1 || st.SharedPasses != 1 || st.Coalesced != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSingleflightOnlyModeDoesNotMerge(t *testing.T) {
+	data := testData()
+	var calls atomic.Int64
+	c := New(Config{Window: -1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	fn := func(ctx context.Context, req selectengine.Request) (*selectengine.Result, error) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-gate
+		return selectengine.Execute(data, req)
+	}
+	reqA := scanReq("SELECT k FROM S3Object WHERE g = 1")
+	reqB := scanReq("SELECT k FROM S3Object WHERE g = 2")
+	var wg sync.WaitGroup
+	outs := make([]Outcome, 3)
+	run := func(i int, req selectengine.Request) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			outs[i], err = c.Select(context.Background(), testKey, req, fn)
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	run(0, reqA)
+	<-entered // A's pass is in flight
+	run(1, reqB)
+	<-entered // B got its own pass: distinct predicates do not merge
+	run(2, reqA)
+	// Give the identical request time to join A's in-flight pass rather
+	// than racing the gate release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("backend calls = %d, want 2 (identical coalesces, distinct does not merge)", got)
+	}
+	if outs[0].Sharers != 2 || outs[2].Sharers != 2 {
+		t.Fatalf("identical requests did not coalesce: %+v / %+v", outs[0], outs[2])
+	}
+	if outs[1].Sharers != 1 {
+		t.Fatalf("distinct request unexpectedly shared: %+v", outs[1])
+	}
+	expectRows(t, data, reqA, outs[2])
+}
+
+func TestAggregatesCoalesceButNeverMerge(t *testing.T) {
+	data := testData()
+	var calls atomic.Int64
+	c := New(Config{Window: 200 * time.Millisecond})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	fn := func(ctx context.Context, req selectengine.Request) (*selectengine.Result, error) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-gate
+		return selectengine.Execute(data, req)
+	}
+	req := scanReq("SELECT COUNT(*), SUM(v) FROM S3Object WHERE g < 4")
+	var wg sync.WaitGroup
+	outs := make([]Outcome, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			outs[i], err = c.Select(context.Background(), testKey, req, fn)
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+		if i == 0 {
+			<-entered // aggregate passes fire immediately, no window wait
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend calls = %d, want 1", got)
+	}
+	if outs[0].Merged || outs[1].Merged {
+		t.Fatal("aggregate requests must never report a merged pass")
+	}
+	if outs[0].Sharers != 2 {
+		t.Fatalf("sharers = %d, want 2", outs[0].Sharers)
+	}
+	expectRows(t, data, req, outs[1])
+}
+
+func TestInvalidationSplitsShares(t *testing.T) {
+	data := testData()
+	var calls atomic.Int64
+	c := New(Config{Window: -1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	fn := func(ctx context.Context, req selectengine.Request) (*selectengine.Result, error) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-gate
+		return selectengine.Execute(data, req)
+	}
+	req := scanReq("SELECT k FROM S3Object WHERE g = 1")
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Select(context.Background(), testKey, req, fn); err != nil {
+				t.Error(err)
+			}
+		}()
+		if i == 0 {
+			<-entered
+			c.Invalidate() // the second arrival must not join the stale pass
+		}
+	}
+	<-entered // the second arrival started its own pass
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("backend calls = %d, want 2 after Invalidate between arrivals", got)
+	}
+
+	// A differing cache-generation snapshot separates shares the same way.
+	calls.Store(0)
+	gate2 := make(chan struct{})
+	fn2 := func(ctx context.Context, req selectengine.Request) (*selectengine.Result, error) {
+		calls.Add(1)
+		entered <- struct{}{}
+		<-gate2
+		return selectengine.Execute(data, req)
+	}
+	genKey := testKey
+	for i := 0; i < 2; i++ {
+		genKey.Gen = uint64(i + 1)
+		wg.Add(1)
+		go func(key ObjectKey) {
+			defer wg.Done()
+			if _, err := c.Select(context.Background(), key, req, fn2); err != nil {
+				t.Error(err)
+			}
+		}(genKey)
+		<-entered
+	}
+	close(gate2)
+	wg.Wait()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("backend calls = %d, want 2 for distinct generations", got)
+	}
+}
+
+func TestMergedPassFailureFallsBackPerWaiter(t *testing.T) {
+	data := testData()
+	var calls atomic.Int64
+	c := New(Config{Window: 200 * time.Millisecond})
+	boom := errors.New("merged pass rejected")
+	fn := func(ctx context.Context, req selectengine.Request) (*selectengine.Result, error) {
+		calls.Add(1)
+		if strings.Contains(req.SQL, " OR ") {
+			return nil, boom
+		}
+		return selectengine.Execute(data, req)
+	}
+	reqs := []selectengine.Request{
+		scanReq("SELECT k FROM S3Object WHERE g = 1"),
+		scanReq("SELECT k FROM S3Object WHERE g = 2"),
+	}
+	outs := runConcurrent(t, c, fn, testKey, reqs)
+	for i, out := range outs {
+		expectRows(t, data, reqs[i], out)
+		if out.Sharers != 1 || !out.Leader || out.Merged {
+			t.Fatalf("fallback outcome %d = %+v, want a solo pass", i, out)
+		}
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("backend calls = %d, want 3 (1 failed merged pass + 2 fallbacks)", got)
+	}
+	st := c.Stats()
+	if st.Fallbacks != 2 {
+		t.Fatalf("Fallbacks = %d, want 2", st.Fallbacks)
+	}
+}
+
+func TestMaxBatchFiresEarly(t *testing.T) {
+	data := testData()
+	var calls atomic.Int64
+	// A batch of 2 fills instantly; the pass must not wait out the long
+	// window once full.
+	c := New(Config{Window: time.Minute, MaxBatch: 2})
+	reqs := []selectengine.Request{
+		scanReq("SELECT k FROM S3Object WHERE g = 1"),
+		scanReq("SELECT k FROM S3Object WHERE g = 2"),
+	}
+	start := time.Now()
+	outs := runConcurrent(t, c, backend(data, &calls, nil, nil), testKey, reqs)
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("full batch waited %v, should have fired before the window", elapsed)
+	}
+	for i, out := range outs {
+		expectRows(t, data, reqs[i], out)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend calls = %d, want 1", got)
+	}
+}
+
+func TestMergeRequestShapes(t *testing.T) {
+	mk := func(sql string) *entry {
+		req := scanReq(sql)
+		sel := mergeable(req)
+		if sel == nil {
+			t.Fatalf("test request %q is not mergeable", sql)
+		}
+		return &entry{req: req, sel: sel}
+	}
+	cases := []struct {
+		name    string
+		entries []*entry
+		want    string
+	}{
+		{
+			"column union with OR of filters",
+			[]*entry{mk("SELECT a FROM S3Object WHERE b = 1"), mk("SELECT c FROM S3Object WHERE a = 2")},
+			"SELECT a, b, c FROM S3Object WHERE (b = 1) OR (a = 2)",
+		},
+		{
+			"case-insensitive column dedup",
+			[]*entry{mk("SELECT A FROM S3Object WHERE a = 1"), mk("SELECT a FROM S3Object WHERE a = 2")},
+			"SELECT A FROM S3Object WHERE (a = 1) OR (a = 2)",
+		},
+		{
+			"star wins the projection",
+			[]*entry{mk("SELECT * FROM S3Object WHERE a = 1"), mk("SELECT b FROM S3Object WHERE c = 2")},
+			"SELECT * FROM S3Object WHERE (a = 1) OR (c = 2)",
+		},
+		{
+			"unfiltered entry drops the WHERE",
+			[]*entry{mk("SELECT a FROM S3Object"), mk("SELECT b FROM S3Object WHERE a = 1")},
+			"SELECT a, b FROM S3Object",
+		},
+	}
+	for _, tc := range cases {
+		got := mergeRequest(tc.entries)
+		if got.SQL != tc.want {
+			t.Errorf("%s: merged SQL = %q, want %q", tc.name, got.SQL, tc.want)
+		}
+	}
+}
+
+func TestMergeableRejectsComplexShapes(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM S3Object",
+		"SELECT a FROM S3Object GROUP BY a",
+		"SELECT a FROM S3Object ORDER BY a",
+		"SELECT a FROM S3Object LIMIT 5",
+	} {
+		if mergeable(scanReq(sql)) != nil {
+			t.Errorf("mergeable(%q) = non-nil, want nil", sql)
+		}
+	}
+	if mergeable(selectengine.Request{
+		SQL: "SELECT a FROM S3Object", HasHeader: true,
+		ScanRange: &selectengine.ScanRange{Start: 0, End: 10},
+	}) != nil {
+		t.Error("ranged scans must not merge")
+	}
+	if mergeable(scanReq("SELECT a + 1, b FROM S3Object WHERE a < 3")) == nil {
+		t.Error("non-aggregate expressions are merge-eligible")
+	}
+}
+
+func TestFingerprintSeparatesRequestParameters(t *testing.T) {
+	base := scanReq("SELECT a FROM S3Object")
+	variants := []selectengine.Request{
+		base,
+		{SQL: base.SQL},
+		{SQL: base.SQL, HasHeader: true, Capabilities: selectengine.Capabilities{AllowGroupBy: true}},
+		{SQL: base.SQL, HasHeader: true, ScanRange: &selectengine.ScanRange{Start: 0, End: 9}},
+	}
+	seen := map[string]int{}
+	for i, req := range variants {
+		fp := Fingerprint(req)
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("requests %d and %d share fingerprint %q", j, i, fp)
+		}
+		seen[fp] = i
+	}
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// tenant's accumulated total reaches the budget, further queries are
 	// rejected with KindOverQuota.
 	TenantBudgetUSD float64
+	// TenantRateLimit bounds how many queries each tenant may submit per
+	// rolling TenantRateWindow (0 = unlimited). Unlike the dollar quota,
+	// which is cumulative and terminal, the rate limit is a smoothing
+	// control: a burst past it is rejected with KindRateLimited and the
+	// tenant is admitted again as soon as the window rolls past.
+	TenantRateLimit int
+	// TenantRateWindow is the rolling window TenantRateLimit counts over
+	// (default 1s when a limit is set).
+	TenantRateWindow time.Duration
 	// DefaultTenant attributes requests that name no tenant (default
 	// "default").
 	DefaultTenant string
@@ -65,13 +74,42 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTenant == "" {
 		c.DefaultTenant = "default"
 	}
+	if c.TenantRateLimit > 0 && c.TenantRateWindow <= 0 {
+		c.TenantRateWindow = time.Second
+	}
 	return c
 }
 
-// tenantState is one tenant's concurrency lane.
+// tenantState is one tenant's concurrency lane and rate window.
 type tenantState struct {
 	sem      chan struct{} // nil = unlimited
 	inFlight atomic.Int64
+
+	rateMu sync.Mutex
+	// recent holds the admission times still inside the rolling rate
+	// window, oldest first; bounded by TenantRateLimit.
+	recent []time.Time
+}
+
+// allowRate records one arrival against the rolling window and reports
+// whether it fits under limit. Expired entries are pruned first, so memory
+// per tenant is bounded by the limit itself.
+func (ts *tenantState) allowRate(now time.Time, limit int, window time.Duration) bool {
+	ts.rateMu.Lock()
+	defer ts.rateMu.Unlock()
+	cutoff := now.Add(-window)
+	i := 0
+	for i < len(ts.recent) && !ts.recent[i].After(cutoff) {
+		i++
+	}
+	if i > 0 {
+		ts.recent = append(ts.recent[:0], ts.recent[i:]...)
+	}
+	if len(ts.recent) >= limit {
+		return false
+	}
+	ts.recent = append(ts.recent, now)
+	return true
 }
 
 // Server multiplexes concurrent clients over one shared engine.DB: every
@@ -280,12 +318,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ts := s.tenant(tenant)
+	// Rate gate: like the quota gate, applied before the request can
+	// occupy a slot or a queue position.
+	if s.cfg.TenantRateLimit > 0 {
+		if !ts.allowRate(time.Now(), s.cfg.TenantRateLimit, s.cfg.TenantRateWindow) {
+			reject(&Error{Kind: KindRateLimited, Message: fmt.Sprintf(
+				"tenant %q over its rate limit (%d per %s)",
+				tenant, s.cfg.TenantRateLimit, s.cfg.TenantRateWindow)})
+			return
+		}
+	}
 	if e := s.acquireSlot(r.Context()); e != nil {
 		reject(e)
 		return
 	}
 	defer s.releaseSlot()
-	ts := s.tenant(tenant)
 	if ts.sem != nil {
 		select {
 		case ts.sem <- struct{}{}:
@@ -400,6 +448,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if cs, ok := s.db.ResultCacheStats(); ok {
 		st.Cache = &CacheStats{Stats: cs, HitRate: cs.HitRate()}
+	}
+	if ss, ok := s.db.ScanShareStats(); ok {
+		sh := &ShareStats{Stats: ss}
+		if ss.SharedPasses > 0 {
+			sh.AvgSharersPerPass = float64(ss.Sharers) / float64(ss.SharedPasses)
+		}
+		st.ScanShare = sh
 	}
 	writeJSON(w, http.StatusOK, st)
 }

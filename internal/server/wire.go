@@ -18,6 +18,7 @@ import (
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/engine"
 	"pushdowndb/internal/rescache"
+	"pushdowndb/internal/scanshare"
 	"pushdowndb/internal/value"
 )
 
@@ -34,6 +35,10 @@ const (
 	KindOverloaded ErrorKind = "overloaded"
 	// KindOverQuota: the tenant spent its simulated-dollar budget.
 	KindOverQuota ErrorKind = "over_quota"
+	// KindRateLimited: the tenant exceeded its request rate over the
+	// rolling window. Distinct from KindOverloaded (a capacity problem) so
+	// clients can back off by the window rather than retrying immediately.
+	KindRateLimited ErrorKind = "rate_limited"
 	// KindTimeout: the per-request deadline cut the query.
 	KindTimeout ErrorKind = "timeout"
 	// KindCanceled: the client went away mid-query.
@@ -70,7 +75,7 @@ func httpStatus(k ErrorKind) int {
 	switch k {
 	case KindBadRequest:
 		return http.StatusBadRequest
-	case KindOverQuota, KindOverloaded:
+	case KindOverQuota, KindOverloaded, KindRateLimited:
 		return http.StatusTooManyRequests
 	case KindShuttingDown:
 		return http.StatusServiceUnavailable
@@ -187,13 +192,13 @@ type queryRequest struct {
 
 // queryResponse is the success body of POST /query.
 type queryResponse struct {
-	Columns    []string                `json:"columns"`
-	Rows       [][]Cell                `json:"rows"`
-	RuntimeSec float64                 `json:"runtime_sec"`
-	Cost       cloudsim.CostBreakdown  `json:"cost"`
-	Requests   int64                   `json:"requests"`
-	CacheHits  int64                   `json:"cache_hits"`
-	Tenant     string                  `json:"tenant"`
+	Columns    []string               `json:"columns"`
+	Rows       [][]Cell               `json:"rows"`
+	RuntimeSec float64                `json:"runtime_sec"`
+	Cost       cloudsim.CostBreakdown `json:"cost"`
+	Requests   int64                  `json:"requests"`
+	CacheHits  int64                  `json:"cache_hits"`
+	Tenant     string                 `json:"tenant"`
 }
 
 // errorResponse is the body of every non-2xx reply.
@@ -218,6 +223,14 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// ShareStats is the scan-sharing coordinator's slice of GET /stats:
+// how many Selects were coalesced into shared passes, how many sharers a
+// shared pass carries on average, and the scan bytes those passes saved.
+type ShareStats struct {
+	scanshare.Stats
+	AvgSharersPerPass float64 `json:"avg_sharers_per_pass"`
+}
+
 // Stats is the GET /stats body: what the shared process knows about
 // itself — admission counters, per-tenant bills, and the result cache all
 // tenants share.
@@ -229,6 +242,7 @@ type Stats struct {
 	Rejected  map[ErrorKind]int64    `json:"rejected"`
 	Tenants   map[string]TenantStats `json:"tenants"`
 	Cache     *CacheStats            `json:"cache,omitempty"`
+	ScanShare *ShareStats            `json:"scan_share,omitempty"`
 	Draining  bool                   `json:"draining"`
 }
 
