@@ -1,0 +1,98 @@
+// Command benchvec times the vectorized local operators against the
+// row-at-a-time reference over a materialized TPC-H lineitem/part and
+// writes the comparison to a JSON report (BENCH_vec.json by default).
+//
+//	benchvec                      # SF 0.01, write BENCH_vec.json
+//	benchvec -sf 0.002 -check     # CI smoke: exit non-zero if vec is slower
+//
+// With -check the command verifies both paths return identical row counts
+// and exits 1 if any case's vectorized run is slower than its row run —
+// the regression guard CI runs at tiny scale on every push.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"pushdowndb/internal/harness"
+)
+
+// CaseReport is one operator's measurement in the JSON report.
+type CaseReport struct {
+	RowNsPerOp int64   `json:"row_ns_per_op"`
+	VecNsPerOp int64   `json:"vec_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the BENCH_vec.json layout.
+type Report struct {
+	SF    float64               `json:"sf"`
+	Cases map[string]CaseReport `json:"cases"`
+}
+
+func main() {
+	var (
+		sf    = flag.Float64("sf", 0.01, "TPC-H scale factor for the fixture")
+		out   = flag.String("o", "BENCH_vec.json", "report path (empty = stdout only)")
+		check = flag.Bool("check", false, "exit non-zero if any vectorized case is slower than its row twin")
+	)
+	flag.Parse()
+
+	fixture, err := harness.NewVecBenchFixture(context.Background(), *sf)
+	if err != nil {
+		fatal(err)
+	}
+	if err := harness.VecBenchVerify(fixture); err != nil {
+		fatal(err)
+	}
+
+	report := Report{SF: *sf, Cases: map[string]CaseReport{}}
+	slower := false
+	for _, c := range harness.VecBenchCases() {
+		time := func(vectorized bool) int64 {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Run(fixture, vectorized); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return r.NsPerOp()
+		}
+		row, vec := time(false), time(true)
+		cr := CaseReport{RowNsPerOp: row, VecNsPerOp: vec, Speedup: float64(row) / float64(vec)}
+		report.Cases[c.Name] = cr
+		fmt.Printf("%-8s row %12d ns/op   vec %12d ns/op   %.2fx\n", c.Name, row, vec, cr.Speedup)
+		// 10% tolerance: the CI smoke runs at tiny scale where per-op
+		// times are microseconds and scheduler noise is real.
+		if float64(vec) > float64(row)*1.10 {
+			slower = true
+		}
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	if *check && slower {
+		fatal(fmt.Errorf("vectorized path slower than row path (see report above)"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchvec:", err)
+	os.Exit(1)
+}

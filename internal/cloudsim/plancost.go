@@ -23,6 +23,13 @@ type PlanTableStats struct {
 	// Returned-byte estimates shrink proportionally; scan and cell-decode
 	// costs do not (CSV scans decode every cell regardless).
 	ProjCols int
+	// Columnar marks tables stored in the columnar (Parquet stand-in)
+	// format, whose scans decode only the referenced columns. The
+	// cell-decode term then scales with ProjCols instead of Cols, which is
+	// exactly the advantage Fig. 11 measures — and it feeds strategy
+	// choice, so a join that is Bloom-cheapest over CSV can price
+	// filtered-scan-cheapest over the same table stored columnar.
+	Columnar bool
 	// Profile is the performance/pricing profile of the backend the table
 	// lives on; the zero profile estimates at the base Config/Pricing.
 	// This is what makes strategy choice backend-aware: the same join can
@@ -336,6 +343,12 @@ func addScan(ph *Phase, s PlanTableStats, retFrac float64, nodes int64, cachedFr
 	perBytes := s.Bytes / int64(parts)
 	perRows := s.Rows / int64(parts)
 	perRet := int64(retFrac * s.projFrac() * float64(s.Bytes) / float64(parts))
+	// CSV scans decode every cell of every row; columnar scans decode only
+	// the referenced columns (selectengine's CellsDecoded contract).
+	decCols := max(s.Cols, 1)
+	if s.Columnar && s.ProjCols > 0 && s.ProjCols < decCols {
+		decCols = s.ProjCols
+	}
 	for i := 0; i < parts; i++ {
 		if i < cached {
 			ph.AddCacheHit(perRet)
@@ -346,7 +359,7 @@ func addScan(ph *Phase, s PlanTableStats, retFrac float64, nodes int64, cachedFr
 			ReturnedBytes: perRet,
 			Rows:          perRows,
 			ExprNodes:     nodes,
-			Cells:         perRows * int64(max(s.Cols, 1)),
+			Cells:         perRows * int64(decCols),
 		})
 	}
 }

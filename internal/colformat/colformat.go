@@ -94,7 +94,7 @@ func (w *Writer) Append(row []value.Value) error {
 		w.pending[i] = append(w.pending[i], cv)
 	}
 	w.nRows++
-	if len(w.pending[0]) >= w.groupRows {
+	if len(w.pending) > 0 && len(w.pending[0]) >= w.groupRows {
 		return w.flushGroup()
 	}
 	return nil
@@ -121,6 +121,12 @@ func coerce(v value.Value, k value.Kind) (value.Value, error) {
 }
 
 func (w *Writer) flushGroup() error {
+	if len(w.pending) == 0 {
+		// Zero-column schema: rows are counted (NumRows) but there is
+		// nothing to chunk. Without this guard both Append and Finish
+		// panicked indexing pending[0].
+		return nil
+	}
 	n := len(w.pending[0])
 	if n == 0 {
 		return nil
@@ -284,7 +290,7 @@ func decodeChunk(k value.Kind, raw []byte) ([]value.Value, error) {
 			pos += 8
 		case value.KindString:
 			l, m := binary.Uvarint(body[pos:])
-			if m <= 0 || pos+m+int(l) > len(body) {
+			if m <= 0 || l > uint64(len(body)) || pos+m+int(l) > len(body) {
 				return nil, fmt.Errorf("colformat: string chunk truncated")
 			}
 			pos += m
@@ -406,8 +412,16 @@ func (r *Reader) ReadColumn(g, col int) ([]value.Value, int64, error) {
 	if col < 0 || col >= len(r.meta.Columns) {
 		return nil, 0, fmt.Errorf("colformat: column %d out of range", col)
 	}
-	cm := r.meta.RowGroups[g].Chunks[col]
-	raw := r.data[cm.Offset : cm.Offset+cm.Len]
+	cms := r.meta.RowGroups[g].Chunks
+	if col >= len(cms) {
+		return nil, 0, fmt.Errorf("colformat: row group %d has %d chunks, column %d out of range", g, len(cms), col)
+	}
+	cm := cms[col]
+	end := cm.Offset + cm.Len
+	if cm.Offset < 0 || cm.Len < 0 || end < cm.Offset || end > int64(len(r.data)) {
+		return nil, 0, fmt.Errorf("colformat: chunk (%d,%d) range [%d,%d) outside object", g, col, cm.Offset, end)
+	}
+	raw := r.data[cm.Offset:end]
 	if cm.Compressed {
 		fr := flate.NewReader(bytes.NewReader(raw))
 		dec, err := io.ReadAll(fr)

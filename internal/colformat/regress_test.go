@@ -1,0 +1,92 @@
+package colformat
+
+import (
+	"testing"
+
+	"pushdowndb/internal/value"
+)
+
+// Regression: encoding an empty partition (zero rows) must produce a
+// readable object with NumRows 0 and no row groups, for every schema.
+func TestEmptyPartition(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		r := roundTrip(t, nil, 16, compress)
+		if r.NumRows() != 0 {
+			t.Fatalf("NumRows = %d", r.NumRows())
+		}
+		if r.NumRowGroups() != 0 {
+			t.Fatalf("groups = %d", r.NumRowGroups())
+		}
+		if len(r.Schema()) != len(testSchema) {
+			t.Fatalf("schema lost: %v", r.Schema())
+		}
+	}
+}
+
+// Regression: a zero-column schema panicked in Append (pending[0]) and
+// again in Finish via flushGroup. Rows must still be counted.
+func TestZeroColumnSchema(t *testing.T) {
+	w := NewWriter(Schema{}, 4, false)
+	for i := 0; i < 10; i++ {
+		if err := w.Append(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 10 {
+		t.Fatalf("NumRows = %d", r.NumRows())
+	}
+	if r.NumRowGroups() != 0 {
+		t.Fatalf("groups = %d", r.NumRowGroups())
+	}
+}
+
+// Regression: columns that are entirely NULL must round-trip — the chunk
+// is a null bitmap with no payload and no stats.
+func TestAllNullColumns(t *testing.T) {
+	rows := make([][]value.Value, 37)
+	for i := range rows {
+		rows[i] = []value.Value{value.Null(), value.Null(), value.Null(), value.Null()}
+	}
+	for _, compress := range []bool{false, true} {
+		r := roundTrip(t, rows, 8, compress)
+		if r.NumRows() != 37 {
+			t.Fatalf("NumRows = %d", r.NumRows())
+		}
+		for ci := range testSchema {
+			got := readAll(t, r, ci)
+			if len(got) != 37 {
+				t.Fatalf("col %d len = %d", ci, len(got))
+			}
+			for i, v := range got {
+				if !v.IsNull() {
+					t.Fatalf("col %d row %d = %v, want NULL", ci, i, v)
+				}
+			}
+			for g := 0; g < r.NumRowGroups(); g++ {
+				if _, _, ok := r.ChunkStats(g, ci); ok {
+					t.Fatalf("col %d group %d: stats over all-NULL chunk", ci, g)
+				}
+			}
+		}
+	}
+}
+
+// Regression: a group boundary landing exactly on the last row must not
+// emit a trailing empty row group.
+func TestExactGroupBoundary(t *testing.T) {
+	r := roundTrip(t, sampleRows(32), 16, false)
+	if r.NumRowGroups() != 2 {
+		t.Fatalf("groups = %d", r.NumRowGroups())
+	}
+	if got := readAll(t, r, 0); len(got) != 32 {
+		t.Fatalf("len = %d", len(got))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/colformat"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/expr"
 	"pushdowndb/internal/index"
@@ -20,6 +21,7 @@ import (
 	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/sqlparse"
 	"pushdowndb/internal/value"
+	"pushdowndb/internal/vec"
 )
 
 // DB is a PushdownDB instance bound to one bucket name served by one or
@@ -47,6 +49,12 @@ type DB struct {
 	// MaxScanParallel bounds concurrent partition requests (compute node
 	// connection limit). Zero means one goroutine per partition.
 	MaxScanParallel int
+
+	// vectorized selects the batched columnar local operator path (the
+	// default). WithVectorized(false) pins the row-at-a-time operators —
+	// the two paths are byte-identical by contract, so the row path
+	// survives as the differential-testing reference.
+	vectorized bool
 
 	// statsCache holds planner table statistics keyed by
 	// backend/bucket/table/filter/index-predicate, so repeated queries plan
@@ -241,18 +249,29 @@ func WithScanSharing(cfg scanshare.Config) Option {
 	}
 }
 
+// WithVectorized selects between the vectorized (default) and
+// row-at-a-time local operator paths. The results are byte-identical;
+// WithVectorized(false) exists for differential tests and benchmarks.
+func WithVectorized(on bool) Option {
+	return func(db *DB) error {
+		db.vectorized = on
+		return nil
+	}
+}
+
 // Open returns a DB over the named bucket with the paper's default cost
 // model and pricing. At least one backend must be registered via
 // WithBackend; the table catalog and the default backend must reference
 // registered names.
 func Open(bucket string, opts ...Option) (*DB, error) {
 	db := &DB{
-		bucket:   bucket,
-		backends: map[string]s3api.Backend{},
-		catalog:  map[string]string{},
-		Cfg:      cloudsim.DefaultConfig(),
-		Pricing:  cloudsim.DefaultPricing(),
-		Sim:      cloudsim.Unit(),
+		bucket:     bucket,
+		backends:   map[string]s3api.Backend{},
+		catalog:    map[string]string{},
+		Cfg:        cloudsim.DefaultConfig(),
+		Pricing:    cloudsim.DefaultPricing(),
+		Sim:        cloudsim.Unit(),
+		vectorized: true,
 	}
 	for _, o := range opts {
 		if err := o(db); err != nil {
@@ -601,6 +620,20 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 			return err
 		}
 		phase.AddGetRequest(int64(len(data)))
+		if colformat.IsColumnar(data) {
+			// Columnar partitions decode straight into typed vectors; the
+			// CSV decoder would mis-parse the binary layout.
+			b, err := vec.FromColumnar(data, decodeWorkers)
+			if err != nil {
+				return err
+			}
+			rel := &Relation{Cols: b.Cols, Rows: make([]Row, b.Len())}
+			for j, r := range b.ToRows() {
+				rel.Rows[j] = r
+			}
+			rels[i] = rel
+			return nil
+		}
 		header, rows, err := csvx.Decode(data, true)
 		if err != nil {
 			return err
@@ -828,6 +861,23 @@ func (e *Exec) TableHeader(phaseName string, stage int, table string) ([]string,
 			return nil, err
 		}
 		phase.AddGetRequest(int64(len(data)))
+		if int64(len(data)) < probe && colformat.IsColumnar(data) {
+			// The whole object fit in the probe and carries the columnar
+			// magic (which is tail-only, so detection needs the complete
+			// object): answer from the footer schema. Larger columnar
+			// objects would need an extra tail request, which would shift
+			// the metered request counts this path is priced on.
+			r, err := colformat.Open(data)
+			if err != nil {
+				return nil, err
+			}
+			schema := r.Schema()
+			header := make([]string, len(schema))
+			for i, c := range schema {
+				header[i] = c.Name
+			}
+			return header, nil
+		}
 		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
 			header, _, err := csvx.Decode(data[:nl+1], true)
 			return header, err

@@ -17,14 +17,14 @@ func (e *Exec) ServerSideFilter(table, predicate, projection string) (*Relation,
 		return nil, err
 	}
 	e.Metrics.Phase("load "+table, stage).AddServerRows(int64(len(rel.Rows)))
-	filtered, err := FilterLocalN(rel, predicate, e.workers())
+	filtered, err := e.filterLocal(rel, predicate, e.workers())
 	if err != nil {
 		return nil, err
 	}
 	if projection == "" || projection == "*" {
 		return filtered, nil
 	}
-	return ProjectLocalN(filtered, projection, e.workers())
+	return e.projectLocal(filtered, projection, e.workers())
 }
 
 // S3SideFilter pushes both the predicate and the projection into S3

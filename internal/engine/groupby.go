@@ -76,11 +76,11 @@ func (e *Exec) ServerSideGroupBy(table, groupCol string, aggs []GroupAgg, filter
 		return nil, err
 	}
 	e.Metrics.Phase("load "+table, stage).AddServerRows(int64(len(rel.Rows)))
-	rel, err = FilterLocalN(rel, filter, e.workers())
+	rel, err = e.filterLocal(rel, filter, e.workers())
 	if err != nil {
 		return nil, err
 	}
-	return GroupByLocalN(rel, groupCol, groupItems(groupCol, aggs), e.workers())
+	return e.groupByLocal(rel, groupCol, groupItems(groupCol, aggs), e.workers())
 }
 
 // FilteredGroupBy pushes the projection of the referenced columns into S3
@@ -97,7 +97,7 @@ func (e *Exec) FilteredGroupBy(table, groupCol string, aggs []GroupAgg, filter s
 		return nil, err
 	}
 	e.Metrics.Phase("project "+table, stage).AddServerRows(int64(len(rel.Rows)))
-	return GroupByLocalN(rel, groupCol, groupItems(groupCol, aggs), e.workers())
+	return e.groupByLocal(rel, groupCol, groupItems(groupCol, aggs), e.workers())
 }
 
 // groupEqPredicate renders the membership test for one discovered group
@@ -282,7 +282,7 @@ func (e *Exec) HybridGroupBy(table, groupCol string, aggs []GroupAgg, opts Hybri
 	}
 
 	e.Metrics.Phase("tail scan", stage2).AddServerRows(int64(len(tailRel.Rows)))
-	tail, err := GroupByLocalN(tailRel, groupCol, groupItems(groupCol, aggs), e.workers())
+	tail, err := e.groupByLocal(tailRel, groupCol, groupItems(groupCol, aggs), e.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +414,7 @@ func (e *Exec) partialGroupBy(phaseName string, stage int, table, groupCol strin
 	for _, a := range aggs {
 		mergeParts = append(mergeParts, "SUM("+a.As+") AS "+a.As)
 	}
-	return GroupByLocalN(partials, groupCol, strings.Join(mergeParts, ", "), e.workers())
+	return e.groupByLocal(partials, groupCol, strings.Join(mergeParts, ", "), e.workers())
 }
 
 func projectColsForAggs(groupCol string, aggs []GroupAgg) []string {

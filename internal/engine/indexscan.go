@@ -272,12 +272,12 @@ func (e *Exec) IndexScanFilter(table, column, predicate, projection string) (*Re
 	if err != nil {
 		return nil, 0, err
 	}
-	rel, err = FilterLocalN(rel, sqlparse.StripQualifiers(pred).String(), e.workers())
+	rel, err = e.filterLocal(rel, sqlparse.StripQualifiers(pred).String(), e.workers())
 	if err != nil {
 		return nil, 0, err
 	}
 	if projection != "" && projection != "*" {
-		rel, err = ProjectLocalN(rel, projection, e.workers())
+		rel, err = e.projectLocal(rel, projection, e.workers())
 		if err != nil {
 			return nil, 0, err
 		}
@@ -443,6 +443,7 @@ func (e *Exec) probeStats(table, filter, idxPred string, stage int) (st cloudsim
 		return st, 0, false, fmt.Errorf("engine: planning probe for %s: %w", table, err)
 	}
 	var rows, matched, idxm, bytes int64
+	columnar := len(results) > 0
 	for _, res := range results {
 		if len(res.Rows) != 1 || len(res.Rows[0]) != len(sums) {
 			return st, 0, false, fmt.Errorf("engine: planning probe for %s returned unexpected shape", table)
@@ -462,6 +463,9 @@ func (e *Exec) probeStats(table, filter, idxPred string, stage int) (st cloudsim
 			}
 		}
 		bytes += res.Stats.BytesScanned
+		if !res.Columnar {
+			columnar = false
+		}
 	}
 	if filter == "" {
 		matched = rows
@@ -471,7 +475,7 @@ func (e *Exec) probeStats(table, filter, idxPred string, stage int) (st cloudsim
 	}
 	st = cloudsim.PlanTableStats{
 		Bytes: bytes, Rows: rows, FilteredRows: matched,
-		Partitions: len(results),
+		Partitions: len(results), Columnar: columnar,
 	}
 	e.db.statsMu.Lock()
 	if e.db.statsCache == nil {
@@ -511,7 +515,7 @@ func (e *Exec) runIndexScanSelect(sel *sqlparse.Select, ap *AccessPlan) (*Relati
 		return nil, err
 	}
 	ap.RangedGets = gets
-	rel, err = FilterLocalN(rel, sqlparse.StripQualifiers(sel.Where).String(), e.workers())
+	rel, err = e.filterLocal(rel, sqlparse.StripQualifiers(sel.Where).String(), e.workers())
 	if err != nil {
 		return nil, err
 	}

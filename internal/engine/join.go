@@ -79,10 +79,10 @@ func (e *Exec) BaselineJoin(js JoinSpec) (*Relation, error) {
 	e.Metrics.Phase("load "+js.LeftTable, stage).AddServerRows(int64(len(left.Rows)))
 	e.Metrics.Phase("load "+js.RightTable, stage).AddServerRows(int64(len(right.Rows)))
 	var err error
-	if left, err = FilterLocalN(left, js.LeftFilter, e.workers()); err != nil {
+	if left, err = e.filterLocal(left, js.LeftFilter, e.workers()); err != nil {
 		return nil, err
 	}
-	if right, err = FilterLocalN(right, js.RightFilter, e.workers()); err != nil {
+	if right, err = e.filterLocal(right, js.RightFilter, e.workers()); err != nil {
 		return nil, err
 	}
 	return e.hashJoin(stage, js, left, right)
@@ -260,7 +260,7 @@ func maxf(a, b float64) float64 {
 func (e *Exec) hashJoin(stage int, js JoinSpec, left, right *Relation) (*Relation, error) {
 	phase := e.Metrics.Phase("hash join", stage)
 	phase.AddServerRows(int64(len(left.Rows)) + int64(len(right.Rows)))
-	return HashJoinLocalN(left, right, js.LeftKey, js.RightKey, e.workers())
+	return e.hashJoinLocal(left, right, js.LeftKey, js.RightKey, e.workers())
 }
 
 // JoinAggregate is a convenience for the paper's evaluation query
@@ -284,7 +284,7 @@ func (e *Exec) JoinAggregate(js JoinSpec, algorithm string, aggItems string) (*R
 	if err != nil {
 		return nil, err
 	}
-	return AggregateLocalN(joined, aggItems, e.workers())
+	return e.aggregateLocal(joined, aggItems, e.workers())
 }
 
 // AggregateLocal evaluates aggregate-only select items over a relation,

@@ -647,7 +647,7 @@ func (e *Exec) runPlan(p *QueryPlan) (*Relation, error) {
 		}
 	}
 	if p.Residual != nil {
-		cur, err = FilterLocalN(cur, p.Residual.String(), e.workers())
+		cur, err = e.filterLocal(cur, p.Residual.String(), e.workers())
 		if err != nil {
 			return nil, err
 		}
@@ -695,12 +695,12 @@ func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relatio
 			return nil, err
 		}
 		st.RangedGets = gets
-		right, err = FilterLocalN(right, exprStr(sc.Filter), e.workers())
+		right, err = e.filterLocal(right, exprStr(sc.Filter), e.workers())
 		if err != nil {
 			return nil, err
 		}
 		if len(sc.Project) > 0 {
-			right, err = ProjectLocalN(right, strings.Join(sc.Project, ", "), e.workers())
+			right, err = e.projectLocal(right, strings.Join(sc.Project, ", "), e.workers())
 			if err != nil {
 				return nil, err
 			}
@@ -734,7 +734,7 @@ func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relatio
 	// that scan's own stage keeps attribution correct under concurrency.
 	phase := e.Metrics.Phase("hash join", joinStage)
 	phase.AddServerRows(int64(len(cur.Rows)) + int64(len(right.Rows)))
-	return HashJoinLocalN(cur, right, st.BuildKey, st.ProbeKey, e.workers())
+	return e.hashJoinLocal(cur, right, st.BuildKey, st.ProbeKey, e.workers())
 }
 
 // String renders the plan as a readable tree (cmd/pushdownsql -explain).

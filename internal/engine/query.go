@@ -202,7 +202,7 @@ func (e *Exec) finishLocal(rel *Relation, sel *sqlparse.Select) (*Relation, erro
 		// drops; carry them through the grouping as hidden trailing items
 		// and strip them after the sort.
 		augItems, orderBy, hidden := groupSortPlan(sel, items)
-		rel, err = GroupByLocalN(rel, groupBy, augItems, workers)
+		rel, err = e.groupByLocal(rel, groupBy, augItems, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +217,7 @@ func (e *Exec) finishLocal(rel *Relation, sel *sqlparse.Select) (*Relation, erro
 			sorted = true
 		}
 	case sel.HasAggregates():
-		rel, err = AggregateLocalN(rel, items, workers)
+		rel, err = e.aggregateLocal(rel, items, workers)
 	default:
 		// Sort before projecting: the projection may drop a column ORDER
 		// BY references (queryColumns pushed it into the scan precisely so
@@ -231,7 +231,7 @@ func (e *Exec) finishLocal(rel *Relation, sel *sqlparse.Select) (*Relation, erro
 			}
 			sorted = true
 		}
-		rel, err = ProjectLocalN(rel, items, workers)
+		rel, err = e.projectLocal(rel, items, workers)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"testing"
+
+	"pushdowndb/internal/colformat"
+	"pushdowndb/internal/localfs"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/store"
+	"pushdowndb/internal/value"
+)
+
+// Vectorized-vs-row differential suite: the same corpus the cross-backend
+// suite runs must produce byte-identical results on the vectorized local
+// operator path (the default) and the row-at-a-time path
+// (WithVectorized(false)), cold and warm, on both the in-process and the
+// localfs backends. This is the end-to-end pin of the vec package's
+// byte-identity contract; the operator-level twins are pinned in
+// internal/vec's own differential tests.
+
+func TestVecRowDifferentialCorpus(t *testing.T) {
+	backends := map[string]s3api.Backend{}
+	inproc := s3api.NewInProc(store.New())
+	diffLoad(t, inproc)
+	backends["inproc"] = inproc
+	fs := localfs.New(t.TempDir())
+	diffLoad(t, fs)
+	backends["localfs"] = fs
+
+	for name, backend := range backends {
+		t.Run(name, func(t *testing.T) {
+			dbVec, err := Open(diffBucket,
+				WithBackend(name, backend),
+				WithResultCache(testCacheBudget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dbRow, err := Open(diffBucket,
+				WithBackend(name, backend),
+				WithResultCache(testCacheBudget),
+				WithVectorized(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range diffQueries {
+				vecCold, _, err := dbVec.Query(q.sql)
+				if err != nil {
+					t.Fatalf("%s (vec cold): %v", q.name, err)
+				}
+				rowCold, _, err := dbRow.Query(q.sql)
+				if err != nil {
+					t.Fatalf("%s (row cold): %v", q.name, err)
+				}
+				vecOut, rowOut := render(vecCold, q.ordered), render(rowCold, q.ordered)
+				if vecOut != rowOut {
+					t.Errorf("%s: vectorized differs from row path (cold)\nvec:\n%s\nrow:\n%s",
+						q.name, vecOut, rowOut)
+				}
+				vecWarm, _, err := dbVec.Query(q.sql)
+				if err != nil {
+					t.Fatalf("%s (vec warm): %v", q.name, err)
+				}
+				rowWarm, _, err := dbRow.Query(q.sql)
+				if err != nil {
+					t.Fatalf("%s (row warm): %v", q.name, err)
+				}
+				if out := render(vecWarm, q.ordered); out != vecOut {
+					t.Errorf("%s: vectorized warm differs from cold\ncold:\n%s\nwarm:\n%s",
+						q.name, vecOut, out)
+				}
+				if out := render(rowWarm, q.ordered); out != rowOut {
+					t.Errorf("%s: row warm differs from cold\ncold:\n%s\nwarm:\n%s",
+						q.name, rowOut, out)
+				}
+			}
+		})
+	}
+}
+
+// columnarFixture writes a nasty columnar table: NULLs in every column, a
+// numeric-looking string column, dates, floats with a NaN.
+func columnarFixture(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	schema := colformat.Schema{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "price", Kind: value.KindFloat},
+		{Name: "ship", Kind: value.KindDate},
+		{Name: "code", Kind: value.KindString},
+	}
+	var rows [][]value.Value
+	for i := 0; i < 57; i++ {
+		row := []value.Value{
+			value.Int(int64(i)),
+			value.Float(float64(i) * 1.25),
+			value.Date(int64(19000 + i%17)),
+			value.Str([]string{"00501", "A", " 7", "7"}[i%4]),
+		}
+		switch i % 9 {
+		case 3:
+			row[1] = value.Null()
+		case 5:
+			row[3] = value.Null()
+		case 7:
+			row[2] = value.Null()
+		}
+		rows = append(rows, row)
+	}
+	if err := PartitionTableColumnar(st, diffBucket, "c", schema, rows, 3, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestVecRowColumnarTable pins the columnar decode path: queries over a
+// colformat table agree between the vectorized and row paths, the plain-GET
+// load path decodes the binary layout instead of mis-parsing it as CSV, and
+// TableHeader answers from the footer schema.
+func TestVecRowColumnarTable(t *testing.T) {
+	st := columnarFixture(t)
+	queries := []struct {
+		name    string
+		sql     string
+		ordered bool
+	}{
+		{"col-filter", "SELECT id, price FROM c WHERE price >= 20 AND code = '00501'", false},
+		{"col-date", "SELECT id FROM c WHERE ship >= '2022-01-05'", false},
+		{"col-null", "SELECT id FROM c WHERE price IS NULL", false},
+		{"col-group", "SELECT code, COUNT(*) AS n, SUM(price) AS s FROM c GROUP BY code ORDER BY code", true},
+		{"col-agg", "SELECT COUNT(*) AS n, AVG(price) AS av, MIN(ship) AS lo FROM c", false},
+	}
+	open := func(vectorized bool) *DB {
+		db, err := Open(diffBucket,
+			WithBackend("inproc", s3api.NewInProc(st)),
+			WithVectorized(vectorized))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	dbVec, dbRow := open(true), open(false)
+	for _, q := range queries {
+		vecRel, _, err := dbVec.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s (vec): %v", q.name, err)
+		}
+		rowRel, _, err := dbRow.Query(q.sql)
+		if err != nil {
+			t.Fatalf("%s (row): %v", q.name, err)
+		}
+		if v, r := render(vecRel, q.ordered), render(rowRel, q.ordered); v != r {
+			t.Errorf("%s: vectorized differs from row path over columnar table\nvec:\n%s\nrow:\n%s",
+				q.name, v, r)
+		}
+	}
+
+	// The server-side baseline fetches partitions whole with plain GETs;
+	// colformat objects must decode through the columnar reader.
+	vecRel, err := dbVec.NewExec().ServerSideFilter("c", "id < 10", "id, code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRel, err := dbRow.NewExec().ServerSideFilter("c", "id < 10", "id, code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, r := render(vecRel, false), render(rowRel, false); v != r {
+		t.Errorf("ServerSideFilter over columnar table: vec\n%s\nrow\n%s", v, r)
+	}
+	if len(vecRel.Rows) != 10 {
+		t.Errorf("ServerSideFilter over columnar table kept %d rows, want 10", len(vecRel.Rows))
+	}
+
+	header, err := dbVec.NewExec().TableHeader("hdr", 0, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"id", "price", "ship", "code"}
+	if len(header) != len(want) {
+		t.Fatalf("TableHeader over columnar table = %v, want %v", header, want)
+	}
+	for i := range want {
+		if header[i] != want[i] {
+			t.Fatalf("TableHeader over columnar table = %v, want %v", header, want)
+		}
+	}
+}
+
+// TestProbeStatsColumnar pins the planner's format detection: the stats
+// probe marks columnar tables (every partition answered by the columnar
+// select path) and leaves CSV tables unmarked — with no extra requests.
+func TestProbeStatsColumnar(t *testing.T) {
+	st := columnarFixture(t)
+	ctxPut := s3api.NewInProc(st)
+	diffLoad(t, ctxPut) // CSV tables p/ord/item next to columnar c
+	db, err := Open(diffBucket, WithBackend("inproc", ctxPut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := db.NewExec()
+	colStats, _, _, err := e.probeStats("c", "id < 10", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !colStats.Columnar {
+		t.Error("probeStats over a colformat table did not set Columnar")
+	}
+	csvStats, _, _, err := e.probeStats("p", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csvStats.Columnar {
+		t.Error("probeStats over a CSV table set Columnar")
+	}
+	// The flag must survive the stats cache.
+	again, _, cached, err := e.probeStats("c", "id < 10", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || !again.Columnar {
+		t.Errorf("cached probeStats: cached=%v Columnar=%v, want true/true", cached, again.Columnar)
+	}
+}
+
+// TestVecOperatorWrappers pins wrapper-level edge cases the vec package's
+// own differential tests cannot reach: the empty-predicate identity, the
+// empty-input aggregate synthesis and the ragged-relation fallback.
+func TestVecOperatorWrappers(t *testing.T) {
+	rel := &Relation{
+		Cols: []string{"a", "b"},
+		Rows: []Row{
+			{value.Int(1), value.Str("x")},
+			{value.Int(2), value.Null()},
+			{value.Int(3), value.Str("y")},
+		},
+	}
+	out, err := VecFilterLocalN(rel, "", 2)
+	if err != nil || out != rel {
+		t.Errorf("VecFilterLocalN with empty predicate: got (%p, %v), want the input relation", out, err)
+	}
+
+	empty := &Relation{Cols: []string{"a", "b"}}
+	for _, items := range []string{"COUNT(*) AS n, SUM(a) AS s", "COUNT(*) + 0 AS n, AVG(a) AS av"} {
+		vecAgg, err := VecAggregateLocalN(empty, items, 2)
+		if err != nil {
+			t.Fatalf("VecAggregateLocalN(empty, %q): %v", items, err)
+		}
+		rowAgg, err := AggregateLocalN(empty, items, 2)
+		if err != nil {
+			t.Fatalf("AggregateLocalN(empty, %q): %v", items, err)
+		}
+		if v, r := render(vecAgg, true), render(rowAgg, true); v != r {
+			t.Errorf("empty-input aggregate %q: vec\n%s\nrow\n%s", items, v, r)
+		}
+	}
+
+	// Ragged rows must take the row path's short-row semantics via fallback.
+	ragged := &Relation{
+		Cols: []string{"a", "b"},
+		Rows: []Row{
+			{value.Int(1), value.Str("x")},
+			{value.Int(2)},
+		},
+	}
+	vecOut, vecErr := VecFilterLocalN(ragged, "a >= 1", 2)
+	rowOut, rowErr := FilterLocalN(ragged, "a >= 1", 2)
+	if (vecErr == nil) != (rowErr == nil) {
+		t.Fatalf("ragged filter: vec err %v, row err %v", vecErr, rowErr)
+	}
+	if v, r := render(vecOut, false), render(rowOut, false); v != r {
+		t.Errorf("ragged filter: vec\n%s\nrow\n%s", v, r)
+	}
+}

@@ -1,0 +1,226 @@
+package engine
+
+import (
+	"fmt"
+
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+	"pushdowndb/internal/vec"
+)
+
+// The vectorized local operator path: each VecXxxLocalN is a drop-in twin
+// of XxxLocalN that decodes the relation into typed column vectors and
+// runs the internal/vec batched kernels. The twins parse the identical
+// SQL fragments, produce the identical error strings and return
+// byte-identical relations — the row path stays as the differential
+// reference (WithVectorized(false)) and as the fallback for ragged
+// relations, which the columnar layout cannot represent.
+
+// referencedCols resolves every column the expressions reference against
+// the relation (first-match, case-insensitive — the row path's rule) and
+// returns the distinct column indices in first-seen order. Names that do
+// not resolve are dropped: they are lookup misses in both paths.
+func referencedCols(rel *Relation, exprs []sqlparse.Expr) []int {
+	seen := map[int]bool{}
+	var keep []int
+	for _, e := range exprs {
+		for _, name := range sqlparse.Columns(e) {
+			if j := rel.ColIndex(name); j >= 0 && !seen[j] {
+				seen[j] = true
+				keep = append(keep, j)
+			}
+		}
+	}
+	return keep
+}
+
+// VecFilterLocalN is the vectorized FilterLocalN. Kept rows share the
+// input's row slices, exactly like the row path; only the predicate's
+// columns are decoded into vectors.
+func VecFilterLocalN(rel *Relation, predicate string, workers int) (*Relation, error) {
+	if predicate == "" {
+		return rel, nil
+	}
+	pred, err := sqlparse.ParseExpr(predicate)
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad predicate %q: %w", predicate, err)
+	}
+	b, ok := vec.FromRowsProjected(rel.Cols, rel.Rows, referencedCols(rel, []sqlparse.Expr{pred}), workers)
+	if !ok {
+		return FilterLocalN(rel, predicate, workers)
+	}
+	idx, err := vec.Filter(b, pred, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: rel.Cols, Rows: make([]Row, len(idx))}
+	for k, i := range idx {
+		out.Rows[k] = rel.Rows[i]
+	}
+	return out, nil
+}
+
+// VecProjectLocalN is the vectorized ProjectLocalN.
+func VecProjectLocalN(rel *Relation, items string, workers int) (*Relation, error) {
+	sel, err := sqlparse.Parse("SELECT " + items + " FROM t")
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad projection %q: %w", items, err)
+	}
+	b, ok := projectionBatch(rel, sel, workers)
+	if !ok {
+		return ProjectLocalN(rel, items, workers)
+	}
+	out, err := vec.Project(b, sel, workers)
+	if err != nil {
+		return nil, err
+	}
+	rel2 := &Relation{Cols: out.Cols, Rows: make([]Row, out.Len())}
+	for i, r := range out.ToRows() {
+		rel2.Rows[i] = r
+	}
+	return rel2, nil
+}
+
+// VecGroupByLocalN is the vectorized GroupByLocalN.
+func VecGroupByLocalN(rel *Relation, groupBy, items string, workers int) (*Relation, error) {
+	sel, err := sqlparse.Parse("SELECT " + items + " FROM t GROUP BY " + groupBy)
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad group-by: %w", err)
+	}
+	exprs := make([]sqlparse.Expr, 0, len(sel.Items)+len(sel.GroupBy))
+	for _, it := range sel.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	exprs = append(exprs, sel.GroupBy...)
+	b, ok := vec.FromRowsProjected(rel.Cols, rel.Rows, referencedCols(rel, exprs), workers)
+	if !ok {
+		return GroupByLocalN(rel, groupBy, items, workers)
+	}
+	cols, rows, err := vec.GroupBy(b, sel, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: cols, Rows: make([]Row, len(rows))}
+	for i, r := range rows {
+		out.Rows[i] = r
+	}
+	return out, nil
+}
+
+// VecAggregateLocalN is the vectorized AggregateLocalN: the same
+// constant-key group-by trick, the same empty-input synthesis.
+func VecAggregateLocalN(rel *Relation, items string, workers int) (*Relation, error) {
+	out, err := VecGroupByLocalN(rel, "'all'", "'all' AS g, "+items, workers)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Rows) == 0 {
+		return emptyAggregateRow(rel.Cols, items)
+	}
+	trimmed := &Relation{Cols: out.Cols[1:]}
+	for _, r := range out.Rows {
+		trimmed.Rows = append(trimmed.Rows, r[1:])
+	}
+	return trimmed, nil
+}
+
+// VecHashJoinLocalN is the vectorized HashJoinLocalN: key columns decode
+// to vectors for the build/probe kernel, joined rows concatenate the
+// original row slices in the row path's probe order.
+func VecHashJoinLocalN(left, right *Relation, leftKey, rightKey string, workers int) (*Relation, error) {
+	li, ri := left.ColIndex(leftKey), right.ColIndex(rightKey)
+	if li < 0 {
+		return nil, fmt.Errorf("engine: join key %q not in left relation %v", leftKey, left.Cols)
+	}
+	if ri < 0 {
+		return nil, fmt.Errorf("engine: join key %q not in right relation %v", rightKey, right.Cols)
+	}
+	lk, lok := keyVector(left, li)
+	rk, rok := keyVector(right, ri)
+	if !lok || !rok {
+		return HashJoinLocalN(left, right, leftKey, rightKey, workers)
+	}
+	bi, pi := vec.JoinPairs(lk, rk, workers)
+	out := &Relation{
+		Cols: append(append([]string{}, left.Cols...), right.Cols...),
+		Rows: make([]Row, len(bi)),
+	}
+	// Materializing the joined rows is pure memory traffic with a fixed
+	// output slot per pair, so it parallelizes over contiguous spans.
+	runSpans(rowSpans(len(bi), workers), func(w int, sp span) error {
+		for k := sp.lo; k < sp.hi; k++ {
+			lrow, rrow := left.Rows[bi[k]], right.Rows[pi[k]]
+			joined := make(Row, 0, len(lrow)+len(rrow))
+			joined = append(joined, lrow...)
+			joined = append(joined, rrow...)
+			out.Rows[k] = joined
+		}
+		return nil
+	})
+	return out, nil
+}
+
+// projectionBatch builds the batch a projection needs: the whole relation
+// when an item is *, only the referenced columns otherwise.
+func projectionBatch(rel *Relation, sel *sqlparse.Select, workers int) (*vec.Batch, bool) {
+	var exprs []sqlparse.Expr
+	for _, it := range sel.Items {
+		if _, isStar := it.Expr.(*sqlparse.Star); isStar {
+			return vec.FromRows(rel.Cols, rel.Rows, workers)
+		}
+		exprs = append(exprs, it.Expr)
+	}
+	return vec.FromRowsProjected(rel.Cols, rel.Rows, referencedCols(rel, exprs), workers)
+}
+
+// keyVector extracts column c of a relation as a vector. ok is false for
+// rows too short to hold the column — those rows' keys are lookup misses
+// in the row path, which the fallback reproduces.
+func keyVector(rel *Relation, c int) (*vec.Vector, bool) {
+	vals := make([]value.Value, len(rel.Rows))
+	for i, r := range rel.Rows {
+		if c >= len(r) {
+			return nil, false
+		}
+		vals[i] = r[c]
+	}
+	return vec.FromValues(vals), true
+}
+
+// Dispatchers: the execution paths call these; WithVectorized(false)
+// pins the row path for differential testing.
+
+func (e *Exec) filterLocal(rel *Relation, predicate string, workers int) (*Relation, error) {
+	if e.db.vectorized {
+		return VecFilterLocalN(rel, predicate, workers)
+	}
+	return FilterLocalN(rel, predicate, workers)
+}
+
+func (e *Exec) projectLocal(rel *Relation, items string, workers int) (*Relation, error) {
+	if e.db.vectorized {
+		return VecProjectLocalN(rel, items, workers)
+	}
+	return ProjectLocalN(rel, items, workers)
+}
+
+func (e *Exec) groupByLocal(rel *Relation, groupBy, items string, workers int) (*Relation, error) {
+	if e.db.vectorized {
+		return VecGroupByLocalN(rel, groupBy, items, workers)
+	}
+	return GroupByLocalN(rel, groupBy, items, workers)
+}
+
+func (e *Exec) aggregateLocal(rel *Relation, items string, workers int) (*Relation, error) {
+	if e.db.vectorized {
+		return VecAggregateLocalN(rel, items, workers)
+	}
+	return AggregateLocalN(rel, items, workers)
+}
+
+func (e *Exec) hashJoinLocal(left, right *Relation, leftKey, rightKey string, workers int) (*Relation, error) {
+	if e.db.vectorized {
+		return VecHashJoinLocalN(left, right, leftKey, rightKey, workers)
+	}
+	return HashJoinLocalN(left, right, leftKey, rightKey, workers)
+}

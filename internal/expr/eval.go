@@ -419,6 +419,11 @@ func (ev *Evaluator) evalLike(t *sqlparse.Like, env Env) (value.Value, error) {
 	return value.Bool(ok), nil
 }
 
+// LikeMatch reports whether s matches the SQL LIKE pattern (% = any run,
+// _ = any one byte). Exported so the vectorized filter kernel shares the
+// evaluator's matcher instead of reimplementing it.
+func LikeMatch(pattern, s string) bool { return likeMatch(pattern, s) }
+
 // likeMatcher matches SQL LIKE patterns (% = any run, _ = any one byte).
 type likeMatcher struct {
 	pattern string

@@ -28,7 +28,7 @@ var ExactAgg = &analysis.Analyzer{
 	Doc: "no float accumulation in expr's exact-aggregation layer, and no float " +
 		"accumulation into captured variables from concurrently-run closures — " +
 		"merge order must not perturb results",
-	InScope: scopeOf(pkgExpr, pkgEngine, pkgHarness),
+	InScope: scopeOf(pkgExpr, pkgEngine, pkgHarness, pkgVec),
 	Run:     runExactAgg,
 }
 

@@ -18,6 +18,7 @@ const (
 	pkgExpr      = "pushdowndb/internal/expr"
 	pkgHarness   = "pushdowndb/internal/harness"
 	pkgScanshare = "pushdowndb/internal/scanshare"
+	pkgVec       = "pushdowndb/internal/vec"
 )
 
 // scopeOf builds an InScope predicate admitting exactly the given paths.

@@ -29,7 +29,7 @@ var MapDeterminism = &analysis.Analyzer{
 	Doc: "no order-sensitive work (float/string accumulation, printing, unsorted " +
 		"collection) inside range-over-map on result paths — byte-identical output invariant",
 	InScope: scopeOf(
-		pkgEngine, pkgExpr, pkgCloudsim, pkgHarness,
+		pkgEngine, pkgExpr, pkgCloudsim, pkgHarness, pkgVec,
 		"pushdowndb/internal/server",
 		"pushdowndb/internal/value",
 		"pushdowndb/internal/sqlparse",

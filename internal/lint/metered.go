@@ -35,7 +35,7 @@ var Metered = &analysis.Analyzer{
 	Name: "metered",
 	Doc: "require an open *cloudsim.Phase around every priced s3api.Backend call " +
 		"in engine/index so no S3 operation escapes the cost model",
-	InScope: scopeOf(pkgEngine, pkgIndex, pkgScanshare),
+	InScope: scopeOf(pkgEngine, pkgIndex, pkgScanshare, pkgVec),
 	Run:     runMetered,
 }
 

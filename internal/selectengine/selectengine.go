@@ -94,6 +94,10 @@ type Result struct {
 	Columns []string
 	Rows    [][]string
 	Stats   Stats
+	// Columnar reports that the scanned object was in the columnar
+	// format. The planner's stats probe reads it to learn a table's
+	// storage format without issuing any extra request.
+	Columnar bool
 }
 
 // Execute runs the request against one object payload.
@@ -418,7 +422,12 @@ scan:
 			}
 		}
 	}
-	return exec.finish(&stats)
+	res, err := exec.finish(&stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Columnar = true
+	return res, nil
 }
 
 func footerBytes(data []byte) int64 {

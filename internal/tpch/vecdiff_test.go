@@ -1,0 +1,64 @@
+package tpch
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/store"
+)
+
+// Vectorized-vs-row differential over the TPC-H goldens: the same query set
+// on the same dataset must render byte-identically through the vectorized
+// local operators (the default goldenDB path, which TestGoldenQueries
+// already pins against checked-in answers) and through the row-at-a-time
+// path, cold and warm. Under -race this also exercises the vec kernels'
+// span-parallel bitmap writes on real query shapes.
+func TestGoldenVecRowDifferential(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are being rewritten")
+	}
+	st := store.New()
+	ds, err := Load(context.Background(), st, Dataset{SF: 0.002, Seed: 42, Bucket: "tpch", Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(vectorized bool) *engine.DB {
+		db, err := engine.Open(ds.Bucket,
+			engine.WithBackend("s3sim", s3api.NewInProc(st)),
+			engine.WithResultCache(64<<20),
+			engine.WithVectorized(vectorized))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	dbVec, dbRow := open(true), open(false)
+	for _, q := range goldenQueries {
+		t.Run(q.name, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(q.name))
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			for _, pass := range []string{"cold", "warm"} {
+				vecRel, _, err := dbVec.QueryContext(context.Background(), q.sql)
+				if err != nil {
+					t.Fatalf("vec %s: %v", pass, err)
+				}
+				rowRel, _, err := dbRow.QueryContext(context.Background(), q.sql)
+				if err != nil {
+					t.Fatalf("row %s: %v", pass, err)
+				}
+				vecOut, rowOut := renderGolden(vecRel), renderGolden(rowRel)
+				if vecOut != rowOut {
+					t.Errorf("%s: vectorized differs from row path\nvec:\n%s\nrow:\n%s", pass, vecOut, rowOut)
+				}
+				if vecOut != string(want) {
+					t.Errorf("%s: vectorized answer drifted from golden\ngot:\n%s\nwant:\n%s", pass, vecOut, want)
+				}
+			}
+		})
+	}
+}

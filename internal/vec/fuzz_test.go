@@ -1,0 +1,104 @@
+package vec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pushdowndb/internal/colformat"
+	"pushdowndb/internal/csvx"
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+	"pushdowndb/internal/vec"
+)
+
+// FuzzVecDecode feeds arbitrary bytes through both vectorized decode
+// routes. The columnar route must never panic (random footers, truncated
+// chunks, bogus null bitmaps all surface as errors); the CSV route must
+// agree cell-for-cell and kernel-for-kernel with the row-at-a-time
+// reference.
+func FuzzVecDecode(f *testing.F) {
+	f.Add([]byte("a,b\n1,2\n3,\n"))
+	f.Add([]byte("h\nNaN\n 7\n1994-03-15\n00501\n"))
+	f.Add([]byte{0x00, 0xff, 'P', 'C', 'O', 'L', '1'})
+	if seed, err := colformat.Encode(
+		colformat.Schema{{Name: "x", Kind: value.KindInt}},
+		[][]value.Value{{value.Int(7)}, {value.Null()}}, 1, true); err == nil {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Columnar route: decode errors are fine, panics are findings.
+		if b, err := vec.FromColumnar(data, 3); err == nil {
+			for _, v := range b.Vecs {
+				for i := 0; i < b.Len(); i++ {
+					_ = v.Value(i)
+					_ = v.IsNull(i)
+				}
+			}
+		}
+
+		// CSV route, against the row path. Synthetic column names keep
+		// fuzz-shaped headers out of the SQL strings.
+		header, rows, err := csvx.Decode(data, true)
+		if err != nil || len(header) == 0 {
+			return
+		}
+		cols := make([]string, len(header))
+		for i := range cols {
+			cols[i] = fmt.Sprintf("c%d", i)
+		}
+		b, ok := vec.FromStrings(cols, rows, 3)
+		rel := engine.FromStringsN(cols, rows, 3)
+		if !ok {
+			// Refusal is only allowed for genuinely ragged input.
+			for _, r := range rows {
+				if len(r) != len(cols) {
+					return
+				}
+			}
+			t.Fatalf("FromStrings refused rectangular %d x %d", len(rows), len(cols))
+		}
+		if b.Len() != len(rel.Rows) {
+			t.Fatalf("decoded %d rows, reference %d", b.Len(), len(rel.Rows))
+		}
+		for i := range rel.Rows {
+			for c := range cols {
+				w, g := rel.Rows[i][c], b.Vecs[c].Value(i)
+				if w.Kind() != g.Kind() || w.String() != g.String() {
+					t.Fatalf("cell[%d][%d]: row=%#v vec=%#v", i, c, w, g)
+				}
+			}
+		}
+
+		// Kernels over the decoded batch.
+		pred, _ := sqlparse.ParseExpr("c0 IS NOT NULL AND c0 >= '3'")
+		idx, err := vec.Filter(b, pred, 3)
+		want, wantErr := engine.FilterLocalN(rel, "c0 IS NOT NULL AND c0 >= '3'", 3)
+		if (err != nil) != (wantErr != nil) {
+			t.Fatalf("filter err: vec=%v row=%v", err, wantErr)
+		}
+		if err == nil && len(idx) != len(want.Rows) {
+			t.Fatalf("filter kept %d, reference %d", len(idx), len(want.Rows))
+		}
+		sel, _ := sqlparse.Parse("SELECT c0, COUNT(*) AS n FROM t GROUP BY c0")
+		gotCols, gotRows, err := vec.GroupBy(b, sel, 3)
+		wantG, wantErr := engine.GroupByLocalN(rel, "c0", "c0, COUNT(*) AS n", 3)
+		if (err != nil) != (wantErr != nil) {
+			t.Fatalf("group-by err: vec=%v row=%v", err, wantErr)
+		}
+		if err == nil {
+			if len(gotRows) != len(wantG.Rows) || len(gotCols) != len(wantG.Cols) {
+				t.Fatalf("group-by %d x %d, reference %d x %d",
+					len(gotRows), len(gotCols), len(wantG.Rows), len(wantG.Cols))
+			}
+			for i := range gotRows {
+				for c := range gotCols {
+					w, g := wantG.Rows[i][c], gotRows[i][c]
+					if w.Kind() != g.Kind() || w.String() != g.String() {
+						t.Fatalf("group[%d][%d]: row=%#v vec=%#v", i, c, w, g)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package vec
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pushdowndb/internal/value"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		b := NewBitmap(n)
+		if b.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, b.Len())
+		}
+		if b.Count() != 0 || b.Any() {
+			t.Fatalf("n=%d: fresh bitmap not empty", n)
+		}
+		b.SetAll()
+		if b.Count() != n {
+			t.Fatalf("n=%d: SetAll count=%d", n, b.Count())
+		}
+		idx := b.Indices()
+		if len(idx) != n {
+			t.Fatalf("n=%d: Indices len=%d", n, len(idx))
+		}
+		for i, v := range idx {
+			if v != i {
+				t.Fatalf("n=%d: Indices[%d]=%d", n, i, v)
+			}
+		}
+		if n > 0 {
+			b.Clear(n - 1)
+			if b.Get(n-1) || b.Count() != n-1 {
+				t.Fatalf("n=%d: Clear failed", n)
+			}
+			b.Set(n - 1)
+			if !b.Get(n - 1) {
+				t.Fatalf("n=%d: Set failed", n)
+			}
+		}
+	}
+}
+
+func TestBitmapIndicesSparse(t *testing.T) {
+	b := NewBitmap(200)
+	want := []int{0, 1, 63, 64, 65, 126, 127, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	if got := b.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices=%v want %v", got, want)
+	}
+}
+
+func TestRowSpans(t *testing.T) {
+	cases := []struct {
+		n, w int
+		want []span
+	}{
+		{0, 4, nil},
+		{10, 1, []span{{0, 10}}},
+		{10, 3, []span{{0, 4}, {4, 7}, {7, 10}}},
+		{3, 8, []span{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, c := range cases {
+		got := rowSpans(c.n, c.w)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("rowSpans(%d,%d)=%v want %v", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+func TestAlignedSpans(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65, 130, 1000} {
+		for _, w := range []int{1, 2, 3, 7} {
+			sps := alignedSpans(n, w)
+			next := 0
+			for _, sp := range sps {
+				if sp.lo != next {
+					t.Fatalf("n=%d w=%d: gap at %d (spans %v)", n, w, next, sps)
+				}
+				if sp.lo%64 != 0 {
+					t.Fatalf("n=%d w=%d: span start %d not word-aligned", n, w, sp.lo)
+				}
+				if sp.hi <= sp.lo {
+					t.Fatalf("n=%d w=%d: empty span %v", n, w, sp)
+				}
+				next = sp.hi
+			}
+			if next != n {
+				t.Fatalf("n=%d w=%d: spans cover to %d, want %d", n, w, next, n)
+			}
+		}
+	}
+}
+
+func TestFromValuesRoundTrip(t *testing.T) {
+	cases := map[string][]value.Value{
+		"ints":    {value.Int(1), value.Int(-7), value.Int(0)},
+		"floats":  {value.Float(1.5), value.Float(math.NaN()), value.Float(math.Inf(1))},
+		"strings": {value.Str("a"), value.Str(""), value.Str(" 7")},
+		"bools":   {value.Bool(true), value.Bool(false)},
+		"dates":   {value.Date(8840), value.Date(0), value.Date(-1)},
+		"nulls":   {value.Null(), value.Null()},
+		"intsWithNulls": {
+			value.Int(3), value.Null(), value.Int(5),
+		},
+		"mixedKinds": {
+			value.Int(1), value.Float(1.0), value.Str("x"), value.Null(),
+		},
+	}
+	same := func(a, b value.Value) bool {
+		// reflect.DeepEqual is wrong for NaN payloads; kind + total-order
+		// compare is the identity the engine actually depends on.
+		return a.Kind() == b.Kind() && value.Compare(a, b) == 0
+	}
+	for name, vals := range cases {
+		v := FromValues(vals)
+		if v.Len() != len(vals) {
+			t.Fatalf("%s: Len=%d want %d", name, v.Len(), len(vals))
+		}
+		for i, want := range vals {
+			got := v.Value(i)
+			if !same(got, want) {
+				t.Fatalf("%s[%d]: Value=%#v want %#v", name, i, got, want)
+			}
+			if v.IsNull(i) != (want.Kind() == value.KindNull) {
+				t.Fatalf("%s[%d]: IsNull=%v", name, i, v.IsNull(i))
+			}
+		}
+	}
+	// A uniform-kind column must take the typed representation; a
+	// mixed-kind one must stay boxed (Int vs Float matters to AggState).
+	if v := FromValues(cases["ints"]); v.Boxed != nil || v.Kind != value.KindInt {
+		t.Fatalf("ints not typed: kind=%v boxed=%v", v.Kind, v.Boxed != nil)
+	}
+	if v := FromValues(cases["mixedKinds"]); v.Boxed == nil {
+		t.Fatalf("mixed kinds not boxed")
+	}
+}
+
+func TestGather(t *testing.T) {
+	vals := []value.Value{value.Int(10), value.Null(), value.Int(30), value.Int(40)}
+	v := FromValues(vals)
+	g := v.Gather([]int{3, 1, 1, 0})
+	want := []value.Value{value.Int(40), value.Null(), value.Null(), value.Int(10)}
+	for i, w := range want {
+		if got := g.Value(i); !reflect.DeepEqual(got, w) {
+			t.Fatalf("gather[%d]=%#v want %#v", i, got, w)
+		}
+	}
+}
+
+func TestBatchColIndex(t *testing.T) {
+	b := NewBatch([]string{"A", "a", "b"}, []*Vector{
+		FromValues([]value.Value{value.Int(1)}),
+		FromValues([]value.Value{value.Int(2)}),
+		FromValues([]value.Value{value.Int(3)}),
+	})
+	// First case-insensitive match wins, like Relation.ColIndex.
+	if i := b.ColIndex("a"); i != 0 {
+		t.Fatalf("ColIndex(a)=%d want 0", i)
+	}
+	if i := b.ColIndex("B"); i != 2 {
+		t.Fatalf("ColIndex(B)=%d want 2", i)
+	}
+	if i := b.ColIndex("missing"); i != -1 {
+		t.Fatalf("ColIndex(missing)=%d want -1", i)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	rows := [][]value.Value{
+		{value.Int(1), value.Int(2)},
+		{value.Int(3)}, // short row: the row path would miss lookups here
+	}
+	if _, ok := FromRows([]string{"a", "b"}, rows, 2); ok {
+		t.Fatalf("ragged rows must refuse vectorization")
+	}
+	rows[1] = []value.Value{value.Int(3), value.Int(4)}
+	b, ok := FromRows([]string{"a", "b"}, rows, 2)
+	if !ok {
+		t.Fatalf("rectangular rows refused")
+	}
+	if b.Len() != 2 || len(b.Vecs) != 2 {
+		t.Fatalf("batch shape %d x %d", b.Len(), len(b.Vecs))
+	}
+	back := b.ToRows()
+	if !reflect.DeepEqual(back, rows) {
+		t.Fatalf("ToRows=%v want %v", back, rows)
+	}
+}

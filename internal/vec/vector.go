@@ -1,0 +1,382 @@
+package vec
+
+import (
+	"strings"
+
+	"pushdowndb/internal/value"
+)
+
+// Vector is one column of values. A vector is either typed — a single
+// payload slice of the column's uniform Kind plus an optional null bitmap
+// — or boxed, holding []value.Value verbatim for mixed-kind columns.
+// Boxed is authoritative when non-nil.
+//
+// Typed payloads: KindInt and KindDate store in Ints (dates as days since
+// epoch), KindBool stores 0/1 in Ints, KindFloat in Floats, KindString in
+// Strs. Null slots hold the zero payload and are flagged in Nulls; a nil
+// Nulls means the column has no NULLs. A column that is entirely NULL is
+// typed with Kind==KindNull and no payload.
+type Vector struct {
+	Kind   value.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  *Bitmap
+	Boxed  []value.Value
+	n      int
+}
+
+// Len returns the number of rows.
+func (v *Vector) Len() int { return v.n }
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	if v.Boxed != nil {
+		return v.Boxed[i].IsNull()
+	}
+	if v.Kind == value.KindNull {
+		return true
+	}
+	return v.Nulls != nil && v.Nulls.Get(i)
+}
+
+// Value reconstructs row i as the exact value.Value the column was built
+// from. The returned struct is stack-allocated, so Value-based fallbacks
+// in the kernels are allocation-free and byte-identical to the row path
+// by construction.
+func (v *Vector) Value(i int) value.Value {
+	if v.Boxed != nil {
+		return v.Boxed[i]
+	}
+	if v.Kind == value.KindNull || (v.Nulls != nil && v.Nulls.Get(i)) {
+		return value.Null()
+	}
+	switch v.Kind {
+	case value.KindInt:
+		return value.Int(v.Ints[i])
+	case value.KindFloat:
+		return value.Float(v.Floats[i])
+	case value.KindString:
+		return value.Str(v.Strs[i])
+	case value.KindBool:
+		return value.Bool(v.Ints[i] != 0)
+	case value.KindDate:
+		return value.Date(v.Ints[i])
+	}
+	return value.Null()
+}
+
+// typed reports whether the vector has a uniform payload of kind k with
+// direct slice access (boxed and all-null vectors are not typed).
+func (v *Vector) typed(k value.Kind) bool {
+	return v.Boxed == nil && v.Kind == k
+}
+
+// FromValues builds a vector from a column of values: typed when every
+// non-NULL value shares one Kind, boxed otherwise. The input slice is
+// retained when boxing.
+func FromValues(vals []value.Value) *Vector {
+	n := len(vals)
+	kind := value.KindNull
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if kind == value.KindNull {
+			kind = v.Kind()
+		} else if v.Kind() != kind {
+			return &Vector{Boxed: vals, n: n}
+		}
+	}
+	out := &Vector{Kind: kind, n: n}
+	if kind == value.KindNull {
+		return out // entirely NULL
+	}
+	var nulls *Bitmap
+	switch kind {
+	case value.KindInt, value.KindDate, value.KindBool:
+		out.Ints = make([]int64, n)
+		for i, v := range vals {
+			if v.IsNull() {
+				if nulls == nil {
+					nulls = NewBitmap(n)
+				}
+				nulls.Set(i)
+				continue
+			}
+			if kind == value.KindBool {
+				if v.AsBool() {
+					out.Ints[i] = 1
+				}
+			} else {
+				out.Ints[i] = v.AsInt()
+			}
+		}
+	case value.KindFloat:
+		out.Floats = make([]float64, n)
+		for i, v := range vals {
+			if v.IsNull() {
+				if nulls == nil {
+					nulls = NewBitmap(n)
+				}
+				nulls.Set(i)
+				continue
+			}
+			out.Floats[i] = v.AsFloat()
+		}
+	case value.KindString:
+		out.Strs = make([]string, n)
+		for i, v := range vals {
+			if v.IsNull() {
+				if nulls == nil {
+					nulls = NewBitmap(n)
+				}
+				nulls.Set(i)
+				continue
+			}
+			out.Strs[i] = v.AsString()
+		}
+	}
+	out.Nulls = nulls
+	return out
+}
+
+// Gather returns a new vector holding rows idx (in order).
+func (v *Vector) Gather(idx []int) *Vector {
+	if v.Boxed != nil {
+		out := make([]value.Value, len(idx))
+		for o, i := range idx {
+			out[o] = v.Boxed[i]
+		}
+		return &Vector{Boxed: out, n: len(idx)}
+	}
+	out := &Vector{Kind: v.Kind, n: len(idx)}
+	var nulls *Bitmap
+	if v.Nulls != nil {
+		for o, i := range idx {
+			if v.Nulls.Get(i) {
+				if nulls == nil {
+					nulls = NewBitmap(len(idx))
+				}
+				nulls.Set(o)
+			}
+		}
+	}
+	out.Nulls = nulls
+	switch {
+	case v.Ints != nil:
+		out.Ints = make([]int64, len(idx))
+		for o, i := range idx {
+			out.Ints[o] = v.Ints[i]
+		}
+	case v.Floats != nil:
+		out.Floats = make([]float64, len(idx))
+		for o, i := range idx {
+			out.Floats[o] = v.Floats[i]
+		}
+	case v.Strs != nil:
+		out.Strs = make([]string, len(idx))
+		for o, i := range idx {
+			out.Strs[o] = v.Strs[i]
+		}
+	}
+	return out
+}
+
+// Batch is a set of equal-length column vectors with named columns — the
+// columnar counterpart of engine.Relation.
+type Batch struct {
+	Cols []string
+	Vecs []*Vector
+	n    int
+	idx  map[string]int // lower-cased name -> first column index
+}
+
+// NewBatch assembles a batch. All vectors must share one length.
+func NewBatch(cols []string, vecs []*Vector) *Batch {
+	b := &Batch{Cols: cols, Vecs: vecs}
+	if len(vecs) > 0 {
+		b.n = vecs[0].Len()
+	}
+	b.idx = make(map[string]int, len(cols))
+	for i, c := range cols {
+		key := strings.ToLower(c)
+		if _, ok := b.idx[key]; !ok {
+			b.idx[key] = i // first-wins, like Relation.ColIndex
+		}
+	}
+	return b
+}
+
+// Len returns the row count.
+func (b *Batch) Len() int { return b.n }
+
+// ColIndex resolves a column name case-insensitively to its first match,
+// or -1 — the same resolution rule as engine.Relation.ColIndex, answered
+// from a map instead of a per-call linear scan.
+func (b *Batch) ColIndex(name string) int {
+	if i, ok := b.idx[strings.ToLower(name)]; ok {
+		return i
+	}
+	// ToLower and EqualFold can disagree on exotic Unicode; fall back to
+	// the row path's exact rule so resolution never diverges.
+	for i, c := range b.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FromRows builds a batch from row-major values. ok is false when the
+// rows are ragged (some row length differs from the column count); ragged
+// relations keep the row path's lookup-miss semantics, so callers must
+// fall back to row-at-a-time execution. Generic over the row type so the
+// engine's []Row passes without reslicing.
+func FromRows[R ~[]value.Value](cols []string, rows []R, workers int) (*Batch, bool) {
+	for _, r := range rows {
+		if len(r) != len(cols) {
+			return nil, false
+		}
+	}
+	vecs := make([]*Vector, len(cols))
+	runSpans(colSpans(len(cols), workers), func(w int, sp span) error {
+		for c := sp.lo; c < sp.hi; c++ {
+			vecs[c] = columnVector(rows, c)
+		}
+		return nil
+	})
+	b := NewBatch(cols, vecs)
+	if len(cols) == 0 {
+		b.n = len(rows)
+	}
+	return b, true
+}
+
+// columnVector builds one column's vector straight from row-major input —
+// the same typed/boxed decision FromValues makes, fused into two row-major
+// passes with no intermediate []value.Value.
+func columnVector[R ~[]value.Value](rows []R, c int) *Vector {
+	n := len(rows)
+	kind := value.KindNull
+	for _, r := range rows {
+		v := r[c]
+		if v.IsNull() {
+			continue
+		}
+		if kind == value.KindNull {
+			kind = v.Kind()
+		} else if v.Kind() != kind {
+			vals := make([]value.Value, n)
+			for i, r := range rows {
+				vals[i] = r[c]
+			}
+			return &Vector{Boxed: vals, n: n}
+		}
+	}
+	out := &Vector{Kind: kind, n: n}
+	if kind == value.KindNull {
+		return out // entirely NULL
+	}
+	var nulls *Bitmap
+	null := func(i int) {
+		if nulls == nil {
+			nulls = NewBitmap(n)
+		}
+		nulls.Set(i)
+	}
+	switch kind {
+	case value.KindInt, value.KindDate, value.KindBool:
+		out.Ints = make([]int64, n)
+		for i, r := range rows {
+			v := r[c]
+			switch {
+			case v.IsNull():
+				null(i)
+			case kind == value.KindBool:
+				if v.AsBool() {
+					out.Ints[i] = 1
+				}
+			default:
+				out.Ints[i] = v.AsInt()
+			}
+		}
+	case value.KindFloat:
+		out.Floats = make([]float64, n)
+		for i, r := range rows {
+			if v := r[c]; v.IsNull() {
+				null(i)
+			} else {
+				out.Floats[i] = v.AsFloat()
+			}
+		}
+	case value.KindString:
+		out.Strs = make([]string, n)
+		for i, r := range rows {
+			if v := r[c]; v.IsNull() {
+				null(i)
+			} else {
+				out.Strs[i] = v.AsString()
+			}
+		}
+	}
+	out.Nulls = nulls
+	return out
+}
+
+// FromRowsProjected is FromRows restricted to columns keep (indices into
+// allCols): only those columns are decoded into vectors, which is what
+// makes vectorized filtering cheap on wide relations — a predicate over 2
+// of 16 columns converts 2, not 16. The raggedness contract is FromRows':
+// every row must span all of allCols, or ok is false and the caller falls
+// back to the row path.
+func FromRowsProjected[R ~[]value.Value](allCols []string, rows []R, keep []int, workers int) (*Batch, bool) {
+	for _, r := range rows {
+		if len(r) != len(allCols) {
+			return nil, false
+		}
+	}
+	cols := make([]string, len(keep))
+	vecs := make([]*Vector, len(keep))
+	runSpans(colSpans(len(keep), workers), func(w int, sp span) error {
+		for k := sp.lo; k < sp.hi; k++ {
+			c := keep[k]
+			cols[k] = allCols[c]
+			vecs[k] = columnVector(rows, c)
+		}
+		return nil
+	})
+	b := NewBatch(cols, vecs)
+	b.n = len(rows)
+	return b, true
+}
+
+// ToRows materializes the batch row-major.
+func (b *Batch) ToRows() [][]value.Value {
+	rows := make([][]value.Value, b.n)
+	flat := make([]value.Value, b.n*len(b.Vecs))
+	for i := range rows {
+		row := flat[i*len(b.Vecs) : (i+1)*len(b.Vecs) : (i+1)*len(b.Vecs)]
+		for c, v := range b.Vecs {
+			row[c] = v.Value(i)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// rowEnv adapts one batch row to expr.Env for the kernels' expression
+// fallbacks. Reused across rows by mutating i, so per-row evaluation
+// allocates no environment.
+type rowEnv struct {
+	b *Batch
+	i int
+}
+
+func (e *rowEnv) Lookup(_, name string) (value.Value, bool) {
+	j := e.b.ColIndex(name)
+	if j < 0 {
+		return value.Null(), false
+	}
+	return e.b.Vecs[j].Value(e.i), true
+}
