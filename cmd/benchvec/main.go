@@ -7,7 +7,10 @@
 //
 // With -check the command verifies both paths return identical row counts
 // and exits 1 if any case's vectorized run is slower than its row run —
-// the regression guard CI runs at tiny scale on every push.
+// the regression guard CI runs at tiny scale on every push. The same run
+// measures tracing overhead (the fixture query with and without an
+// obs.Trace in context) and fails -check if the traced run exceeds the
+// untraced by more than 50%.
 package main
 
 import (
@@ -28,10 +31,19 @@ type CaseReport struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// TraceReport is the tracing-overhead measurement: the same query end to
+// end with and without an obs.Trace in context.
+type TraceReport struct {
+	OffNsPerOp   int64   `json:"off_ns_per_op"`
+	OnNsPerOp    int64   `json:"on_ns_per_op"`
+	OverheadFrac float64 `json:"overhead_frac"`
+}
+
 // Report is the BENCH_vec.json layout.
 type Report struct {
 	SF    float64               `json:"sf"`
 	Cases map[string]CaseReport `json:"cases"`
+	Trace TraceReport           `json:"trace"`
 }
 
 func main() {
@@ -74,6 +86,38 @@ func main() {
 		}
 	}
 
+	// Tracing overhead: the full query with and without a trace in
+	// context. The gate is generous (50%) because the smoke runs a
+	// millisecond-scale query where constant costs loom large; the point
+	// is to catch span bookkeeping becoming a per-row cost, which shows
+	// up as a multiple, not a margin.
+	tf, err := harness.NewTraceBenchFixture(context.Background(), *sf)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tf.TraceBenchVerify(context.Background()); err != nil {
+		fatal(err)
+	}
+	timeTrace := func(traced bool) int64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tf.Run(context.Background(), traced); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return r.NsPerOp()
+	}
+	off, on := timeTrace(false), timeTrace(true)
+	report.Trace = TraceReport{
+		OffNsPerOp:   off,
+		OnNsPerOp:    on,
+		OverheadFrac: float64(on)/float64(off) - 1,
+	}
+	fmt.Printf("%-8s off %12d ns/op   on  %12d ns/op   %+.1f%%\n",
+		"trace", off, on, report.Trace.OverheadFrac*100)
+	tracingSlow := float64(on) > float64(off)*1.50
+
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -89,6 +133,9 @@ func main() {
 
 	if *check && slower {
 		fatal(fmt.Errorf("vectorized path slower than row path (see report above)"))
+	}
+	if *check && tracingSlow {
+		fatal(fmt.Errorf("tracing overhead above 50%% (see report above)"))
 	}
 }
 

@@ -14,6 +14,11 @@
 //	               ({"error":{"kind":"over_quota",...}})
 //	GET  /stats    shared result-cache stats and per-tenant cost totals
 //	GET  /healthz  liveness (reports "draining" during shutdown)
+//	GET  /metrics  Prometheus text exposition (disable with -metrics=false)
+//	GET  /debug/trace/<request-id>  a completed query's span tree as JSON
+//	               (?format=chrome for chrome://tracing); bare path lists
+//	               the retained ids
+//	GET  /debug/pprof/  net/http/pprof, only with -pprof
 //
 // SIGINT/SIGTERM starts a graceful drain: new queries are refused with
 // kind "shutting_down" while in-flight queries run to completion.
@@ -66,6 +71,10 @@ func main() {
 		tenantRate  = flag.Int("tenant-rate", 0, "max queries per tenant per rate window (0 = unlimited); overruns are refused with kind \"rate_limited\"")
 		tenantRateW = flag.Duration("tenant-rate-window", time.Second, "rolling window -tenant-rate counts over")
 		auditPath   = flag.String("audit", "", "append a JSON line per query/rejection here (\"-\" = stderr)")
+		metricsOn   = flag.Bool("metrics", true, "serve Prometheus metrics at GET /metrics")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowQuery   = flag.Duration("slow-query", 0, "log the full span tree of queries over this wall-clock threshold to the audit stream (0 = off)")
+		traceRetain = flag.Int("trace-retain", 64, "completed query traces kept for GET /debug/trace/<id> (negative = tracing off)")
 	)
 	flag.Var(&tables, "table", "name=path.csv (repeatable)")
 	flag.Parse()
@@ -167,6 +176,10 @@ func main() {
 		TenantRateLimit:   *tenantRate,
 		TenantRateWindow:  *tenantRateW,
 		AuditLog:          audit,
+		TraceRetain:       *traceRetain,
+		SlowQuery:         *slowQuery,
+		EnablePprof:       *pprofOn,
+		DisableMetrics:    !*metricsOn,
 	})
 
 	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)

@@ -27,6 +27,11 @@
 //
 //	pushdownsql -table orders=./orders.csv -index o_custkey@orders -explain \
 //	            -q "SELECT o_totalprice FROM orders WHERE o_custkey = 41"
+//
+// EXPLAIN and EXPLAIN ANALYZE also work as SQL statements in -q: plain
+// EXPLAIN prints the estimates without executing; ANALYZE runs the query
+// under a trace and annotates every plan step with the actual rows, bytes
+// and cost next to the estimates that picked it.
 package main
 
 import (
@@ -163,6 +168,15 @@ func main() {
 	if rel == nil {
 		// DDL (CREATE INDEX / DROP INDEX): no relation, no metered cost.
 		fmt.Println("ok")
+		return
+	}
+	if len(rel.Cols) == 1 && rel.Cols[0] == "plan" {
+		// EXPLAIN [ANALYZE]: the relation carries the render line by line;
+		// print it raw, not as a table. ANALYZE already embeds its own
+		// runtime/cost totals (plain EXPLAIN never executed, e is nil).
+		for _, row := range rel.Rows {
+			fmt.Println(row[0].AsString())
+		}
 		return
 	}
 	fmt.Print(rel)

@@ -408,6 +408,30 @@ func (t phaseTotals) seconds(cfg Config, scale Scale) float64 {
 	return math.Max(t.s3MaxStreamSec, math.Max(transfer, server))
 }
 
+// Seconds evaluates this phase's duration alone under the roofline model
+// (per-span observability; RuntimeSeconds is the authority for whole-query
+// time — it overlaps phases within a stage).
+func (p *Phase) Seconds() float64 {
+	return p.snapshot().seconds(p.cfg, p.scale)
+}
+
+// BilledCost prices this phase's storage activity alone under base
+// pricing, mirroring Metrics.Cost for a single phase. Compute is a
+// whole-query quantity and is not attributed to individual phases.
+func (p *Phase) BilledCost(base Pricing) CostBreakdown {
+	t := p.snapshot()
+	pp := base.ForProfile(p.profile)
+	dr := p.scale.DataRatio
+	requests := (float64(t.requests)+t.sharedRequests)*p.scale.PartRatio +
+		float64(t.rowFetchRequests)*dr
+	return CostBreakdown{
+		RequestUSD: requests / 1000 * pp.RequestPer1000,
+		ScanUSD:    (float64(t.scanBytes) + t.sharedScanBytes) * dr / gb * pp.ScanPerGB,
+		TransferUSD: (float64(t.selectReturnBytes)+t.sharedReturnBytes)*dr/gb*pp.ReturnPerGB +
+			float64(t.getBytes)*dr/gb*pp.TransferPerGB,
+	}
+}
+
 // Metrics collects the phases of one query execution.
 type Metrics struct {
 	mu     sync.Mutex
@@ -454,6 +478,14 @@ func (m *Metrics) PhaseProfile(name string, stage int, profile Profile) *Phase {
 	}
 	m.phases = append(m.phases, p)
 	return p
+}
+
+// Phases returns the opened phases (live pointers in a copied slice), in
+// open order.
+func (m *Metrics) Phases() []*Phase {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Phase{}, m.phases...)
 }
 
 // RuntimeSeconds evaluates the virtual runtime: within a stage phases
@@ -610,7 +642,15 @@ func (m *Metrics) Report() string {
 	defer m.mu.Unlock()
 	sorted := make([]*Phase, len(m.phases))
 	copy(sorted, m.phases)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Stage < sorted[j].Stage })
+	// Stage first, name as the tie-break: phases opened concurrently within
+	// a stage land in racy creation order, and the report must be
+	// deterministic (EXPLAIN ANALYZE goldens pin it byte-for-byte).
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Stage != sorted[j].Stage {
+			return sorted[i].Stage < sorted[j].Stage
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %5s %10s %12s %12s %10s\n",
 		"phase", "stage", "requests", "scanMB", "returnMB", "sec")

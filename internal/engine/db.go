@@ -15,6 +15,7 @@ import (
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/expr"
 	"pushdowndb/internal/index"
+	"pushdowndb/internal/obs"
 	"pushdowndb/internal/rescache"
 	"pushdowndb/internal/s3api"
 	"pushdowndb/internal/scanshare"
@@ -441,6 +442,15 @@ type Exec struct {
 	partsMu   sync.Mutex
 	partsMemo map[string][]string
 
+	// trace is the query's obs span tree, picked up from the context in
+	// NewExecContext; nil when the caller attached none (the untraced
+	// fast path: every span helper short-circuits on this pointer).
+	trace *obs.Trace
+	// spanParent is the span sequential statement code attaches children
+	// to (the trace root until a statement span installs itself).
+	spanMu     sync.Mutex
+	spanParent *obs.Span
+
 	mu    sync.Mutex
 	stage int
 }
@@ -466,7 +476,11 @@ func (db *DB) NewExecContext(ctx context.Context) *Exec {
 		//lint:ignore ctxflow nil-guard: a nil ctx must degrade to Background, not panic
 		ctx = context.Background()
 	}
-	return &Exec{db: db, ctx: ctx, Metrics: cloudsim.NewMetricsScaled(db.Cfg, db.Sim)}
+	return &Exec{
+		db: db, ctx: ctx,
+		Metrics: cloudsim.NewMetricsScaled(db.Cfg, db.Sim),
+		trace:   obs.FromContext(ctx),
+	}
 }
 
 // DB returns the owning database.
@@ -601,6 +615,7 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 		return nil, err
 	}
 	backend := e.db.backendFor(table)
+	sp := e.beginSpan(phaseName)
 	phase := e.tablePhase(phaseName, stage, table)
 	rels := make([]*Relation, len(keys))
 	// The per-partition decodes already run concurrently under
@@ -615,11 +630,14 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 		decodeWorkers = 1
 	}
 	err = e.forEachPart(keys, func(ctx context.Context, i int, key string) error {
+		psp := sp.Child("get " + key)
+		defer psp.End()
 		data, err := backend.Get(ctx, e.db.bucket, key)
 		if err != nil {
 			return err
 		}
 		phase.AddGetRequest(int64(len(data)))
+		psp.SetInt("bytes", int64(len(data)))
 		if colformat.IsColumnar(data) {
 			// Columnar partitions decode straight into typed vectors; the
 			// CSV decoder would mis-parse the binary layout.
@@ -642,22 +660,27 @@ func (e *Exec) LoadTable(phaseName string, stage int, table string) (*Relation, 
 		return nil
 	})
 	if err != nil {
+		endSpanErr(sp, err)
 		return nil, err
 	}
 	out := &Relation{}
 	for _, r := range rels {
 		if err := out.Concat(r); err != nil {
+			endSpanErr(sp, err)
 			return nil, err
 		}
 	}
+	sp.SetInt("rows", int64(len(out.Rows)))
+	e.endPhaseSpan(sp, phase)
 	return out, nil
 }
 
 // selectOnParts runs the same S3 Select SQL against every partition of the
 // table on its backend (with the backend's advertised capabilities) and
 // returns the per-partition results, recording request metrics. Requests
-// are served through the DB's result cache when one is configured.
-func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate func(i int, req *selectengine.Request)) ([]*selectengine.Result, error) {
+// are served through the DB's result cache when one is configured. Each
+// partition select becomes a child span of sp (nil when untraced).
+func (e *Exec) selectOnParts(phase *cloudsim.Phase, sp *obs.Span, table, sql string, mutate func(i int, req *selectengine.Request)) ([]*selectengine.Result, error) {
 	keys, err := e.parts(table)
 	if err != nil {
 		return nil, err
@@ -670,7 +693,9 @@ func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate fu
 		if mutate != nil {
 			mutate(i, &req)
 		}
-		res, err := e.doSelect(ctx, phase, backendName, backend, key, req)
+		psp := sp.Child("select " + key)
+		res, err := e.doSelect(ctx, phase, psp, backendName, backend, key, req)
+		psp.End()
 		if err != nil {
 			return fmt.Errorf("engine: select on %s: %w", key, err)
 		}
@@ -693,7 +718,7 @@ func (e *Exec) selectOnParts(phase *cloudsim.Phase, table, sql string, mutate fu
 // only the pass leader fills the cache (the other sharers record an
 // in-flight dedup on the cache stats). Cached results are shared across
 // queries — callers must not mutate them.
-func (e *Exec) doSelect(ctx context.Context, phase *cloudsim.Phase, backendName string, backend s3api.Backend, key string, req selectengine.Request) (*selectengine.Result, error) {
+func (e *Exec) doSelect(ctx context.Context, phase *cloudsim.Phase, sp *obs.Span, backendName string, backend s3api.Backend, key string, req selectengine.Request) (*selectengine.Result, error) {
 	c := e.db.resultCache
 	var (
 		ck  rescache.Key
@@ -706,9 +731,13 @@ func (e *Exec) doSelect(ctx context.Context, phase *cloudsim.Phase, backendName 
 		}
 		if res, ok := c.Get(ck); ok {
 			phase.AddCacheHit(res.Stats.BytesReturned)
+			sp.SetStr("cache", "hit")
+			sp.SetInt("rows", int64(len(res.Rows)))
+			sp.SetInt("bytes", res.Stats.BytesReturned)
 			return res, nil
 		}
 		gen = c.Generation(e.db.bucket, key)
+		sp.SetStr("cache", "miss")
 	}
 	sh := e.db.scanShare
 	if sh == nil {
@@ -717,6 +746,8 @@ func (e *Exec) doSelect(ctx context.Context, phase *cloudsim.Phase, backendName 
 			return nil, err
 		}
 		phase.AddSelectRequest(selectReqStats(res.Stats))
+		sp.SetInt("rows", int64(len(res.Rows)))
+		sp.SetInt("bytes", res.Stats.BytesReturned)
 		if c != nil {
 			c.Put(ck, gen, res)
 		}
@@ -732,9 +763,17 @@ func (e *Exec) doSelect(ctx context.Context, phase *cloudsim.Phase, backendName 
 	}
 	if out.Sharers > 1 {
 		phase.AddSharedSelectRequest(selectReqStats(out.Pass), int64(out.Sharers), out.LocalRows)
+		sp.SetInt("sharers", int64(out.Sharers))
 	} else {
 		phase.AddSelectRequest(selectReqStats(out.Pass))
 	}
+	if out.Leader {
+		sp.SetStr("share", "leader")
+	} else {
+		sp.SetStr("share", "sharer")
+	}
+	sp.SetInt("rows", int64(len(out.Res.Rows)))
+	sp.SetInt("bytes", out.Res.Stats.BytesReturned)
 	if c != nil {
 		if out.Leader {
 			c.Put(ck, gen, out.Res)
@@ -762,17 +801,26 @@ func selectCacheQuery(req selectengine.Request) string {
 // SelectRows runs sql on every partition of table and concatenates the
 // returned rows into a typed relation.
 func (e *Exec) SelectRows(phaseName string, stage int, table, sql string) (*Relation, error) {
+	sp := e.beginSpan(phaseName)
 	phase := e.tablePhase(phaseName, stage, table)
-	results, err := e.selectOnParts(phase, table, sql, nil)
+	results, err := e.selectOnParts(phase, sp, table, sql, nil)
 	if err != nil {
+		endSpanErr(sp, err)
 		return nil, err
 	}
+	dec := sp.Child("decode")
 	out := &Relation{}
 	for _, res := range results {
 		if err := out.Concat(FromStringsN(res.Columns, res.Rows, e.workers())); err != nil {
+			endSpanErr(dec, err)
+			endSpanErr(sp, err)
 			return nil, err
 		}
 	}
+	dec.SetInt("rows", int64(len(out.Rows)))
+	dec.End()
+	sp.SetInt("rows", int64(len(out.Rows)))
+	e.endPhaseSpan(sp, phase)
 	return out, nil
 }
 
@@ -788,17 +836,22 @@ func (e *Exec) SelectRowsLimit(phaseName string, stage int, table, sql string, t
 		per = 1
 	}
 	limited := fmt.Sprintf("%s LIMIT %d", sql, per)
+	sp := e.beginSpan(phaseName)
 	phase := e.tablePhase(phaseName, stage, table)
-	results, err := e.selectOnParts(phase, table, limited, nil)
+	results, err := e.selectOnParts(phase, sp, table, limited, nil)
 	if err != nil {
+		endSpanErr(sp, err)
 		return nil, err
 	}
 	out := &Relation{}
 	for _, res := range results {
 		if err := out.Concat(FromStringsN(res.Columns, res.Rows, e.workers())); err != nil {
+			endSpanErr(sp, err)
 			return nil, err
 		}
 	}
+	sp.SetInt("rows", int64(len(out.Rows)))
+	e.endPhaseSpan(sp, phase)
 	return out, nil
 }
 
@@ -806,8 +859,10 @@ func (e *Exec) SelectRowsLimit(phaseName string, stage int, table, sql string, t
 // single-row results column-wise using the given aggregate functions
 // (SUM and COUNT merge by addition, MIN/MAX by comparison).
 func (e *Exec) SelectAgg(phaseName string, stage int, table, sql string, merge []sqlparse.AggFunc) (Row, error) {
+	sp := e.beginSpan(phaseName)
 	phase := e.tablePhase(phaseName, stage, table)
-	results, err := e.selectOnParts(phase, table, sql, nil)
+	defer func() { e.endPhaseSpan(sp, phase) }()
+	results, err := e.selectOnParts(phase, sp, table, sql, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -854,13 +909,16 @@ func (e *Exec) TableHeader(phaseName string, stage int, table string) ([]string,
 		return nil, err
 	}
 	backend := e.db.backendFor(table)
+	sp := e.beginSpan("header " + table)
 	phase := e.tablePhase(phaseName, stage, table)
+	defer func() { e.endPhaseSpan(sp, phase) }()
 	for probe := int64(headerProbe); ; probe *= 2 {
 		data, err := backend.GetRange(e.ctx, e.db.bucket, keys[0], 0, probe-1)
 		if err != nil {
 			return nil, err
 		}
 		phase.AddGetRequest(int64(len(data)))
+		sp.AddInt("bytes", int64(len(data)))
 		if int64(len(data)) < probe && colformat.IsColumnar(data) {
 			// The whole object fit in the probe and carries the columnar
 			// magic (which is tail-only, so detection needs the complete

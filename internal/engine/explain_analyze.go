@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pushdowndb/internal/obs"
+	"pushdowndb/internal/sqlparse"
+	"pushdowndb/internal/value"
+)
+
+// EXPLAIN [ANALYZE] execution. Plain EXPLAIN renders the planner's
+// estimates without running the query; ANALYZE executes it under an obs
+// trace and annotates every plan step with what actually happened —
+// estimated vs. actual rows, bytes and cost. The render is deterministic
+// except for the single wall-clock line (golden tests mask it), because it
+// is built from the plan steps and the cloudsim phase table, not from the
+// concurrently-ordered raw span tree.
+
+// runExplain executes an EXPLAIN statement. Plain EXPLAIN returns the
+// estimate render and no execution (nothing was metered); ANALYZE returns
+// the annotated render together with the Exec that ran the query, so
+// runtime and billing ride the server wire like any SELECT's.
+func (db *DB) runExplain(ctx context.Context, ex *sqlparse.Explain) (*Relation, *Exec, error) {
+	if !ex.Analyze {
+		text, err := db.explainSelect(ctx, ex.Sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		return textRelation(text), nil, nil
+	}
+	// ANALYZE always runs traced: reuse the caller's trace (the daemon
+	// attaches one per request) or start a private one.
+	if obs.FromContext(ctx) == nil {
+		ctx = obs.WithTrace(ctx, obs.New("explain", "query"))
+	}
+	rel, e, err := db.runSelectStatement(ctx, ex.Sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return textRelation(renderAnalyze(ex.Sel, rel, e)), e, nil
+}
+
+// textRelation wraps a multi-line render as a one-column relation, so
+// EXPLAIN output flows through every surface (pushdownsql, the server
+// wire) that already knows how to carry rows.
+func textRelation(text string) *Relation {
+	rel := &Relation{Cols: []string{"plan"}}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rel.Rows = append(rel.Rows, Row{value.Str(line)})
+	}
+	return rel
+}
+
+// renderAnalyze builds the EXPLAIN ANALYZE report from the executed plan
+// and its metrics.
+func renderAnalyze(sel *sqlparse.Select, rel *Relation, e *Exec) string {
+	var b strings.Builder
+	b.WriteString("EXPLAIN ANALYZE\n")
+	if p := e.QueryPlan(); p != nil {
+		b.WriteString(p.AnalyzeString())
+	} else {
+		renderAnalyzeSingle(&b, sel, rel, e)
+	}
+	b.WriteString("phases:\n")
+	for _, line := range strings.Split(strings.TrimRight(e.Metrics.Report(), "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	_, _, retBytes, getBytes := e.Metrics.Totals()
+	cost := e.Cost()
+	fmt.Fprintf(&b, "totals: %d rows, %d bytes returned, %.3fs virtual, %s\n",
+		len(rel.Rows), retBytes+getBytes, e.RuntimeSeconds(), cost)
+	fmt.Fprintf(&b, "wall: %s\n", wallOf(e))
+	return b.String()
+}
+
+// renderAnalyzeSingle annotates a single-table query: the access strategy
+// that ran and its actual output.
+func renderAnalyzeSingle(b *strings.Builder, sel *sqlparse.Select, rel *Relation, e *Exec) {
+	if ap := e.Access(); ap != nil {
+		b.WriteString(ap.String())
+		fmt.Fprintf(b, "  actual: %d rows out\n", len(rel.Rows))
+		return
+	}
+	fmt.Fprintf(b, "scan %s: %s\n", sel.Table, pushedScanSQL(sel))
+	fmt.Fprintf(b, "  actual: %d rows out\n", len(rel.Rows))
+}
+
+// wallOf renders the traced query's wall-clock duration; "n/a" when the
+// execution ran untraced (EXPLAIN ANALYZE always traces, but the render is
+// also reachable from tests that build an Exec directly).
+func wallOf(e *Exec) string {
+	d := e.Trace().Snapshot()
+	if d == nil || d.Root == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3fms", float64(d.Root.DurUS)/1000)
+}
+
+// AnalyzeString renders the plan like String, with each join step
+// additionally annotated with its actuals: output rows next to the
+// estimate, and the step's measured virtual seconds, dollars and returned
+// bytes next to the per-strategy estimates that drove the decision.
+func (p *QueryPlan) AnalyzeString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "join plan (%d tables)\n", len(p.Scans))
+	for _, sc := range p.Scans {
+		fmt.Fprintf(&b, "  scan %s: S3 Select: %s", sc.Name(),
+			projectionSQL(sc.Project, exprStr(sc.Filter)))
+		fmt.Fprintf(&b, "  [est %d rows, %d after filter]\n",
+			sc.Stats.Rows, sc.Stats.FilteredRows)
+	}
+	for i, st := range p.Steps {
+		fmt.Fprintf(&b, "  join %d: %s.%s = %s.%s\n",
+			i+1, st.BuildName, st.BuildKey, st.ProbeName, st.ProbeKey)
+		fmt.Fprintf(&b, "    strategy: %s — %s\n", st.Strategy, st.Reason)
+		fmt.Fprintf(&b, "    rows:   est ~%d, actual %d\n", st.EstRows, st.ActualRows)
+		if est, ok := st.Estimates[st.Strategy]; ok {
+			fmt.Fprintf(&b, "    cost:   est %.3fs $%.6f, actual %.3fs $%.6f\n",
+				est.Seconds, est.USD, st.ActualSec, st.ActualUSD)
+		} else {
+			fmt.Fprintf(&b, "    cost:   actual %.3fs $%.6f\n", st.ActualSec, st.ActualUSD)
+		}
+		fmt.Fprintf(&b, "    bytes:  actual %d returned\n", st.ActualBytes)
+		names := make([]string, 0, len(st.Estimates))
+		for name := range st.Estimates {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			est := st.Estimates[name]
+			fmt.Fprintf(&b, "    est %-8s %8.3fs  $%.6f\n", name+":", est.Seconds, est.USD)
+		}
+	}
+	if p.Residual != nil {
+		fmt.Fprintf(&b, "  server: filter %s\n", p.Residual.String())
+	}
+	sel := p.Sel
+	if len(sel.GroupBy) > 0 {
+		fmt.Fprintf(&b, "  server: GROUP BY %s\n", renderExprs(sel.GroupBy))
+	} else if sel.HasAggregates() {
+		fmt.Fprintf(&b, "  server: aggregate\n")
+	}
+	if len(sel.OrderBy) > 0 {
+		fmt.Fprintf(&b, "  server: ORDER BY\n")
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&b, "  server: LIMIT %d\n", sel.Limit)
+	}
+	return b.String()
+}
+
+// ExplainAnalyze runs `EXPLAIN ANALYZE sql` directly (convenience for
+// tests and tools that bypass ExecStatement).
+func (db *DB) ExplainAnalyze(ctx context.Context, sql string) (string, *Exec, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	rel, e, err := db.runExplain(ctx, &sqlparse.Explain{Analyze: true, Sel: sel})
+	if err != nil {
+		return "", nil, err
+	}
+	var lines []string
+	for _, r := range rel.Rows {
+		lines = append(lines, r[0].AsString())
+	}
+	return strings.Join(lines, "\n") + "\n", e, nil
+}

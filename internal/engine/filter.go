@@ -11,6 +11,10 @@ import (
 // ServerSideFilter loads the whole table with plain GETs and filters
 // locally — the baseline of Fig. 1.
 func (e *Exec) ServerSideFilter(table, predicate, projection string) (*Relation, error) {
+	sp := e.beginSpan("server filter " + table)
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 	stage := e.NextStage()
 	rel, err := e.LoadTable("load "+table, stage, table)
 	if err != nil {
@@ -60,11 +64,14 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 	// header comes from a tiny ranged GET (we never load whole partitions
 	// in this strategy).
 	stage1 := e.NextStage()
+	isp := e.beginSpan("index lookup " + table)
 	idxPhase := e.tablePhase("index lookup", stage1, idxTable)
-	dataKeys, partRanges, err := e.indexRangeProbe(idxPhase, table, idxTable, indexedPredicate)
+	dataKeys, partRanges, err := e.indexRangeProbe(idxPhase, isp, table, idxTable, indexedPredicate)
 	if err != nil {
+		endSpanErr(isp, err)
 		return nil, err
 	}
+	e.endPhaseSpan(isp, idxPhase)
 	header, err := e.TableHeader("index lookup", stage1, table)
 	if err != nil {
 		return nil, err
@@ -75,6 +82,8 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 	// compare per-row GETs against the single multi-range GET.
 	stage2 := e.NextStage()
 	fetch := e.tablePhase("row fetch", stage2, table)
+	fsp := e.beginSpan("row fetch " + table)
+	defer func() { e.endPhaseSpan(fsp, fetch) }()
 	backend := e.db.backendFor(table)
 	out := &Relation{Cols: header}
 	partRows := make([][][]string, len(dataKeys))
@@ -83,6 +92,9 @@ func (e *Exec) IndexFilter(table, column, indexedPredicate string, opts IndexFil
 		if len(ranges) == 0 {
 			return nil
 		}
+		ksp := fsp.Child("fetch " + key)
+		defer ksp.End()
+		ksp.SetInt("ranges", int64(len(ranges)))
 		var frags [][]byte
 		if opts.MultiRange {
 			var err error

@@ -70,6 +70,10 @@ func checkPushableAggs(aggs []GroupAgg, algo string) error {
 // ServerSideGroupBy loads the entire table, filters and groups locally
 // (Fig. 5's baseline). filter may be empty.
 func (e *Exec) ServerSideGroupBy(table, groupCol string, aggs []GroupAgg, filter string) (*Relation, error) {
+	sp := e.beginSpan("server groupby " + table)
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 	stage := e.NextStage()
 	rel, err := e.LoadTable("load "+table, stage, table)
 	if err != nil {
@@ -91,6 +95,10 @@ func (e *Exec) FilteredGroupBy(table, groupCol string, aggs []GroupAgg, filter s
 	if filter != "" {
 		sql += " WHERE " + filter
 	}
+	sp := e.beginSpan("filtered groupby " + table)
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 	stage := e.NextStage()
 	rel, err := e.SelectRows("project "+table, stage, table, sql)
 	if err != nil {
@@ -236,6 +244,10 @@ func (e *Exec) HybridGroupBy(table, groupCol string, aggs []GroupAgg, opts Hybri
 	if err := checkPushableAggs(aggs, "hybrid group-by"); err != nil {
 		return nil, err
 	}
+	sp := e.beginSpan("hybrid groupby " + table)
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 
 	big, err := e.sampleTopGroups(table, groupCol, opts)
 	if err != nil {
@@ -303,7 +315,9 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 	}
 	backendName, backend := e.db.BackendFor(table)
 	caps := backend.Capabilities()
+	sp := e.beginSpan("sample " + table)
 	phase1 := e.tablePhase("sample", stage1, table)
+	defer func() { e.endPhaseSpan(sp, phase1) }()
 	counts := map[string]int64{}
 	var mu sync.Mutex
 	err = e.forEachPart(keys, func(ctx context.Context, i int, key string) error {
@@ -315,7 +329,9 @@ func (e *Exec) sampleTopGroups(table, groupCol string, opts HybridGroupByOptions
 		if end < 1 {
 			end = 1
 		}
-		res, err := e.doSelect(ctx, phase1, backendName, backend, key, selectengine.Request{
+		psp := sp.Child("select " + key)
+		defer psp.End()
+		res, err := e.doSelect(ctx, phase1, psp, backendName, backend, key, selectengine.Request{
 			SQL:          "SELECT " + groupCol + " FROM S3Object",
 			HasHeader:    true,
 			Capabilities: caps,

@@ -11,6 +11,7 @@ import (
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/csvx"
 	"pushdowndb/internal/index"
+	"pushdowndb/internal/obs"
 	"pushdowndb/internal/selectengine"
 	"pushdowndb/internal/sqlparse"
 	"pushdowndb/internal/value"
@@ -139,7 +140,7 @@ func indexValuePred(pred sqlparse.Expr) sqlparse.Expr {
 // index partitions, checks they are aligned, pushes the offsets select
 // against every index object (result-cache aware via selectOnParts) and
 // parses the matching byte ranges, per data partition and in index order.
-func (e *Exec) indexRangeProbe(phase *cloudsim.Phase, table, idxTable, valuePred string) (dataKeys []string, partRanges [][][2]int64, err error) {
+func (e *Exec) indexRangeProbe(phase *cloudsim.Phase, sp *obs.Span, table, idxTable, valuePred string) (dataKeys []string, partRanges [][][2]int64, err error) {
 	dataKeys, err = e.parts(table)
 	if err != nil {
 		return nil, nil, err
@@ -153,7 +154,7 @@ func (e *Exec) indexRangeProbe(phase *cloudsim.Phase, table, idxTable, valuePred
 			idxTable, len(idxKeys), table, len(dataKeys))
 	}
 	sql := "SELECT first_byte_offset, last_byte_offset FROM S3Object WHERE " + valuePred
-	results, err := e.selectOnParts(phase, idxTable, sql, nil)
+	results, err := e.selectOnParts(phase, sp, idxTable, sql, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -188,11 +189,14 @@ func (e *Exec) indexFetch(table string, cand *IndexCandidate) (*Relation, int64,
 	// Hop 1: predicate pushed to the index objects, plus the data table's
 	// header from a tiny ranged GET.
 	stage1 := e.NextStage()
+	psp := e.beginSpan("index select " + table)
 	probe := e.tablePhase("index select "+table, stage1, idxTable)
-	dataKeys, partRanges, err := e.indexRangeProbe(probe, table, idxTable, indexValuePred(cand.Pred).String())
+	dataKeys, partRanges, err := e.indexRangeProbe(probe, psp, table, idxTable, indexValuePred(cand.Pred).String())
 	if err != nil {
+		endSpanErr(psp, err)
 		return nil, 0, 0, err
 	}
+	e.endPhaseSpan(psp, probe)
 	header, err := e.TableHeader("index select "+table, stage1, table)
 	if err != nil {
 		return nil, 0, 0, err
@@ -202,11 +206,14 @@ func (e *Exec) indexFetch(table string, cand *IndexCandidate) (*Relation, int64,
 	// multi-range GETs.
 	stage2 := e.NextStage()
 	fetch := e.tablePhase("index fetch "+table, stage2, table)
+	fsp := e.beginSpan("index fetch " + table)
 	backend := e.db.backendFor(table)
 	var gets atomic.Int64
 	partRows := make([][][]string, len(dataKeys))
 	err = e.forEachPart(dataKeys, func(ctx context.Context, i int, key string) error {
 		ranges := index.Coalesce(partRanges[i], index.DefaultCoalesceGap)
+		ksp := fsp.Child("fetch " + key)
+		defer ksp.End()
 		var rows [][]string
 		for _, batch := range index.Batches(ranges, index.DefaultMaxRangesPerGet) {
 			frags, err := backend.GetRanges(ctx, e.db.bucket, key, batch)
@@ -219,6 +226,8 @@ func (e *Exec) indexFetch(table string, cand *IndexCandidate) (*Relation, int64,
 			}
 			fetch.AddRangedGetRequest(total, int64(len(batch)))
 			gets.Add(1)
+			ksp.AddInt("bytes", total)
+			ksp.AddInt("ranges", int64(len(batch)))
 			for _, frag := range frags {
 				_, rs, err := csvx.Decode(frag, false)
 				if err != nil {
@@ -231,6 +240,7 @@ func (e *Exec) indexFetch(table string, cand *IndexCandidate) (*Relation, int64,
 		return nil
 	})
 	if err != nil {
+		endSpanErr(fsp, err)
 		return nil, 0, 0, err
 	}
 	out := &Relation{Cols: header}
@@ -238,11 +248,15 @@ func (e *Exec) indexFetch(table string, cand *IndexCandidate) (*Relation, int64,
 	for _, rows := range partRows {
 		candidates += int64(len(rows))
 		if err := out.Concat(FromStringsN(header, rows, e.workers())); err != nil {
+			endSpanErr(fsp, err)
 			return nil, 0, 0, err
 		}
 	}
 	out.Cols = header
 	fetch.AddServerRows(candidates)
+	fsp.SetInt("rows", candidates)
+	fsp.SetInt("gets", gets.Load())
+	e.endPhaseSpan(fsp, fetch)
 	return out, gets.Load(), stage2, nil
 }
 
@@ -437,11 +451,14 @@ func (e *Exec) probeStats(table, filter, idxPred string, stage int) (st cloudsim
 		sums = append(sums, "SUM(CASE WHEN "+idxPred+" THEN 1 ELSE 0 END)")
 	}
 	sql := "SELECT " + strings.Join(sums, ", ") + " FROM S3Object"
+	sp := e.beginSpan("plan probe " + table)
 	phase := e.tablePhase("plan probe "+table, stage, table)
-	results, err := e.selectOnParts(phase, table, sql, nil)
+	results, err := e.selectOnParts(phase, sp, table, sql, nil)
 	if err != nil {
+		endSpanErr(sp, err)
 		return st, 0, false, fmt.Errorf("engine: planning probe for %s: %w", table, err)
 	}
+	e.endPhaseSpan(sp, phase)
 	var rows, matched, idxm, bytes int64
 	columnar := len(results) > 0
 	for _, res := range results {

@@ -55,6 +55,10 @@ func (js JoinSpec) fpr() float64 {
 // BaselineJoin loads both tables in full with plain GETs and evaluates
 // filters and the join locally. No S3 Select anywhere.
 func (e *Exec) BaselineJoin(js JoinSpec) (*Relation, error) {
+	sp := e.beginSpan("baseline join")
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 	stage := e.NextStage()
 	var left, right *Relation
 	errs := make(chan error, 2)
@@ -140,6 +144,10 @@ func projectionSQL(cols []string, filter string) string {
 // degradation, it falls back to a filtered join whose two scans are forced
 // serial (the paper's "degraded Bloom join").
 func (e *Exec) BloomJoin(js JoinSpec) (*Relation, error) {
+	sp := e.beginSpan("bloom join")
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 	// Phase 1: build side with pushdown.
 	stage1 := e.NextStage()
 	left, err := e.SelectRows("bloom build "+js.LeftTable, stage1,
@@ -258,9 +266,12 @@ func maxf(a, b float64) float64 {
 
 // hashJoin performs the local build/probe and accounts the row work.
 func (e *Exec) hashJoin(stage int, js JoinSpec, left, right *Relation) (*Relation, error) {
+	sp := e.opSpan("hash join", len(left.Rows)+len(right.Rows))
 	phase := e.Metrics.Phase("hash join", stage)
 	phase.AddServerRows(int64(len(left.Rows)) + int64(len(right.Rows)))
-	return e.hashJoinLocal(left, right, js.LeftKey, js.RightKey, e.workers())
+	out, err := e.hashJoinLocal(left, right, js.LeftKey, js.RightKey, e.workers())
+	endOpSpan(sp, out, err)
+	return out, err
 }
 
 // JoinAggregate is a convenience for the paper's evaluation query

@@ -102,6 +102,15 @@ type JoinStep struct {
 	// strategy actually issued (filled in at execution).
 	RangedGets int64
 
+	// Actuals, filled in by runPlan as each step completes (EXPLAIN
+	// ANALYZE renders them next to the estimates): the step's output
+	// cardinality and its deltas of virtual runtime, billed dollars and
+	// returned bytes.
+	ActualRows  int64
+	ActualSec   float64
+	ActualUSD   float64
+	ActualBytes int64
+
 	first              bool // joins two base tables via the JoinSpec operators
 	buildIdx, probeIdx int  // scan indices (first step)
 	scan               int  // scan index of the table joined in (later steps)
@@ -209,6 +218,10 @@ func (e *Exec) planJoins(sel *sqlparse.Select) (*QueryPlan, error) {
 	}
 
 	// Headers: one cheap ranged GET per table, all in one stage.
+	psp := e.beginSpan("plan")
+	defer psp.End()
+	prevParent := e.setSpanParent(psp)
+	defer e.restoreSpanParent(prevParent)
 	hdrStage := e.NextStage()
 	for _, sc := range p.Scans {
 		cols, err := e.TableHeader("plan header "+sc.Table, hdrStage, sc.Table)
@@ -632,19 +645,37 @@ func scanFilterNodes(project []string, filter string) int64 {
 	return selectengine.CountNodes(sel)
 }
 
-// runPlan executes a planned multi-table select.
+// runPlan executes a planned multi-table select, recording each step's
+// actual cardinality and cost deltas for EXPLAIN ANALYZE.
 func (e *Exec) runPlan(p *QueryPlan) (*Relation, error) {
 	var cur *Relation
 	var err error
-	for _, st := range p.Steps {
+	for i, st := range p.Steps {
+		t0 := e.Metrics.RuntimeSeconds()
+		c0 := e.Cost().Total()
+		_, _, ret0, get0 := e.Metrics.Totals()
+		sp := e.beginSpan(fmt.Sprintf("join %d", i+1))
+		sp.SetStr("strategy", st.Strategy)
+		prev := e.setSpanParent(sp)
 		if st.first {
 			cur, err = e.runFirstJoin(p, st)
 		} else {
 			cur, err = e.runChainJoin(p, st, cur)
 		}
+		e.restoreSpanParent(prev)
 		if err != nil {
+			endSpanErr(sp, err)
 			return nil, err
 		}
+		st.ActualRows = int64(len(cur.Rows))
+		st.ActualSec = e.Metrics.RuntimeSeconds() - t0
+		st.ActualUSD = e.Cost().Total() - c0
+		_, _, ret1, get1 := e.Metrics.Totals()
+		st.ActualBytes = (ret1 + get1) - (ret0 + get0)
+		sp.SetInt("rows", st.ActualRows)
+		sp.SetFloat("sim_sec", st.ActualSec)
+		sp.SetFloat("cost_usd", st.ActualUSD)
+		sp.End()
 	}
 	if p.Residual != nil {
 		cur, err = e.filterLocal(cur, p.Residual.String(), e.workers())
@@ -709,6 +740,9 @@ func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relatio
 	if st.Strategy == StrategyBloom {
 		// Building the Bloom filter walks every intermediate row; meter
 		// it to match cloudsim.EstimateBloomProbe's build charge.
+		bsp := e.beginSpan("bloom build intermediate")
+		bsp.SetInt("rows_in", int64(len(cur.Rows)))
+		bsp.End()
 		e.Metrics.Phase("bloom build intermediate", e.NextStage()).
 			AddServerRows(int64(len(cur.Rows)))
 		right, joinStage, err = e.BloomProbe(cur, st.BuildKey, sc.Table, st.ProbeKey,
@@ -732,9 +766,12 @@ func (e *Exec) runChainJoin(p *QueryPlan, st *JoinStep, cur *Relation) (*Relatio
 	}
 	// The hash join overlaps the scan that produced its probe side; using
 	// that scan's own stage keeps attribution correct under concurrency.
+	sp := e.opSpan("hash join", len(cur.Rows)+len(right.Rows))
 	phase := e.Metrics.Phase("hash join", joinStage)
 	phase.AddServerRows(int64(len(cur.Rows)) + int64(len(right.Rows)))
-	return e.hashJoinLocal(cur, right, st.BuildKey, st.ProbeKey, e.workers())
+	out, err := e.hashJoinLocal(cur, right, st.BuildKey, st.ProbeKey, e.workers())
+	endOpSpan(sp, out, err)
+	return out, err
 }
 
 // String renders the plan as a readable tree (cmd/pushdownsql -explain).

@@ -37,6 +37,8 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Relation, *Exec, e
 // runSelectStatement executes an already-parsed SELECT.
 func (db *DB) runSelectStatement(ctx context.Context, sel *sqlparse.Select) (*Relation, *Exec, error) {
 	e := db.NewExecContext(ctx)
+	sp := e.beginSpan("select")
+	prev := e.setSpanParent(sp)
 	var (
 		rel *Relation
 		err error
@@ -45,12 +47,21 @@ func (db *DB) runSelectStatement(ctx context.Context, sel *sqlparse.Select) (*Re
 		var plan *QueryPlan
 		plan, err = e.planJoins(sel)
 		if err != nil {
+			e.restoreSpanParent(prev)
+			endSpanErr(sp, err)
 			return nil, nil, err
 		}
 		e.plan = plan
 		rel, err = e.runPlan(plan)
 	} else {
 		rel, err = e.runSelect(sel)
+	}
+	e.restoreSpanParent(prev)
+	if err != nil {
+		endSpanErr(sp, err)
+	} else {
+		sp.SetInt("rows", int64(len(rel.Rows)))
+		sp.End()
 	}
 	return rel, e, err
 }
@@ -74,6 +85,8 @@ func (db *DB) execStatement(ctx context.Context, sql string) (*Relation, *Exec, 
 	switch t := st.(type) {
 	case *sqlparse.Select:
 		return db.runSelectStatement(ctx, t)
+	case *sqlparse.Explain:
+		return db.runExplain(ctx, t)
 	case *sqlparse.CreateIndex:
 		return nil, nil, db.CreateNamedIndex(ctx, t.Name, t.Table, t.Column)
 	case *sqlparse.DropIndex:
@@ -188,6 +201,11 @@ func pushedScanSQL(sel *sqlparse.Select) string {
 // (or joined) relation: grouping/aggregation/projection, ordering and
 // limiting, with the row work accounted on the virtual clock.
 func (e *Exec) finishLocal(rel *Relation, sel *sqlparse.Select) (*Relation, error) {
+	sp := e.beginSpan("local")
+	sp.SetInt("rows_in", int64(len(rel.Rows)))
+	defer sp.End()
+	prevParent := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prevParent)
 	phase := e.Metrics.Phase("local", e.NextStage())
 	phase.AddServerRows(int64(len(rel.Rows)))
 
@@ -420,6 +438,12 @@ func (db *DB) ExplainContext(ctx context.Context, sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return db.explainSelect(ctx, sel)
+}
+
+// explainSelect renders the plan of an already-parsed SELECT — the shared
+// body of ExplainContext and the EXPLAIN statement.
+func (db *DB) explainSelect(ctx context.Context, sel *sqlparse.Select) (string, error) {
 	if len(sel.Joins) > 0 {
 		plan, _, err := db.planParsed(ctx, sel)
 		if err != nil {

@@ -31,6 +31,10 @@ func OptimalSampleSize(k int, n int64, alpha float64) int64 {
 // ServerSideTopK loads the whole table and selects the top K locally with
 // a bounded heap — the Fig. 9 baseline.
 func (e *Exec) ServerSideTopK(table, orderCol string, k int, asc bool) (*Relation, error) {
+	sp := e.beginSpan("server topk " + table)
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 	stage := e.NextStage()
 	rel, err := e.LoadTable("load "+table, stage, table)
 	if err != nil {
@@ -68,6 +72,10 @@ func (e *Exec) SamplingTopK(table, orderCol string, k int, asc bool, opts Sampli
 		alpha = 0.1
 	}
 	sample := opts.SampleSize
+	sp := e.beginSpan("sampling topk " + table)
+	defer sp.End()
+	prev := e.setSpanParent(sp)
+	defer e.restoreSpanParent(prev)
 
 	// Phase 1: sample the order column.
 	stage1 := e.NextStage()
@@ -125,7 +133,9 @@ func (e *Exec) approxRowCount(stage int, table string) (int64, error) {
 	// The per-partition size probes are priced requests (S3 HEADs) like
 	// everything else this estimate costs; they meter as zero-byte GETs on
 	// the same phase the row probe below opens.
+	sp := e.beginSpan("probe " + table)
 	phase := e.tablePhase("probe "+table, stage, table)
+	defer func() { e.endPhaseSpan(sp, phase) }()
 	var totalBytes int64
 	for _, k := range keys {
 		n, err := backend.Size(e.ctx, e.db.bucket, k)

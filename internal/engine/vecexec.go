@@ -191,36 +191,66 @@ func keyVector(rel *Relation, c int) (*vec.Vector, bool) {
 // pins the row path for differential testing.
 
 func (e *Exec) filterLocal(rel *Relation, predicate string, workers int) (*Relation, error) {
+	sp := e.opSpan("filter", len(rel.Rows))
+	var out *Relation
+	var err error
 	if e.db.vectorized {
-		return VecFilterLocalN(rel, predicate, workers)
+		out, err = VecFilterLocalN(rel, predicate, workers)
+	} else {
+		out, err = FilterLocalN(rel, predicate, workers)
 	}
-	return FilterLocalN(rel, predicate, workers)
+	endOpSpan(sp, out, err)
+	return out, err
 }
 
 func (e *Exec) projectLocal(rel *Relation, items string, workers int) (*Relation, error) {
+	sp := e.opSpan("project", len(rel.Rows))
+	var out *Relation
+	var err error
 	if e.db.vectorized {
-		return VecProjectLocalN(rel, items, workers)
+		out, err = VecProjectLocalN(rel, items, workers)
+	} else {
+		out, err = ProjectLocalN(rel, items, workers)
 	}
-	return ProjectLocalN(rel, items, workers)
+	endOpSpan(sp, out, err)
+	return out, err
 }
 
 func (e *Exec) groupByLocal(rel *Relation, groupBy, items string, workers int) (*Relation, error) {
+	sp := e.opSpan("groupby", len(rel.Rows))
+	var out *Relation
+	var err error
 	if e.db.vectorized {
-		return VecGroupByLocalN(rel, groupBy, items, workers)
+		out, err = VecGroupByLocalN(rel, groupBy, items, workers)
+	} else {
+		out, err = GroupByLocalN(rel, groupBy, items, workers)
 	}
-	return GroupByLocalN(rel, groupBy, items, workers)
+	endOpSpan(sp, out, err)
+	return out, err
 }
 
 func (e *Exec) aggregateLocal(rel *Relation, items string, workers int) (*Relation, error) {
+	sp := e.opSpan("aggregate", len(rel.Rows))
+	var out *Relation
+	var err error
 	if e.db.vectorized {
-		return VecAggregateLocalN(rel, items, workers)
+		out, err = VecAggregateLocalN(rel, items, workers)
+	} else {
+		out, err = AggregateLocalN(rel, items, workers)
 	}
-	return AggregateLocalN(rel, items, workers)
+	endOpSpan(sp, out, err)
+	return out, err
 }
 
 func (e *Exec) hashJoinLocal(left, right *Relation, leftKey, rightKey string, workers int) (*Relation, error) {
+	sp := e.opSpan("hash join local", len(left.Rows)+len(right.Rows))
+	var out *Relation
+	var err error
 	if e.db.vectorized {
-		return VecHashJoinLocalN(left, right, leftKey, rightKey, workers)
+		out, err = VecHashJoinLocalN(left, right, leftKey, rightKey, workers)
+	} else {
+		out, err = HashJoinLocalN(left, right, leftKey, rightKey, workers)
 	}
-	return HashJoinLocalN(left, right, leftKey, rightKey, workers)
+	endOpSpan(sp, out, err)
+	return out, err
 }

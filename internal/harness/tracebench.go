@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"pushdowndb/internal/engine"
+	"pushdowndb/internal/obs"
+	"pushdowndb/internal/s3api"
+	"pushdowndb/internal/store"
+	"pushdowndb/internal/tpch"
+)
+
+// The tracing-overhead benchmark: one query run end to end with and
+// without an obs.Trace in context, shared by the root bench_vec_test.go
+// (go test -bench=BenchmarkTraceOverhead) and cmd/benchvec -check, which
+// gates the traced/untraced ratio. The query is a pushed filter +
+// aggregate over lineitem — enough span traffic (per-partition selects, a
+// decode, local operators) to expose per-span cost, small enough that the
+// benchmark stays in milliseconds at smoke scale.
+
+// TraceBenchFixture holds an open engine over the TPC-H fixture plus the
+// query the overhead comparison runs.
+type TraceBenchFixture struct {
+	DB  *engine.DB
+	SQL string
+}
+
+// NewTraceBenchFixture generates the TPC-H tables at sf (deterministic
+// seed 42, 4 partitions) and opens an engine over them.
+func NewTraceBenchFixture(ctx context.Context, sf float64) (*TraceBenchFixture, error) {
+	st := store.New()
+	ds, err := tpch.Load(ctx, st, tpch.Dataset{SF: sf, Seed: 42, Bucket: "tracebench", Partitions: 4})
+	if err != nil {
+		return nil, err
+	}
+	db, err := engine.Open(ds.Bucket, engine.WithBackend("s3sim", s3api.NewInProc(st)))
+	if err != nil {
+		return nil, err
+	}
+	sql := "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS qty " +
+		"FROM lineitem WHERE l_quantity < 24 GROUP BY l_returnflag"
+	return &TraceBenchFixture{DB: db, SQL: sql}, nil
+}
+
+// Run executes the fixture query once, with a trace in context when traced
+// is set, and returns the output row count (the cross-path checksum).
+func (f *TraceBenchFixture) Run(ctx context.Context, traced bool) (int, error) {
+	if traced {
+		tr := obs.New("tracebench", "query")
+		ctx = obs.WithTrace(ctx, tr)
+		defer tr.Finish()
+	}
+	rel, _, err := f.DB.QueryContext(ctx, f.SQL)
+	if err != nil {
+		return 0, err
+	}
+	return len(rel.Rows), nil
+}
+
+// TraceBenchVerify runs the query through both modes and errors unless the
+// outputs agree and the traced run actually produced a span tree.
+func (f *TraceBenchFixture) TraceBenchVerify(ctx context.Context) error {
+	off, err := f.Run(ctx, false)
+	if err != nil {
+		return fmt.Errorf("untraced: %w", err)
+	}
+	on, err := f.Run(ctx, true)
+	if err != nil {
+		return fmt.Errorf("traced: %w", err)
+	}
+	if off != on {
+		return fmt.Errorf("untraced run returned %d rows, traced %d", off, on)
+	}
+	tr := obs.New("tracebench-verify", "query")
+	if _, _, err := f.DB.QueryContext(obs.WithTrace(ctx, tr), f.SQL); err != nil {
+		return err
+	}
+	tr.Finish()
+	d := tr.Snapshot()
+	if d == nil || len(d.Root.Children) == 0 {
+		return fmt.Errorf("traced run produced no spans — the overhead comparison would be vacuous")
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ const (
 	pkgHarness   = "pushdowndb/internal/harness"
 	pkgScanshare = "pushdowndb/internal/scanshare"
 	pkgVec       = "pushdowndb/internal/vec"
+	pkgObs       = "pushdowndb/internal/obs"
 )
 
 // scopeOf builds an InScope predicate admitting exactly the given paths.

@@ -1,6 +1,6 @@
 // Package lint is the pushdownlint analyzer suite: repo-specific static
 // checks that mechanize the engine's correctness conventions so they are
-// enforced by machine rather than review. The five analyzers and the
+// enforced by machine rather than review. The six analyzers and the
 // invariants they encode:
 //
 //   - ctxflow: no context.Background()/TODO() in library code — per-request
@@ -14,6 +14,9 @@
 //     paths — the byte-identical invariant (PR 2).
 //   - exactagg: no float64 accumulation where merge order can perturb
 //     results — aggregation merges through big.Float (PR 2).
+//   - spanphase: every cloudsim phase open in the engine has an *obs.Span
+//     declared before it — no execution phase invisible to query traces
+//     (PR 10).
 //
 // See docs/ARCHITECTURE.md "Static analysis & invariants" for the rules
 // and the //lint:ignore suppression convention.
@@ -29,7 +32,7 @@ import (
 
 // All returns the full pushdownlint suite.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Ctxflow, Metered, Errkind, MapDeterminism, ExactAgg}
+	return []*analysis.Analyzer{Ctxflow, Metered, Errkind, MapDeterminism, ExactAgg, Spanphase}
 }
 
 // Run applies the analyzers to the packages — each analyzer only where its

@@ -16,6 +16,7 @@ func TestMetered(t *testing.T)        { linttest.Run(t, Metered, "testdata/src/m
 func TestErrkind(t *testing.T)        { linttest.Run(t, Errkind, "testdata/src/errkind") }
 func TestMapDeterminism(t *testing.T) { linttest.Run(t, MapDeterminism, "testdata/src/mapdet") }
 func TestExactAgg(t *testing.T)       { linttest.Run(t, ExactAgg, "testdata/src/exactagg") }
+func TestSpanphase(t *testing.T)      { linttest.Run(t, Spanphase, "testdata/src/spanphase") }
 
 // The expr fixture type-checks as pushdowndb/internal/expr, exercising
 // exactagg's stricter expr-layer rule (all float accumulation banned).

@@ -1,0 +1,68 @@
+// Fixture for the spanphase analyzer: cloudsim phase opens with and
+// without an *obs.Span declared first, the phase-returning-helper
+// exemption, closure visibility, and the suppression escape.
+package spanphase
+
+import (
+	"pushdowndb/internal/cloudsim"
+	"pushdowndb/internal/obs"
+)
+
+// No span anywhere in the function: the phase is invisible to traces.
+func untraced(m *cloudsim.Metrics) {
+	phase := m.Phase("fixture scan", 0) // want `cloudsim phase opened with no \*obs\.Span declared before it`
+	phase.AddGetRequest(1)
+}
+
+// A span begun before the phase open satisfies the invariant.
+func traced(tr *obs.Trace, m *cloudsim.Metrics) {
+	sp := tr.Root().Child("scan")
+	phase := m.Phase("fixture scan", 0)
+	phase.AddGetRequest(1)
+	sp.End()
+}
+
+// An *obs.Span parameter counts: the caller began it.
+func tracedByParam(sp *obs.Span, m *cloudsim.Metrics) {
+	m.Phase("fixture count", 1).AddServerRows(10)
+	sp.SetInt("rows", 10)
+}
+
+// A span in an enclosing function is visible inside closures.
+func tracedInClosure(tr *obs.Trace, m *cloudsim.Metrics, keys []string) {
+	sp := tr.Root().Child("sweep")
+	for range keys {
+		open := func() *cloudsim.Metrics {
+			m.Phase("fixture part", 0).AddGetRequest(1)
+			return m
+		}
+		open()
+	}
+	sp.End()
+}
+
+// The declaration must precede the open: a span begun afterwards cannot
+// have covered it.
+func spanBegunTooLate(tr *obs.Trace, m *cloudsim.Metrics) {
+	m.Phase("fixture late", 0).AddServerRows(1) // want `cloudsim phase opened with no \*obs\.Span declared before it`
+	sp := tr.Root().Child("late")
+	sp.End()
+}
+
+// Functions returning a *cloudsim.Phase are phase-opening helpers: the
+// span obligation travels to their callers with the returned phase.
+func openHelper(m *cloudsim.Metrics, name string) *cloudsim.Phase {
+	return m.Phase(name, 0)
+}
+
+// Calling a helper is still an open site and still needs a span.
+func helperCallerUntraced(m *cloudsim.Metrics) {
+	phase := openHelper(m, "fixture helper") // want `cloudsim phase opened with no \*obs\.Span declared before it`
+	phase.AddGetRequest(1)
+}
+
+// The documented suppression escape.
+func suppressed(m *cloudsim.Metrics) {
+	//lint:ignore spanphase fixture: counter-only catalog accounting, never user-visible
+	m.Phase("fixture catalog", 0).AddServerRows(1)
+}

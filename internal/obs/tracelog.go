@@ -1,0 +1,62 @@
+package obs
+
+import "sync"
+
+// TraceLog retains the last-N trace snapshots keyed by request id, the
+// backing store for the daemon's /debug/trace/<id> endpoint. Adding an id
+// already present replaces the old snapshot in place; otherwise the oldest
+// entry is evicted once the ring is full.
+type TraceLog struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]*TraceData
+}
+
+// NewTraceLog retains up to capacity traces (minimum 1).
+func NewTraceLog(capacity int) *TraceLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceLog{cap: capacity, byID: map[string]*TraceData{}}
+}
+
+// Add retains d (no-op on nil or an empty id).
+func (l *TraceLog) Add(d *TraceData) {
+	if l == nil || d == nil || d.ID == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.byID[d.ID]; ok {
+		l.byID[d.ID] = d
+		return
+	}
+	if len(l.order) >= l.cap {
+		evict := l.order[0]
+		l.order = l.order[1:]
+		delete(l.byID, evict)
+	}
+	l.order = append(l.order, d.ID)
+	l.byID[d.ID] = d
+}
+
+// Get returns the retained trace for id, nil when absent or evicted.
+func (l *TraceLog) Get(id string) *TraceData {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.byID[id]
+}
+
+// IDs returns the retained ids, oldest first.
+func (l *TraceLog) IDs() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string{}, l.order...)
+}

@@ -11,6 +11,7 @@ import (
 
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/engine"
+	"pushdowndb/internal/obs"
 )
 
 // Client is the Go client for a pushdownd server; the tests, the harness
@@ -50,6 +51,10 @@ type Result struct {
 	CacheHits int64
 	// Tenant is the tenant the server billed.
 	Tenant string
+	// RequestID identifies this query in the audit log and at
+	// GET /debug/trace/<id> (client-chosen via QueryID, else
+	// server-generated).
+	RequestID string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -63,7 +68,14 @@ func (c *Client) httpClient() *http.Client {
 // failures come back as *Error with the Kind intact; transport failures
 // come back as-is.
 func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
-	body, err := json.Marshal(queryRequest{SQL: sql, Tenant: c.Tenant})
+	return c.QueryID(ctx, sql, "")
+}
+
+// QueryID is Query with a client-chosen request id, for callers that want
+// to correlate the query with their own logs and later fetch its trace;
+// an empty id lets the server generate one (returned in Result.RequestID).
+func (c *Client) QueryID(ctx context.Context, sql, requestID string) (*Result, error) {
+	body, err := json.Marshal(queryRequest{SQL: sql, Tenant: c.Tenant, RequestID: requestID})
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +107,32 @@ func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
 		Requests:   qr.Requests,
 		CacheHits:  qr.CacheHits,
 		Tenant:     qr.Tenant,
+		RequestID:  qr.RequestID,
 	}, nil
+}
+
+// Trace fetches a completed query's span tree by request id from the
+// server's retained-trace ring, decoded from the JSON the server serves at
+// GET /debug/trace/<id>.
+func (c *Client) Trace(ctx context.Context, requestID string) (*obs.TraceData, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/debug/trace/"+requestID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var d obs.TraceData
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("server: bad trace response: %w", err)
+	}
+	return &d, nil
 }
 
 // Stats fetches the server's shared-state snapshot.

@@ -1,0 +1,400 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The daemon observability surface: /metrics scrapes parse as Prometheus
+// text exposition, /debug/trace serves a completed request's span tree in
+// both JSON and Chrome tracing form, request ids round-trip (or are
+// generated) on every reply, and the slow-query log lands full span trees
+// in the audit stream.
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// parsePromText is a strict parser for the subset of the Prometheus text
+// format the server emits: every non-comment line must be
+// `name{labels} value` or `name value` with a float value, and every
+// series must be preceded by its # HELP and # TYPE headers.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	series := map[string]float64{}
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			parts := strings.Fields(line)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("bad comment line %q", line)
+			}
+			if parts[1] == "TYPE" {
+				typed[parts[2]] = true
+			}
+			continue
+		}
+		// name{l="v",...} value  |  name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil && valStr != "+Inf" && valStr != "NaN" {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		v, _ := strconv.ParseFloat(valStr, 64)
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = key[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Fatalf("series %q has no # TYPE header", name)
+		}
+		if _, dup := series[key]; dup {
+			t.Fatalf("duplicate series %q", key)
+		}
+		series[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	f := newFixture(t, "inproc", Config{})
+	c := NewClient(f.base)
+	for _, q := range testQueries {
+		if _, err := c.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One guaranteed rejection for the rejections counter.
+	if _, err := c.Query(context.Background(), "SELECT FROM nothing"); err == nil {
+		t.Fatal("want parse rejection")
+	}
+
+	resp, body := get(t, f.base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	series := parsePromText(t, string(body))
+
+	if got := series[`pushdownd_queries_total{tenant="default",kind="select",status="ok"}`]; got < 1 {
+		t.Errorf("select queries_total = %v, want >= 1\n%s", got, body)
+	}
+	if got := series[`pushdownd_queries_total{tenant="default",kind="join",status="ok"}`]; got != 1 {
+		t.Errorf("join queries_total = %v, want 1", got)
+	}
+	if got := series[`pushdownd_rejections_total{kind="bad_request"}`]; got != 1 {
+		t.Errorf("rejections_total = %v, want 1", got)
+	}
+	if got := series["pushdownd_max_clients"]; got != 32 {
+		t.Errorf("max_clients gauge = %v, want 32 (the default)", got)
+	}
+	if got := series["pushdownd_queue_capacity"]; got != 128 {
+		t.Errorf("queue_capacity gauge = %v, want 128", got)
+	}
+	if got := series[`pushdownd_query_wall_seconds_count{status="ok"}`]; got != float64(len(testQueries)) {
+		t.Errorf("wall histogram count = %v, want %d", got, len(testQueries))
+	}
+	if got := series["pushdownd_query_sim_seconds_count"]; got != float64(len(testQueries)) {
+		t.Errorf("sim histogram count = %v, want %d", got, len(testQueries))
+	}
+	if got := series[`pushdownd_join_steps_total{strategy="baseline"}`] +
+		series[`pushdownd_join_steps_total{strategy="bloom"}`] +
+		series[`pushdownd_join_steps_total{strategy="filtered"}`]; got != 1 {
+		t.Errorf("join_steps_total sum = %v, want 1", got)
+	}
+	// Per-phase histogram uses normalized kinds, never raw table names.
+	sawPhase := false
+	for key := range series {
+		if !strings.HasPrefix(key, "pushdownd_phase_sim_seconds_count") {
+			continue
+		}
+		sawPhase = true
+		if strings.Contains(key, "orders") || strings.Contains(key, "customers") {
+			t.Errorf("phase label leaked a table name: %s", key)
+		}
+	}
+	if !sawPhase {
+		t.Error("no per-phase histogram series")
+	}
+	// Scrapes are deterministic given no traffic in between.
+	_, body2 := get(t, f.base+"/metrics")
+	// Uptime moves between scrapes; drop it before comparing.
+	strip := func(b []byte) string {
+		var keep []string
+		for _, l := range strings.Split(string(b), "\n") {
+			if !strings.Contains(l, "pushdownd_uptime_seconds") {
+				keep = append(keep, l)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(body) != strip(body2) {
+		t.Error("idle scrapes differ")
+	}
+}
+
+func TestRequestIDHeaderAndTrace(t *testing.T) {
+	f := newFixture(t, "inproc", Config{})
+	c := NewClient(f.base)
+
+	// Server-generated id: present in the response body and header.
+	res, err := c.Query(context.Background(), testQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestID == "" {
+		t.Fatal("no generated request id")
+	}
+
+	// Client-chosen id round-trips.
+	res2, err := c.QueryID(context.Background(), testQueries[3], "my-join-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RequestID != "my-join-7" {
+		t.Fatalf("request id = %q, want my-join-7", res2.RequestID)
+	}
+
+	// The header rides even on rejections.
+	resp, err := http.Post(f.base+"/query", "application/json",
+		strings.NewReader(`{"sql":"","request_id":"rej-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "rej-1" {
+		t.Errorf("rejection header id = %q, want rej-1", got)
+	}
+
+	// The retained trace is fetchable by id and shaped like the query.
+	d, err := c.Trace(context.Background(), "my-join-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "my-join-7" || d.Root == nil || d.Root.Name != "query" {
+		t.Fatalf("trace = %+v", d)
+	}
+	if d.Find("select") == nil {
+		t.Error("trace has no statement span")
+	}
+	if d.Find("join 1") == nil {
+		t.Error("trace of a join has no join span")
+	}
+	sel := d.Root.Children[0]
+	if rows, ok := sel.Int("rows"); !ok || rows != int64(len(res2.Relation.Rows)) {
+		t.Errorf("trace rows attr = %d (ok=%v), want %d", rows, ok, len(res2.Relation.Rows))
+	}
+
+	// Unknown ids 404; the trace index lists retained ids oldest-first.
+	resp404, _ := get(t, f.base+"/debug/trace/nope")
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace = %d, want 404", resp404.StatusCode)
+	}
+	_, idsBody := get(t, f.base+"/debug/trace/")
+	var ids []string
+	if err := json.Unmarshal(idsBody, &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[1] != "my-join-7" {
+		t.Errorf("trace index = %v", ids)
+	}
+
+	// Chrome tracing format: a JSON array of complete ("X") events.
+	_, chromeBody := get(t, f.base+"/debug/trace/my-join-7?format=chrome")
+	var events []map[string]any
+	if err := json.Unmarshal(chromeBody, &events); err != nil {
+		t.Fatalf("chrome trace: %v", err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("chrome trace has %d events", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" || ev["name"] == "" {
+			t.Fatalf("bad chrome event %v", ev)
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	// Threshold of one nanosecond: everything is slow.
+	f := newFixture(t, "inproc", Config{SlowQuery: time.Nanosecond})
+	c := NewClient(f.base)
+	if _, err := c.QueryID(context.Background(), testQueries[1], "slow-1"); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	sc := bufio.NewScanner(strings.NewReader(f.audit.String()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e auditEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad audit line %q: %v", sc.Text(), err)
+		}
+		if e.Status != "slow" {
+			continue
+		}
+		found = true
+		if e.ID != "slow-1" || e.WallSec <= 0 {
+			t.Errorf("slow entry = %+v", e)
+		}
+		var d struct {
+			ID   string `json:"id"`
+			Root *struct {
+				Name string `json:"name"`
+			} `json:"root"`
+		}
+		if err := json.Unmarshal(e.Trace, &d); err != nil {
+			t.Fatalf("slow entry trace does not parse: %v", err)
+		}
+		if d.ID != "slow-1" || d.Root == nil || d.Root.Name != "query" {
+			t.Errorf("slow entry trace = %+v", d)
+		}
+	}
+	if !found {
+		t.Fatalf("no slow entry in audit log:\n%s", f.audit.String())
+	}
+}
+
+func TestTraceRetentionEviction(t *testing.T) {
+	f := newFixture(t, "inproc", Config{TraceRetain: 2})
+	c := NewClient(f.base)
+	for i := 0; i < 4; i++ {
+		if _, err := c.QueryID(context.Background(), testQueries[0], fmt.Sprintf("r-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, idsBody := get(t, f.base+"/debug/trace/")
+	var ids []string
+	if err := json.Unmarshal(idsBody, &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "r-2" || ids[1] != "r-3" {
+		t.Errorf("retained ids = %v, want [r-2 r-3]", ids)
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	f := newFixture(t, "inproc", Config{TraceRetain: -1})
+	c := NewClient(f.base)
+	res, err := c.QueryID(context.Background(), testQueries[0], "off-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestID != "off-1" {
+		t.Errorf("request id still rides: got %q", res.RequestID)
+	}
+	if _, err := c.Trace(context.Background(), "off-1"); err == nil {
+		t.Error("trace retained despite TraceRetain < 0")
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	off := newFixture(t, "inproc", Config{})
+	resp, _ := get(t, off.base+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status = %d, want 404", resp.StatusCode)
+	}
+	on := newFixture(t, "inproc", Config{EnablePprof: true})
+	resp, body := get(t, on.base+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Errorf("pprof on: status = %d, body %d bytes", resp.StatusCode, len(body))
+	}
+}
+
+func TestStatsAdmissionCapacity(t *testing.T) {
+	f := newFixture(t, "inproc", Config{MaxClients: 3, QueueDepth: 5})
+	st, err := NewClient(f.base).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxClients != 3 || st.QueueCapacity != 5 {
+		t.Errorf("capacity = %d/%d, want 3/5", st.MaxClients, st.QueueCapacity)
+	}
+}
+
+// TestObsConcurrent hammers the whole observability surface from many
+// goroutines — queries with client ids, /metrics scrapes and trace fetches
+// racing each other. Run under -race in CI; assertions check that every
+// retained trace is internally consistent (own id, one statement span).
+func TestObsConcurrent(t *testing.T) {
+	f := newFixture(t, "inproc", Config{SlowQuery: time.Nanosecond})
+	c := NewClient(f.base)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c-%d", i)
+			res, err := c.QueryID(context.Background(), testQueries[i%len(testQueries)], id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d, err := c.Trace(context.Background(), id)
+			if err != nil {
+				t.Errorf("trace %s: %v", id, err)
+				return
+			}
+			if d.ID != id {
+				t.Errorf("trace id = %q, want %q", d.ID, id)
+			}
+			if n := len(d.Root.Children); n != 1 {
+				t.Errorf("trace %s: %d statement spans, want 1", id, n)
+				return
+			}
+			if rows, ok := d.Root.Children[0].Int("rows"); !ok || rows != int64(len(res.Relation.Rows)) {
+				t.Errorf("trace %s: rows attr = %d (ok=%v), want %d", id, rows, ok, len(res.Relation.Rows))
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := get(t, f.base+"/metrics")
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("scrape = %d", resp.StatusCode)
+			}
+			parsePromText(t, string(body))
+		}()
+	}
+	wg.Wait()
+}

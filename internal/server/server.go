@@ -14,6 +14,7 @@ import (
 
 	"pushdowndb/internal/cloudsim"
 	"pushdowndb/internal/engine"
+	"pushdowndb/internal/obs"
 	"pushdowndb/internal/s3api"
 	"pushdowndb/internal/sqlparse"
 )
@@ -58,6 +59,18 @@ type Config struct {
 	// Executed statements flow through the engine's query hook, so direct
 	// DB users on the same shared DB are audited too.
 	AuditLog io.Writer
+	// TraceRetain is how many completed query traces the server keeps for
+	// GET /debug/trace/<request-id> (default 64; <0 disables tracing
+	// entirely, including the slow-query log).
+	TraceRetain int
+	// SlowQuery, when >0, is the wall-clock threshold past which a query's
+	// full span tree is written to the audit log (status "slow").
+	SlowQuery time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiling endpoints on a query port are opt-in).
+	EnablePprof bool
+	// DisableMetrics turns off GET /metrics (served by default).
+	DisableMetrics bool
 }
 
 // withDefaults fills the zero fields.
@@ -76,6 +89,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TenantRateLimit > 0 && c.TenantRateWindow <= 0 {
 		c.TenantRateWindow = time.Second
+	}
+	if c.TraceRetain == 0 {
+		c.TraceRetain = 64
 	}
 	return c
 }
@@ -139,6 +155,8 @@ type Server struct {
 	auditMu sync.Mutex
 	reqSeq  atomic.Int64
 
+	obs *serverObs // metrics registry + retained traces
+
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 }
@@ -156,6 +174,7 @@ func New(db *engine.DB, cfg Config) *Server {
 		tenants:  map[string]*tenantState{},
 	}
 	s.slots = make(chan struct{}, s.cfg.MaxClients)
+	s.obs = newServerObs(s)
 	if s.cfg.AuditLog != nil {
 		db.SetQueryHook(s.auditQueryHook)
 	}
@@ -166,12 +185,21 @@ func New(db *engine.DB, cfg Config) *Server {
 // endpoint both read it).
 func (s *Server) Ledger() *cloudsim.Ledger { return s.ledger }
 
-// Handler returns the HTTP surface: POST /query, GET /stats, GET /healthz.
+// Handler returns the HTTP surface: POST /query, GET /stats, GET
+// /healthz, GET /metrics (unless disabled), GET /debug/trace/<id>, and
+// GET /debug/pprof/ when enabled.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	if !s.cfg.DisableMetrics {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	mux.HandleFunc("/debug/trace/", s.handleTrace)
+	if s.cfg.EnablePprof {
+		mountPprof(mux)
+	}
 	return mux
 }
 
@@ -237,11 +265,13 @@ func (s *Server) tenant(name string) *tenantState {
 	return ts
 }
 
-// countReject tallies an admission/quota rejection for /stats.
+// countReject tallies an admission/quota rejection for /stats and
+// /metrics.
 func (s *Server) countReject(k ErrorKind) {
 	s.rejMu.Lock()
 	s.rejected[k]++
 	s.rejMu.Unlock()
+	s.obs.rejections.Inc(string(k))
 }
 
 // acquireSlot is global admission: take an execution token immediately,
@@ -289,7 +319,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = s.cfg.DefaultTenant
 	}
-	id := s.reqSeq.Add(1)
+	// The request id correlates the response, the audit line, the metrics
+	// and the retained trace; it rides a response header so even rejected
+	// requests can be chased through the logs.
+	id := req.RequestID
+	if id == "" {
+		id = fmt.Sprintf("q-%d", s.reqSeq.Add(1))
+	}
+	w.Header().Set(RequestIDHeader, id)
 	reject := func(e *Error) {
 		s.countReject(e.Kind)
 		s.auditRejected(tenant, id, req.SQL, e)
@@ -301,10 +338,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate the statement before spending an admission slot on it; the
 	// engine re-parses on execution (parsing is micro-cheap next to a scan).
-	if _, err := sqlparse.ParseStatement(req.SQL); err != nil {
+	stmt, err := sqlparse.ParseStatement(req.SQL)
+	if err != nil {
 		reject(&Error{Kind: KindBadRequest, Message: err.Error()})
 		return
 	}
+	kind := statementKind(stmt)
 	if s.draining.Load() {
 		reject(&Error{Kind: KindShuttingDown, Message: "server is draining"})
 		return
@@ -359,7 +398,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
+	var tr *obs.Trace
+	if s.cfg.TraceRetain > 0 {
+		tr = obs.New(id, "query")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	wallStart := time.Now()
 	rel, exec, err := s.db.ExecStatement(ctx, req.SQL)
+	wall := time.Since(wallStart)
+	tr.Finish()
 	// Bill whatever the execution accrued, error or not: a query that died
 	// halfway through a scan still bought that scan.
 	var runtime float64
@@ -369,6 +416,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cost = exec.Cost()
 		s.ledger.Bill(tenant, runtime, cost, err != nil)
 	}
+	s.observeQuery(tenant, kind, id, req.SQL, tr, exec, wall, err)
 	if err != nil {
 		e := classifyExecError(err)
 		s.countReject(e.Kind)
@@ -382,6 +430,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		RuntimeSec: runtime,
 		Cost:       cost,
 		Tenant:     tenant,
+		RequestID:  id,
 	}
 	if exec != nil {
 		requests, _, _, _ := exec.Metrics.Totals()
@@ -417,13 +466,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := Stats{
-		UptimeSec: time.Since(s.start).Seconds(),
-		InFlight:  s.inFlight.Load(),
-		Queued:    s.queued.Load(),
-		Accepted:  s.accepted.Load(),
-		Rejected:  map[ErrorKind]int64{},
-		Tenants:   map[string]TenantStats{},
-		Draining:  s.draining.Load(),
+		UptimeSec:     time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Load(),
+		Queued:        s.queued.Load(),
+		MaxClients:    int64(s.cfg.MaxClients),
+		QueueCapacity: int64(s.cfg.QueueDepth),
+		Accepted:      s.accepted.Load(),
+		Rejected:      map[ErrorKind]int64{},
+		Tenants:       map[string]TenantStats{},
+		Draining:      s.draining.Load(),
 	}
 	s.rejMu.Lock()
 	for k, n := range s.rejected {
@@ -486,10 +537,10 @@ type requestInfoKey struct{}
 
 type requestInfo struct {
 	tenant string
-	id     int64
+	id     string
 }
 
-func withRequestInfo(ctx context.Context, tenant string, id int64) context.Context {
+func withRequestInfo(ctx context.Context, tenant, id string) context.Context {
 	return context.WithValue(ctx, requestInfoKey{}, requestInfo{tenant: tenant, id: id})
 }
 
@@ -497,12 +548,16 @@ func withRequestInfo(ctx context.Context, tenant string, id int64) context.Conte
 type auditEntry struct {
 	TS         string  `json:"ts"`
 	Tenant     string  `json:"tenant"`
-	ID         int64   `json:"id,omitempty"`
+	ID         string  `json:"id,omitempty"`
 	SQL        string  `json:"sql"`
-	Status     string  `json:"status"` // "ok" or an ErrorKind
+	Status     string  `json:"status"` // "ok", "slow" or an ErrorKind
 	RuntimeSec float64 `json:"runtime_sec,omitempty"`
 	CostUSD    float64 `json:"cost_usd,omitempty"`
+	WallSec    float64 `json:"wall_sec,omitempty"`
 	Err        string  `json:"err,omitempty"`
+	// Trace is the query's full span tree; written only by the slow-query
+	// log (status "slow").
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 func (s *Server) auditWrite(e auditEntry) {
@@ -542,7 +597,7 @@ func (s *Server) auditQueryHook(ctx context.Context, sql string, exec *engine.Ex
 
 // auditRejected logs a statement the admission/quota layer turned away
 // before execution.
-func (s *Server) auditRejected(tenant string, id int64, sql string, rej *Error) {
+func (s *Server) auditRejected(tenant, id, sql string, rej *Error) {
 	s.auditWrite(auditEntry{
 		Tenant: tenant, ID: id, SQL: sql,
 		Status: string(rej.Kind), Err: rej.Message,

@@ -29,10 +29,10 @@ func testTables() (bucket string, tables map[string]struct {
 	orders := make([][]string, 0, 200)
 	for i := 0; i < 200; i++ {
 		orders = append(orders, []string{
-			fmt.Sprint(i + 1),            // o_id
-			fmt.Sprint(i%40 + 1),         // o_cust
-			fmt.Sprint((i*37+13)%1000),   // o_price
-			fmt.Sprint(i%7 + 1),          // o_qty
+			fmt.Sprint(i + 1),              // o_id
+			fmt.Sprint(i%40 + 1),           // o_cust
+			fmt.Sprint((i*37 + 13) % 1000), // o_price
+			fmt.Sprint(i%7 + 1),            // o_qty
 		})
 	}
 	customers := make([][]string, 0, 40)

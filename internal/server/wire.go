@@ -188,6 +188,9 @@ type queryRequest struct {
 	// Tenant attributes the query for concurrency lanes, quotas and the
 	// audit log; empty means the server's default tenant.
 	Tenant string `json:"tenant,omitempty"`
+	// RequestID correlates this query across the response, the audit log
+	// and GET /debug/trace; the server generates one when omitted.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // queryResponse is the success body of POST /query.
@@ -199,6 +202,7 @@ type queryResponse struct {
 	Requests   int64                  `json:"requests"`
 	CacheHits  int64                  `json:"cache_hits"`
 	Tenant     string                 `json:"tenant"`
+	RequestID  string                 `json:"request_id"`
 }
 
 // errorResponse is the body of every non-2xx reply.
@@ -235,15 +239,20 @@ type ShareStats struct {
 // itself — admission counters, per-tenant bills, and the result cache all
 // tenants share.
 type Stats struct {
-	UptimeSec float64                `json:"uptime_sec"`
-	InFlight  int64                  `json:"in_flight"`
-	Queued    int64                  `json:"queued"`
-	Accepted  int64                  `json:"accepted"`
-	Rejected  map[ErrorKind]int64    `json:"rejected"`
-	Tenants   map[string]TenantStats `json:"tenants"`
-	Cache     *CacheStats            `json:"cache,omitempty"`
-	ScanShare *ShareStats            `json:"scan_share,omitempty"`
-	Draining  bool                   `json:"draining"`
+	UptimeSec float64 `json:"uptime_sec"`
+	InFlight  int64   `json:"in_flight"`
+	Queued    int64   `json:"queued"`
+	// MaxClients and QueueCapacity are the admission limits the InFlight
+	// and Queued readings run against: InFlight saturates at MaxClients,
+	// and arrivals past QueueCapacity queued are rejected.
+	MaxClients    int64                  `json:"max_clients"`
+	QueueCapacity int64                  `json:"queue_capacity"`
+	Accepted      int64                  `json:"accepted"`
+	Rejected      map[ErrorKind]int64    `json:"rejected"`
+	Tenants       map[string]TenantStats `json:"tenants"`
+	Cache         *CacheStats            `json:"cache,omitempty"`
+	ScanShare     *ShareStats            `json:"scan_share,omitempty"`
+	Draining      bool                   `json:"draining"`
 }
 
 // healthResponse is the GET /healthz body.

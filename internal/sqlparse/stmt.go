@@ -2,8 +2,8 @@ package sqlparse
 
 import "strings"
 
-// Statement is any parsed SQL statement: *Select, *CreateIndex or
-// *DropIndex. The DDL statements exist for PushdownDB's secondary-index
+// Statement is any parsed SQL statement: *Select, *Explain, *CreateIndex
+// or *DropIndex. The DDL statements exist for PushdownDB's secondary-index
 // subsystem (CREATE INDEX builds per-partition index objects on the
 // table's storage backend; DROP INDEX retires them from the manifest) and
 // are rejected everywhere a SELECT is required — Parse still returns
@@ -16,6 +16,23 @@ type Statement interface {
 func (*Select) stmt()      {}
 func (*CreateIndex) stmt() {}
 func (*DropIndex) stmt()   {}
+func (*Explain) stmt()     {}
+
+// Explain is `EXPLAIN [ANALYZE] <select>`. Plain EXPLAIN renders the plan
+// with the planner's estimates; ANALYZE also executes the query under a
+// trace and annotates each step with actual rows, bytes and cost.
+type Explain struct {
+	Analyze bool
+	Sel     *Select
+}
+
+func (e *Explain) String() string {
+	s := "EXPLAIN "
+	if e.Analyze {
+		s += "ANALYZE "
+	}
+	return s + e.Sel.String()
+}
 
 // CreateIndex is `CREATE INDEX [name] ON table (column)`.
 type CreateIndex struct {
@@ -66,6 +83,8 @@ func ParseStatement(src string) (Statement, error) {
 		st, err = p.parseCreateIndex()
 	case p.isIdentWord("DROP"):
 		st, err = p.parseDropIndex()
+	case p.isIdentWord("EXPLAIN"):
+		st, err = p.parseExplain()
 	default:
 		st, err = p.parseSelect()
 	}
@@ -119,6 +138,27 @@ func (p *parser) parseCreateIndex() (*CreateIndex, error) {
 		return nil, err
 	}
 	return ci, nil
+}
+
+// parseExplain parses `EXPLAIN [ANALYZE] <select>` with EXPLAIN current.
+// EXPLAIN and ANALYZE are contextual like CREATE/DROP: they only dispatch
+// at the statement head.
+func (p *parser) parseExplain() (*Explain, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	ex := &Explain{}
+	if p.isIdentWord("ANALYZE") {
+		ex.Analyze = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if ex.Sel, err = p.parseSelect(); err != nil {
+		return nil, err
+	}
+	return ex, nil
 }
 
 // parseDropIndex parses both DROP INDEX forms with DROP current.
